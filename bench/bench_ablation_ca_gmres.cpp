@@ -1,0 +1,110 @@
+// Ablation: communication-avoiding coarsest-grid solver (paper section 9).
+//
+// Fig. 4 shows the coarsest level's share of MG time growing with node
+// count because the coarse GCR's global synchronizations cost log(N) each.
+// Here a real coarse operator is solved by standard GCR and by s-step
+// CA-GMRES at equal tolerance; the measured matvec and reduction counts are
+// combined with the Titan network model to project the coarsest-level solve
+// time across node counts — showing the s-step solver pushing the
+// latency wall out.
+//
+//   ./bench_ablation_ca_gmres [--nc=24] [--tol=1e-6]
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "mg/galerkin.h"
+#include "mg/nullspace.h"
+#include "mg/stencil.h"
+#include "mg/transfer.h"
+#include "solvers/ca_gmres.h"
+#include "solvers/gcr.h"
+
+using namespace qmg;
+using namespace qmg::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int nc = static_cast<int>(args.get_int("nc", 16));
+  const double tol = args.get_double("tol", 1e-6);
+
+  // A real coarsest-grid system.
+  auto geom = make_geometry(Coord{8, 8, 8, 8});
+  const auto gauge = disordered_gauge<double>(geom, 0.5, 3);
+  const auto clover = build_clover_with_inverse(gauge, 1.0, -0.05);
+  const WilsonCloverOp<double> op(gauge, {-0.05, 1.0, 1.0}, &clover);
+  NullSpaceParams ns;
+  ns.nvec = nc;
+  ns.iters = 25;
+  auto vecs = generate_null_vectors(op, ns);
+  auto map = std::make_shared<const BlockMap>(geom, Coord{4, 4, 4, 4});
+  Transfer<double> transfer(map, 4, 3, nc);
+  transfer.set_null_vectors(vecs);
+  const WilsonStencilView<double> view(op);
+  const CoarseDirac<double> coarse(build_coarse_operator(view, transfer));
+
+  auto b = coarse.create_vector();
+  b.gaussian(17);
+
+  SolverParams params;
+  params.tol = tol;
+  params.max_iter = 4000;
+  params.restart = 10;
+
+  std::printf("=== Coarsest-grid solver: GCR vs s-step CA-GMRES "
+              "(2^4 coarse grid, Nhat_c=%d, tol=%.0e) ===\n", nc, tol);
+  std::printf("%-14s %-9s %-10s %-12s %-14s\n", "solver", "matvecs",
+              "syncs", "syncs/mv", "residual");
+
+  auto x = coarse.create_vector();
+  const auto r_gcr = GcrSolver<double>(coarse, params).solve(x, b);
+  std::printf("%-14s %-9ld %-10ld %-12.2f %-14.2e\n", "GCR(10)",
+              r_gcr.matvecs, r_gcr.reductions,
+              static_cast<double>(r_gcr.reductions) / r_gcr.matvecs,
+              r_gcr.final_rel_residual);
+
+  struct CaRun { int s; SolverResult res; };
+  std::vector<CaRun> ca_runs;
+  for (const int s : {2, 4, 6, 8}) {
+    blas::zero(x);
+    CaGmresSolver<double> solver(coarse, params, s);
+    const auto res = solver.solve(x, b);
+    ca_runs.push_back({s, res});
+    char name[32];
+    std::snprintf(name, sizeof(name), "CA-GMRES(s=%d)", s);
+    std::printf("%-14s %-9ld %-10ld %-12.2f %-14.2e\n", name, res.matvecs,
+                res.reductions,
+                static_cast<double>(res.reductions) / res.matvecs,
+                res.final_rel_residual);
+  }
+
+  // Project onto Titan: coarsest-level solve time = matvecs * t_matvec +
+  // syncs * t_allreduce(N).  The per-node coarse grid is 2^4 (the paper's
+  // scaling limit); matvec time from the device model's Fig. 2 throughput.
+  const NetworkSpec net = NetworkSpec::titan_gemini();
+  const double n = 2.0 * nc;
+  const double flops = 9.0 * 8.0 * n * n * 16.0;  // 2^4 sites per node
+  const double t_matvec = flops / 20e9;  // small-grid GFLOPS (Fig. 2 tail)
+  std::printf("\nprojected coarsest-level solve seconds on Titan "
+              "(2^4/node):\n%-8s %-12s", "nodes", "GCR");
+  for (const auto& run : ca_runs) std::printf("  CA(s=%d)   ", run.s);
+  std::printf("\n");
+  for (const int nodes : {64, 128, 256, 512, 2048}) {
+    const double stages = std::log2(static_cast<double>(nodes));
+    const double t_ar = net.allreduce_stage_us * stages *
+                        net.latency_scale(nodes) * 1e-6;
+    std::printf("%-8d %-12.4f", nodes,
+                r_gcr.matvecs * t_matvec + r_gcr.reductions * t_ar);
+    for (const auto& run : ca_runs)
+      std::printf("  %-9.4f", run.res.matvecs * t_matvec +
+                                  run.res.reductions * t_ar);
+    std::printf("\n");
+  }
+  std::printf("\npaper hook (9, Fig. 4): 'the log N scaling of the cost of "
+              "synchronization dominates that of the stencil application at "
+              "large node count' — replacing the coarse-grid solver with a "
+              "latency-tolerant CA-GMRES trades ~2.5 syncs/matvec for "
+              "~2/s, directly attacking that wall.\n");
+  return 0;
+}

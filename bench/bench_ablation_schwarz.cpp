@@ -1,0 +1,89 @@
+// Ablation: Schwarz domain-decomposition smoothing (paper section 9 and
+// refs [18, 19]).  The additive Schwarz preconditioner applies only
+// subdomain-local work — zero halo messages per application — at the cost
+// of a weaker coupling across subdomain boundaries.  This bench compares
+// GCR preconditioned by (a) a global MR smoother (communicates every
+// matvec) and (b) the Schwarz preconditioner at several local iteration
+// counts, reporting outer iterations, fine matvecs, and the halo messages
+// a distributed run would send.
+//
+//   ./bench_ablation_schwarz [--l=8] [--lt=8] [--ranks=8]
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "comm/schwarz.h"
+#include "solvers/gcr.h"
+#include "solvers/mr.h"
+
+using namespace qmg;
+using namespace qmg::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int l = static_cast<int>(args.get_int("l", 8));
+  const int lt = static_cast<int>(args.get_int("lt", 8));
+  const int nranks = static_cast<int>(args.get_int("ranks", 8));
+  const double tol = args.get_double("tol", 1e-8);
+
+  ContextOptions options;
+  options.dims = {l, l, l, lt};
+  options.mass = args.get_double("mass", -0.05);
+  options.roughness = 0.4;
+  QmgContext ctx(options);
+  const auto dec = make_decomposition(ctx.geometry(), nranks);
+  const WilsonParams<double> params{options.mass, options.csw, 1.0};
+  const DistributedWilsonOp<double> dist(ctx.gauge(), params,
+                                         &ctx.clover(), dec);
+
+  ColorSpinorField<double> b(ctx.geometry(), 4, 3);
+  b.gaussian(33);
+
+  SolverParams sp;
+  sp.tol = tol;
+  sp.max_iter = 3000;
+  sp.restart = 10;
+
+  std::printf("=== Smoother communication ablation (%d^3x%d over %d "
+              "subdomains of %ldx%ldx%ldx%ld) ===\n", l, lt, nranks,
+              (long)dec->local()->dim(0), (long)dec->local()->dim(1),
+              (long)dec->local()->dim(2), (long)dec->local()->dim(3));
+  std::printf("%-22s %-8s %-9s %-22s\n", "preconditioner", "outer",
+              "matvecs", "halo msgs per precond");
+
+  {
+    auto x = ctx.create_vector();
+    const auto r = GcrSolver<double>(ctx.op(), sp).solve(x, b);
+    std::printf("%-22s %-8d %-9ld %-22s\n", "none", r.iterations, r.matvecs,
+                "-");
+  }
+  {
+    // Global MR smoothing: every MR matvec is a full stencil application,
+    // which in a distributed run exchanges halos (2 messages per
+    // partitioned dimension per rank).
+    MrPreconditioner<double> mr(ctx.op(), 4, 0.85);
+    auto x = ctx.create_vector();
+    const auto r = GcrSolver<double>(ctx.op(), sp, &mr).solve(x, b);
+    long msgs = 0;
+    for (int mu = 0; mu < kNDim; ++mu)
+      if (!dec->self_comm(mu)) msgs += 2L * nranks;
+    std::printf("%-22s %-8d %-9ld %ld x 5 = %-12ld\n", "global MR(4)",
+                r.iterations, r.matvecs, msgs, msgs * 5);
+  }
+  for (const int iters : {2, 4, 8}) {
+    SchwarzPreconditioner<double> schwarz(dist, iters);
+    auto x = ctx.create_vector();
+    const auto r = GcrSolver<double>(ctx.op(), sp, &schwarz).solve(x, b);
+    char name[32];
+    std::snprintf(name, sizeof(name), "Schwarz(MR %d)", iters);
+    std::printf("%-22s %-8d %-9ld %-22d\n", name, r.iterations, r.matvecs,
+                0);
+  }
+
+  std::printf("\npaper hook (9): 'through the use of Schwarz-style "
+              "communication-reducing preconditioners to improve strong "
+              "scaling of the MG smoothers' — the Schwarz columns trade a "
+              "few extra outer iterations for a smoother that sends no "
+              "messages at all.\n");
+  return 0;
+}

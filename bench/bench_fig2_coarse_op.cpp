@@ -1,0 +1,118 @@
+// Figure 2 reproduction: single-precision performance of the coarse-grid
+// operator as a function of decreasing lattice size for 24 and 32 colors,
+// with the four cumulative fine-grained parallelization strategies
+// (Tesla K20X model; paper section 6.5).
+//
+// Two outputs:
+//   1. Modeled K20X GFLOPS for all lattice sizes L = 10, 8, 6, 4, 2 —
+//      the actual Fig. 2 series.
+//   2. Real CPU kernel timings of the same strategy decompositions on this
+//      machine (small L only) demonstrating that the decompositions are
+//      real, semantically identical code paths.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "gpusim/kernels.h"
+#include "mg/coarse_op.h"
+#include "util/rng.h"
+
+using namespace qmg;
+
+namespace {
+
+/// Random-filled coarse operator (timing only — values irrelevant).
+CoarseDirac<float> random_coarse(const Coord& dims, int nvec) {
+  auto geom = make_geometry(dims);
+  CoarseDirac<float> op(geom, nvec);
+  const SiteRng rng(99);
+  const int n = op.block_dim();
+  for (long s = 0; s < geom->volume(); ++s) {
+    for (int l = 0; l < 8; ++l) {
+      auto* y = op.link_data(s, l);
+      for (int k = 0; k < n * n; ++k)
+        y[k] = Complex<float>(
+            static_cast<float>(rng.uniform(s * 16 + l, k) - 0.5), 0.1f);
+    }
+    auto* d = op.diag_data(s);
+    for (int k = 0; k < n * n; ++k)
+      d[k] = Complex<float>(
+          static_cast<float>(rng.uniform(s * 16 + 9, k) + 1.0), 0.0f);
+  }
+  return op;
+}
+
+double time_config(const CoarseDirac<float>& op,
+                   const CoarseKernelConfig& cfg, int reps) {
+  auto x = op.create_vector();
+  x.gaussian(3);
+  auto y = op.create_vector();
+  op.apply_with_config(y, x, cfg);  // warm up
+  Timer t;
+  for (int r = 0; r < reps; ++r) op.apply_with_config(y, x, cfg);
+  return t.seconds() / reps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto dev = DeviceSpec::tesla_k20x();
+
+  std::printf("=== Figure 2: coarse-operator GFLOPS vs lattice length "
+              "(modeled %s, FP32) ===\n", dev.name.c_str());
+  for (const int nc : {24, 32}) {
+    std::printf("\nNc = %d\n", nc);
+    std::printf("%-4s %12s %12s %14s %13s\n", "L", "baseline",
+                "color-spin", "stencil-dir", "dot-product");
+    for (const int l : {10, 8, 6, 4, 2}) {
+      const long v = static_cast<long>(l) * l * l * l;
+      std::printf("%-4d %12.2f %12.2f %14.2f %13.2f\n", l,
+                  best_coarse_gflops(dev, v, 2 * nc, Strategy::GridOnly),
+                  best_coarse_gflops(dev, v, 2 * nc, Strategy::ColorSpin),
+                  best_coarse_gflops(dev, v, 2 * nc, Strategy::StencilDir),
+                  best_coarse_gflops(dev, v, 2 * nc, Strategy::DotProduct));
+    }
+  }
+
+  // Section 6.5 headline numbers.
+  {
+    const double base =
+        best_coarse_gflops(dev, 16, 64, Strategy::GridOnly);
+    const double full =
+        best_coarse_gflops(dev, 16, 64, Strategy::DotProduct);
+    const CoarseKernelConfig fine_grained{Strategy::DotProduct, 8, 4, 2};
+    std::printf("\n2^4 lattice, Nc=32: %ld-way parallelism (vs naive "
+                "%ld-way); fine-grained speedup %.0fx\n",
+                fine_grained.threads(16, 64),
+                CoarseKernelConfig{Strategy::GridOnly, 1, 1, 1}.threads(16,
+                                                                        64),
+                full / base);
+    std::printf("saturated coarse-op performance: %.0f GFLOPS "
+                "(paper: ~140, ~80%% of achievable STREAM)\n",
+                best_coarse_gflops(dev, 10000, 48, Strategy::ColorSpin));
+  }
+
+  // Real CPU realizations of the decompositions (small sizes).
+  std::printf("\n=== Real CPU kernel timings of the same decompositions "
+              "(this machine, FP32) ===\n");
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  for (const int nc : {24, 32}) {
+    std::printf("\nNc = %d (seconds per apply; all strategies compute "
+                "identical results)\n", nc);
+    std::printf("%-10s %12s %12s %14s %13s\n", "lattice", "baseline",
+                "color-spin", "stencil-dir", "dot-product");
+    for (const int l : {6, 4, 2}) {
+      const auto op = random_coarse(Coord{l, l, l, l}, nc);
+      std::printf("%d^4        %12.5f %12.5f %14.5f %13.5f\n", l,
+                  time_config(op, {Strategy::GridOnly, 1, 1, 1}, reps),
+                  time_config(op, {Strategy::ColorSpin, 1, 1, 2}, reps),
+                  time_config(op, {Strategy::StencilDir, 3, 1, 2}, reps),
+                  time_config(op, {Strategy::DotProduct, 3, 2, 2}, reps));
+    }
+  }
+  std::printf("\n(On one CPU core the decompositions time similarly — the "
+              "GPU gains come from occupancy, which the model above "
+              "captures; the CPU timings verify the code paths are real.)\n");
+  return 0;
+}

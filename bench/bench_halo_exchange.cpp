@@ -1,0 +1,86 @@
+// Halo-exchange study (paper section 6.5): halo traffic is O(Nhat_s Nhat_c)
+// per face site while stencil compute is O(Nhat_s^2 Nhat_c^2) per site, so
+// the coarse operator's communication is bandwidth-cheap — what matters at
+// scale is message latency.  This bench measures real pack/exchange byte
+// counts from the virtual-rank substrate and combines them with the Titan
+// network model to show where the crossover from bandwidth- to
+// latency-dominated communication happens as the local volume shrinks.
+//
+//   ./bench_halo_exchange [--nc=24]
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "comm/dist_coarse.h"
+#include "comm/dist_wilson.h"
+#include "mg/galerkin.h"
+#include "mg/nullspace.h"
+#include "mg/stencil.h"
+#include "mg/transfer.h"
+
+using namespace qmg;
+using namespace qmg::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int nc = static_cast<int>(args.get_int("nc", 24));
+
+  const NodeSpec node = NodeSpec::titan_xk7();
+  const NetworkSpec net = NetworkSpec::titan_gemini();
+
+  std::printf("=== Coarse-operator halo exchange: measured traffic vs local "
+              "volume (Nhat_c = %d) ===\n", nc);
+  std::printf("%-8s %-10s %-12s %-12s %-12s %-12s %-10s\n", "local L",
+              "messages", "halo KiB", "compute", "t_comm(us)", "t_comp(us)",
+              "comm/comp");
+
+  // Build one real coarse operator, then decompose it at several rank
+  // counts; the local volume per rank shrinks as the rank count grows,
+  // exactly like strong scaling a fixed coarse grid.
+  auto geom = make_geometry(Coord{8, 8, 8, 8});
+  const auto gauge = disordered_gauge<double>(geom, 0.4, 7);
+  const auto clover = build_clover_with_inverse(gauge, 1.0, 0.1);
+  const WilsonCloverOp<double> op(gauge, {0.1, 1.0, 1.0}, &clover);
+  NullSpaceParams ns;
+  ns.nvec = nc;
+  ns.iters = 8;  // traffic study: null-space quality is irrelevant
+  auto vecs = generate_null_vectors(op, ns);
+  auto map = std::make_shared<const BlockMap>(geom, Coord{2, 2, 2, 2});
+  Transfer<double> transfer(map, 4, 3, nc);
+  transfer.set_null_vectors(vecs);
+  const WilsonStencilView<double> view(op);
+  const CoarseDirac<double> coarse(build_coarse_operator(view, transfer));
+
+  for (const int nranks : {1, 2, 4, 8, 16}) {
+    const auto dec = make_decomposition(map->coarse(), nranks);
+    const DistributedCoarseOp<double> dist_op(coarse, dec);
+    auto x = dist_op.create_vector();
+    x.local(0).gaussian(3);
+    auto y = dist_op.create_vector();
+    CommStats stats;
+    dist_op.apply(y, x, {}, &stats);
+
+    const double halo_bytes_per_rank =
+        static_cast<double>(stats.message_bytes) / nranks;
+    const double flops_per_rank =
+        coarse.flops_per_apply() / nranks;
+    // Network model: per-rank message latency + bandwidth term; compute
+    // from the device model's coarse-op throughput (bandwidth bound).
+    const long msgs_per_rank = stats.messages / nranks;
+    const double t_comm = msgs_per_rank * net.latency_us * 1e-6 +
+                          halo_bytes_per_rank / (net.bandwidth_gbs * 1e9);
+    const double t_comp = flops_per_rank / (140e9 / 2);  // FP64 ~ half FP32
+    const auto& local = *dec->local();
+    std::printf("%d%dx%d%-4d %-10ld %-12.1f %-12s %-12.2f %-12.2f %-10.2f\n",
+                local.dim(0), local.dim(1), local.dim(2), local.dim(3),
+                msgs_per_rank, halo_bytes_per_rank / 1024.0, "dense 9pt",
+                t_comm * 1e6, t_comp * 1e6, t_comm / t_comp);
+  }
+
+  std::printf("\npaper hook (6.5): halo exchange is O(Ns*Nc) vs stencil "
+              "O(Ns^2*Nc^2) — bandwidth-negligible, so QUDA minimizes "
+              "*latency*: one packing kernel for all dimensions and a single "
+              "staging copy each way (the structure this substrate "
+              "implements and meters).\n");
+  return 0;
+}

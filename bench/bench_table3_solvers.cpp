@@ -1,0 +1,201 @@
+// Table 3 + Figure 3 reproduction: MG vs mixed-precision BiCGStab on the
+// three gauge ensembles (Table 1) across node counts, for the 24/24, 24/32
+// and 32/32 null-vector strategies.
+//
+// Methodology (mirrors DESIGN.md's substitution policy):
+//   1. REAL numerics: for each ensemble, run the actual solvers on a
+//      scaled-down proxy lattice with synthetic disorder — measuring
+//      iteration counts, error/residual ratios, and the per-level workload
+//      of the K-cycle (operator-apply and cycle-call counters).
+//   2. MODEL: map per-outer-iteration workload onto the Titan cluster model
+//      at the paper's lattice sizes and node counts.
+//   3. Report wallclock, cost (nodes x time) and speedup twice: with the
+//      proxy-measured iteration counts, and with the paper's published
+//      iteration counts (isolating the model from proxy-conditioning
+//      differences).
+//
+// Flags: --quick (smaller null-space setup), --tol=..., --skip_measure
+//        (published iterations only; no real solves), --error_ratio
+//        (also compute Table 3's error/residual column via the
+//        double-solve estimator — adds one 1e-12 reference solve per
+//        ensemble/strategy, section 7.1 ref [17]).
+
+#include <cstdio>
+#include <map>
+
+#include "bench/common.h"
+
+using namespace qmg;
+using namespace qmg::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool quick = args.get_bool("quick", false);
+  const bool skip_measure = args.get_bool("skip_measure", false);
+  const bool error_ratio = args.get_bool("error_ratio", false);
+  const int null_iters =
+      static_cast<int>(args.get_int("null_iters", quick ? 15 : 30));
+
+  const ClusterModel model(NodeSpec::titan_xk7(),
+                           NetworkSpec::titan_gemini());
+
+  std::printf("=== Table 1: lattice configurations ===\n");
+  std::printf("%-9s %-4s %-5s %-8s %-8s %-9s %-10s\n", "Label", "Ls", "Lt",
+              "as(fm)", "at(fm)", "mq", "mpi(MeV)");
+  for (const auto& e : EnsembleSpec::table1())
+    std::printf("%-9s %-4d %-5d %-8.3f %-8.3f %-9.4f ~%-10.0f\n",
+                e.label.c_str(), e.ls, e.lt, e.a_s, e.a_t, e.mq, e.mpi_mev);
+
+  std::printf("\n=== Table 2: MG parameters ===\n");
+  std::printf("%-9s %-14s %-16s %-16s %-10s\n", "Label", "Nodes",
+              "L1 blocking", "L2 blocking", "residuum");
+  for (const auto& e : EnsembleSpec::table1()) {
+    for (const int nodes : e.node_counts) {
+      const Coord b1 = e.block1_for_nodes(nodes);
+      std::printf("%-9s %-14d %dx%dx%dx%-8d %dx%dx%dx%-8d %-10.0e\n",
+                  e.label.c_str(), nodes, b1[0], b1[1], b1[2], b1[3],
+                  e.block2[0], e.block2[1], e.block2[2], e.block2[3],
+                  e.target_residuum);
+    }
+  }
+
+  // ---- Real proxy measurements --------------------------------------------
+  struct Measured {
+    ProxyMeasurement m;
+    bool valid = false;
+  };
+  std::map<std::string, Measured> measured;  // key: label/strategy
+
+  if (!skip_measure) {
+    std::printf("\n=== Proxy measurements (real solves on scaled-down "
+                "synthetic ensembles, this machine) ===\n");
+    std::printf("%-9s %-9s %-11s %-11s %-10s %-12s %-22s%s\n", "Label",
+                "strategy", "BiCG iters", "MG iters", "iter ratio",
+                "setup(s)", "matvecs/outer by level",
+                error_ratio ? "  err/res MG | BiCG" : "");
+    for (const auto& e : EnsembleSpec::table1()) {
+      const double tol = args.get_double("tol", e.target_residuum);
+      // BiCGStab is strategy independent: measure once per ensemble.
+      const BicgMeasurement bicg = measure_bicgstab(e, tol, 6000,
+                                                    error_ratio);
+      for (const auto& s : table3_strategies()) {
+        Measured rec;
+        rec.m = measure_proxy(e, s, bicg, tol, null_iters, error_ratio);
+        rec.valid = true;
+        measured[e.label + "/" + s.label()] = rec;
+        std::printf("%-9s %-9s %-11.0f %-11.0f %-10.1f %-12.1f "
+                    "%5.1f /%6.1f /%7.1f",
+                    e.label.c_str(), s.label().c_str(),
+                    rec.m.bicg_iterations, rec.m.mg_outer_iterations,
+                    rec.m.bicg_iterations /
+                        std::max(1.0, rec.m.mg_outer_iterations),
+                    rec.m.mg_setup_seconds, rec.m.matvecs_per_outer[0],
+                    rec.m.matvecs_per_outer[1], rec.m.matvecs_per_outer[2]);
+        if (error_ratio)
+          std::printf("  %8.1f | %8.1f", rec.m.mg_error_ratio,
+                      rec.m.bicg_error_ratio);
+        std::printf("\n");
+      }
+    }
+  }
+
+  // ---- Table 3 at Titan scale ---------------------------------------------
+  auto print_table3 = [&](bool use_published) {
+    std::printf("\n=== Table 3 (%s iteration counts): wallclock on the "
+                "simulated Titan ===\n",
+                use_published ? "PUBLISHED" : "proxy-measured");
+    std::printf("%-9s %-6s | %-10s %-9s %-9s | %-9s %-9s %-9s %-9s %-9s\n",
+                "Label", "nodes", "BiCG iter", "BiCG t(s)", "BiCG NxT",
+                "strategy", "MG iter", "MG t(s)", "MG NxT", "speedup");
+    for (const auto& e : EnsembleSpec::table1()) {
+      for (const int nodes : e.node_counts) {
+        bool first = true;
+        for (const auto& s : table3_strategies()) {
+          // Aniso40 32/32 did not fit on 20 nodes (paper footnote).
+          if (e.label == "Aniso40" && nodes == 20 && s.nvec1 == 32) continue;
+
+          double bicg_iters = 0, mg_iters = 0;
+          std::array<double, 3> matvecs{12, 45, 150};
+          std::array<double, 3> cycles{1, 8, 0};
+          if (use_published) {
+            for (const auto& row : published_table3())
+              if (e.label == row.label && nodes == row.nodes &&
+                  s.label() == row.strategy) {
+                bicg_iters = row.bicg_iters;
+                mg_iters = row.mg_iters;
+              }
+            if (bicg_iters == 0) continue;
+            // Use measured per-level workloads when available.
+            const auto it = measured.find(e.label + "/" + s.label());
+            if (it != measured.end() && it->second.valid) {
+              matvecs = it->second.m.matvecs_per_outer;
+              cycles = it->second.m.cycle_calls_per_outer;
+            }
+          } else {
+            const auto it = measured.find(e.label + "/" + s.label());
+            if (it == measured.end() || !it->second.valid) continue;
+            bicg_iters = it->second.m.bicg_iterations;
+            mg_iters = it->second.m.mg_outer_iterations;
+            matvecs = it->second.m.matvecs_per_outer;
+            cycles = it->second.m.cycle_calls_per_outer;
+          }
+
+          const auto p = partition_for(e, nodes);
+          BicgstabTrace bicg;
+          bicg.iterations = bicg_iters;
+          const double t_bicg = bicg.solve_seconds(model, p);
+          const auto trace =
+              make_trace(e, nodes, s, mg_iters, matvecs, cycles);
+          const double t_mg = trace.solve_seconds(model, p);
+          if (first) {
+            std::printf("%-9s %-6d | %-10.0f %-9.2f %-9.0f |", e.label.c_str(),
+                        nodes, bicg_iters, t_bicg, t_bicg * nodes);
+          } else {
+            std::printf("%-9s %-6s | %-10s %-9s %-9s |", "", "", "", "", "");
+          }
+          std::printf(" %-9s %-9.1f %-9.2f %-9.0f %-9.2f\n",
+                      s.label().c_str(), mg_iters, t_mg, t_mg * nodes,
+                      t_bicg / t_mg);
+          first = false;
+        }
+      }
+    }
+  };
+
+  if (!skip_measure) print_table3(/*use_published=*/false);
+  print_table3(/*use_published=*/true);
+
+  // ---- Figure 3 series ----------------------------------------------------
+  std::printf("\n=== Figure 3 series: wallclock vs nodes (published "
+              "iterations, 24/32) ===\n");
+  for (const auto& e : EnsembleSpec::table1()) {
+    std::printf("%s (V=%d^3x%d, r=%.0e):\n", e.label.c_str(), e.ls, e.lt,
+                e.target_residuum);
+    for (const int nodes : e.node_counts) {
+      double bicg_iters = 0, mg_iters = 0;
+      for (const auto& row : published_table3())
+        if (e.label == row.label && nodes == row.nodes &&
+            std::string(row.strategy) == "24/32") {
+          bicg_iters = row.bicg_iters;
+          mg_iters = row.mg_iters;
+        }
+      if (bicg_iters == 0) continue;
+      const auto p = partition_for(e, nodes);
+      BicgstabTrace bicg;
+      bicg.iterations = bicg_iters;
+      std::array<double, 3> matvecs{12, 45, 150};
+      std::array<double, 3> cycles{1, 8, 0};
+      const auto it = measured.find(e.label + "/24/32");
+      if (it != measured.end()) {
+        matvecs = it->second.m.matvecs_per_outer;
+        cycles = it->second.m.cycle_calls_per_outer;
+      }
+      const auto trace = make_trace(e, nodes, {24, 32}, mg_iters, matvecs,
+                                    cycles);
+      std::printf("  nodes %4d:  BiCGStab %7.2f s   MG(24/32) %6.2f s\n",
+                  nodes, bicg.solve_seconds(model, p),
+                  trace.solve_seconds(model, p));
+    }
+  }
+  return 0;
+}

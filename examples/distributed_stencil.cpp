@@ -1,0 +1,85 @@
+// Distributed-stencil example: run the Wilson-Clover operator over a grid
+// of virtual ranks, verify the domain-decomposed apply against the
+// single-process one, inspect the halo traffic the exchange generates, and
+// smooth with the communication-free additive Schwarz preconditioner —
+// the multi-node code paths of paper sections 4, 6.5 and 9 in one program.
+//
+//   ./distributed_stencil [--l=8] [--lt=8] [--ranks=8]
+
+#include <cmath>
+#include <cstdio>
+
+#include "comm/dist_blas.h"
+#include "comm/schwarz.h"
+#include "core/qmg.h"
+#include "solvers/gcr.h"
+#include "util/cli.h"
+
+using namespace qmg;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int l = static_cast<int>(args.get_int("l", 8));
+  const int lt = static_cast<int>(args.get_int("lt", 8));
+  const int nranks = static_cast<int>(args.get_int("ranks", 8));
+
+  ContextOptions options;
+  options.dims = {l, l, l, lt};
+  options.mass = args.get_double("mass", -0.02);
+  options.roughness = 0.45;
+  QmgContext ctx(options);
+
+  // 1) Decompose the lattice over virtual ranks.
+  const auto dec = make_decomposition(ctx.geometry(), nranks);
+  const auto& rg = dec->grid().dims();
+  std::printf("lattice %dx%dx%dx%d over rank grid %dx%dx%dx%d "
+              "(local %dx%dx%dx%d)\n", l, l, l, lt, rg[0], rg[1], rg[2],
+              rg[3], dec->local()->dim(0), dec->local()->dim(1),
+              dec->local()->dim(2), dec->local()->dim(3));
+
+  const WilsonParams<double> params{options.mass, options.csw, 1.0};
+  const DistributedWilsonOp<double> dist(ctx.gauge(), params, &ctx.clover(),
+                                         dec);
+
+  // 2) Apply the distributed operator and compare with the global one.
+  ColorSpinorField<double> x(ctx.geometry(), 4, 3);
+  x.gaussian(42);
+  auto dx = dist.create_vector();
+  dx.scatter(x);
+  auto dy = dist.create_vector();
+  CommStats stats;
+  dist.apply(dy, dx, &stats);
+
+  auto y_ref = ctx.create_vector();
+  ctx.op().apply(y_ref, x);
+  ColorSpinorField<double> y(ctx.geometry(), 4, 3);
+  dy.gather(y);
+  double max_diff = 0;
+  for (long k = 0; k < y.size(); ++k) {
+    max_diff = std::max(max_diff, std::abs(y.data()[k].re -
+                                           y_ref.data()[k].re));
+    max_diff = std::max(max_diff, std::abs(y.data()[k].im -
+                                           y_ref.data()[k].im));
+  }
+  std::printf("distributed apply vs single-process: max |diff| = %g "
+              "(bit-exact by construction)\n", max_diff);
+  std::printf("halo exchange: %ld messages, %.1f KiB on the wire, "
+              "%ld staging copies\n", stats.messages,
+              stats.message_bytes / 1024.0, stats.host_device_copies);
+
+  // 3) Solve with the communication-free Schwarz smoother as a
+  // preconditioner (section 9's strong-scaling direction).
+  ColorSpinorField<double> b(ctx.geometry(), 4, 3);
+  b.gaussian(7);
+  SolverParams sp;
+  sp.tol = 1e-8;
+  sp.max_iter = 2000;
+  sp.restart = 10;
+  SchwarzPreconditioner<double> schwarz(dist, /*iters=*/4);
+  auto sol = ctx.create_vector();
+  const auto res = GcrSolver<double>(ctx.op(), sp, &schwarz).solve(sol, b);
+  std::printf("Schwarz-preconditioned GCR: %d iterations to %.1e "
+              "(smoother sent 0 halo messages)\n", res.iterations,
+              res.final_rel_residual);
+  return res.converged ? 0 : 1;
+}

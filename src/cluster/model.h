@@ -1,0 +1,59 @@
+#pragma once
+// Cluster cost model: per-kernel node times (from the device model) plus
+// halo-exchange and global-reduction network costs.  These compose into the
+// per-iteration solver traces that regenerate Table 3 and Figs. 3-4.
+
+#include "cluster/network.h"
+#include "gpusim/kernels.h"
+
+namespace qmg {
+
+class ClusterModel {
+ public:
+  ClusterModel(NodeSpec node, NetworkSpec net)
+      : node_(node), net_(net) {}
+
+  const NodeSpec& node() const { return node_; }
+  const NetworkSpec& net() const { return net_; }
+
+  /// Halo exchange for an operator with `dof` complex components per site:
+  /// pack kernel + D2H + MPI (latency + bytes/bw per split direction) + H2D.
+  /// `overlap` subtracts the exchange behind the compute kernel (done on
+  /// the fine grid, not on the coarse grids — section 6.5).
+  double halo_seconds(const JobPartition& p, int dof, SimPrecision prec,
+                      double compute_seconds, bool overlap) const;
+
+  /// Fine-grid Wilson-Clover apply including halo exchange.
+  double wilson_seconds(const JobPartition& p, SimPrecision prec,
+                        int reconstruct = 8) const;
+  /// Compute-only portion (no halo) — used for utilization accounting.
+  double wilson_compute_seconds(const JobPartition& p, SimPrecision prec,
+                                int reconstruct = 8) const;
+
+  /// Coarse-operator apply (block dimension N = 2*nvec) including halo.
+  double coarse_seconds(const JobPartition& p, int block_dim,
+                        SimPrecision prec) const;
+  double coarse_compute_seconds(const JobPartition& p, int block_dim,
+                                SimPrecision prec) const;
+
+  /// Global reduction: local tree reduction + allreduce over nodes.
+  double reduction_seconds(const JobPartition& p, int dof,
+                           SimPrecision prec) const;
+
+  /// Streaming axpy-type update.
+  double blas_seconds(const JobPartition& p, int dof, SimPrecision prec) const;
+
+  /// Prolongation/restriction between levels (parallelized over the fine
+  /// geometry; one PCIe crossing of the coarse field, section 5).
+  double transfer_seconds(const JobPartition& fine, int fine_dof, int nvec,
+                          SimPrecision prec) const;
+
+  /// Allreduce latency across n nodes (the log N term of Fig. 4).
+  double allreduce_seconds(int nodes) const;
+
+ private:
+  NodeSpec node_;
+  NetworkSpec net_;
+};
+
+}  // namespace qmg

@@ -1,0 +1,50 @@
+#include "cluster/network.h"
+
+#include <stdexcept>
+
+namespace qmg {
+
+JobPartition JobPartition::make(const Coord& global, int nodes,
+                                const Coord& constraint) {
+  JobPartition p;
+  p.global = global;
+  Coord limit = constraint;
+  if (limit[0] == 0) limit = global;
+
+  int remaining = nodes;
+  // Repeatedly split the direction with the largest local extent whose
+  // constraint extent stays divisible.  Titan jobs are power-of-two node
+  // counts (64..512) apart from the small partitions, which carry factors
+  // of 3 and 5 absorbed by divisible lattice extents.
+  auto try_factor = [&](int f) {
+    int best_mu = -1;
+    int best_extent = 0;
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const int local = p.global[mu] / p.grid[mu];
+      const int climit = limit[mu] / p.grid[mu];
+      if (local % f == 0 && climit % f == 0 && climit / f >= 1 &&
+          local > best_extent) {
+        best_extent = local;
+        best_mu = mu;
+      }
+    }
+    if (best_mu < 0) return false;
+    p.grid[best_mu] *= f;
+    remaining /= f;
+    return true;
+  };
+
+  while (remaining > 1) {
+    if (remaining % 2 == 0 && try_factor(2)) continue;
+    bool placed = false;
+    for (int f = 3; f <= remaining && !placed; ++f) {
+      if (remaining % f != 0) continue;
+      placed = try_factor(f);
+    }
+    if (!placed)
+      throw std::invalid_argument("cannot partition lattice over nodes");
+  }
+  return p;
+}
+
+}  // namespace qmg

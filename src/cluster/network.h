@@ -1,0 +1,89 @@
+#pragma once
+// Network and node models for the Titan-scale strong-scaling simulation
+// (paper section 7).  Titan nodes hold one Tesla K20X each, connected by a
+// Cray Gemini 3D torus; GPU buffers cross PCIe to the host before MPI
+// (section 6.5: a single D2H copy, MPI exchange, single H2D copy, no
+// compute/comms overlap on the coarse grids).
+
+#include "gpusim/device.h"
+#include "lattice/geometry.h"
+
+namespace qmg {
+
+struct NetworkSpec {
+  double latency_us = 6.0;       // MPI point-to-point latency
+  double bandwidth_gbs = 4.5;    // effective per-link bandwidth
+  double allreduce_stage_us = 12.0;  // cost per log2(N) stage of allreduce
+  double noise_fraction = 0.0;   // cross-job contention jitter (section 7.2)
+
+  // Node-placement effect (section 7.2): jobs that no longer fit in one
+  // cabinet see degraded effective bandwidth and latency from longer torus
+  // routes and cross-job pollution.  This is what makes the
+  // communications-limited BiCGStab *slow down* from 64 to 128 nodes on
+  // Iso64 while the latency-limited MG merely flattens.
+  int cabinet_nodes = 96;            // XK7 nodes per Titan cabinet
+  double multi_cabinet_bw_factor = 0.4;
+  double multi_cabinet_latency_factor = 1.35;
+
+  double effective_bandwidth(int nodes) const {
+    return bandwidth_gbs * (nodes > cabinet_nodes ? multi_cabinet_bw_factor
+                                                  : 1.0);
+  }
+  double latency_scale(int nodes) const {
+    return (nodes > cabinet_nodes ? multi_cabinet_latency_factor : 1.0) *
+           (1.0 + noise_fraction);
+  }
+
+  static NetworkSpec titan_gemini() { return NetworkSpec{}; }
+};
+
+struct NodeSpec {
+  DeviceSpec device = DeviceSpec::tesla_k20x();
+  double pcie_gbs = 6.0;  // effective host<->device bandwidth
+
+  static NodeSpec titan_xk7() { return NodeSpec{}; }
+};
+
+/// How a global lattice is split across a node grid.
+struct JobPartition {
+  Coord global{};
+  Coord grid{1, 1, 1, 1};  // nodes per dimension
+
+  int nodes() const { return grid[0] * grid[1] * grid[2] * grid[3]; }
+
+  Coord local_dims() const {
+    Coord l;
+    for (int mu = 0; mu < kNDim; ++mu) l[mu] = global[mu] / grid[mu];
+    return l;
+  }
+
+  long local_volume() const {
+    const Coord l = local_dims();
+    return static_cast<long>(l[0]) * l[1] * l[2] * l[3];
+  }
+
+  /// Surface sites of the local volume orthogonal to mu.
+  long local_surface(int mu) const {
+    return local_volume() / local_dims()[mu];
+  }
+
+  bool split(int mu) const { return grid[mu] > 1; }
+
+  /// Greedy partition of `global` over `nodes` (split the largest extents
+  /// first, keeping local dims integral) — how production jobs are laid out.
+  /// `constraint` (defaults to `global`) must also remain divisible by the
+  /// node grid: passing the coarsest-level dimensions keeps every MG level
+  /// partitionable, reproducing the paper's "2^4 sites per node" floor.
+  static JobPartition make(const Coord& global, int nodes,
+                           const Coord& constraint = {0, 0, 0, 0});
+
+  /// The lattice partition at a coarser level (same node grid).
+  JobPartition coarsened(const Coord& coarse_global) const {
+    JobPartition p;
+    p.global = coarse_global;
+    p.grid = grid;
+    return p;
+  }
+};
+
+}  // namespace qmg

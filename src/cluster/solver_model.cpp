@@ -1,0 +1,99 @@
+#include "cluster/solver_model.h"
+
+#include <algorithm>
+
+namespace qmg {
+
+namespace {
+
+/// Roofline-bound GFLOPS (no occupancy penalties) — the denominator of the
+/// utilization estimate.
+double roofline(const DeviceSpec& dev, const KernelWork& work) {
+  const double ai = work.bytes > 0 ? work.flops / work.bytes : 1e9;
+  return std::min(dev.peak_fp32_gflops,
+                  dev.achievable_bw() * dev.stencil_bw_efficiency * ai);
+}
+
+}  // namespace
+
+double BicgstabTrace::solve_seconds(const ClusterModel& model,
+                                    const JobPartition& fine) const {
+  const double matvec = model.wilson_seconds(fine, precision);
+  const double red = model.reduction_seconds(fine, dof_complex(), precision);
+  const double blas = model.blas_seconds(fine, dof_complex(), precision);
+  return iterations * (matvecs_per_iter * matvec +
+                       reductions_per_iter * red + blas_per_iter * blas);
+}
+
+double BicgstabTrace::utilization(const ClusterModel& model,
+                                  const JobPartition& fine) const {
+  const auto work = wilson_work(fine.local_volume(), precision, 8);
+  const double kernel_eff = estimate_gflops(model.node().device, work) /
+                            roofline(model.node().device, work);
+  // Time fraction the device actually computes (vs reductions/halo idle).
+  const double compute =
+      matvecs_per_iter * model.wilson_compute_seconds(fine, precision) +
+      blas_per_iter * model.blas_seconds(fine, dof_complex(), precision);
+  const double total =
+      matvecs_per_iter * model.wilson_seconds(fine, precision) +
+      reductions_per_iter *
+          model.reduction_seconds(fine, dof_complex(), precision) +
+      blas_per_iter * model.blas_seconds(fine, dof_complex(), precision);
+  return kernel_eff * (total > 0 ? compute / total : 1.0);
+}
+
+MgBreakdown MgTrace::solve_breakdown(const ClusterModel& model,
+                                     const JobPartition& fine) const {
+  MgBreakdown out;
+  out.level_seconds.assign(levels.size(), 0.0);
+  double util_weighted = 0;
+
+  for (size_t l = 0; l < levels.size(); ++l) {
+    const MgLevelTrace& lvl = levels[l];
+    const JobPartition part = fine.coarsened(lvl.global_dims);
+
+    double matvec, matvec_compute, eff;
+    if (lvl.fine) {
+      matvec = model.wilson_seconds(part, precision);
+      matvec_compute = model.wilson_compute_seconds(part, precision);
+      const auto work = wilson_work(part.local_volume(), precision);
+      eff = estimate_gflops(model.node().device, work) /
+            roofline(model.node().device, work);
+    } else {
+      matvec = model.coarse_seconds(part, lvl.block_dim, precision);
+      matvec_compute =
+          model.coarse_compute_seconds(part, lvl.block_dim, precision);
+      CoarseKernelConfig best;
+      const double achieved =
+          best_coarse_gflops(model.node().device, part.local_volume(),
+                             lvl.block_dim, Strategy::DotProduct, &best);
+      eff = achieved /
+            roofline(model.node().device,
+                     coarse_op_work(part.local_volume(), lvl.block_dim, best));
+    }
+
+    const double red = model.reduction_seconds(part, lvl.dof, precision);
+    const double blas = model.blas_seconds(part, lvl.dof, precision);
+    double level_time = outer_iterations *
+                        (lvl.matvecs_per_outer * matvec +
+                         lvl.reductions_per_outer * red +
+                         lvl.blas_per_outer * blas);
+    // Compute-active fraction of the level (allreduce and unoverlapped halo
+    // leave the device idle — what makes MG draw less power, section 7.2).
+    const double level_compute =
+        outer_iterations * (lvl.matvecs_per_outer * matvec_compute +
+                            lvl.blas_per_outer * blas);
+    if (lvl.nvec_next > 0) {
+      level_time += outer_iterations * lvl.transfers_per_outer * 2.0 *
+                    model.transfer_seconds(part, lvl.dof, lvl.nvec_next,
+                                           precision);
+    }
+    out.level_seconds[l] = level_time;
+    out.total += level_time;
+    util_weighted += level_compute * eff;
+  }
+  out.utilization = out.total > 0 ? util_weighted / out.total : 0;
+  return out;
+}
+
+}  // namespace qmg

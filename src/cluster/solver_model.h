@@ -1,0 +1,67 @@
+#pragma once
+// Solver execution traces on the simulated cluster.
+//
+// The numerical behaviour (iteration counts, per-outer-iteration workload
+// at every level) is MEASURED by running the real solvers on scaled-down
+// proxy lattices; these traces then map that workload onto the Titan model
+// at the paper's lattice sizes and node counts, producing the wallclock
+// and per-level breakdowns of Table 3 and Figs. 3-4.
+
+#include <vector>
+
+#include "cluster/model.h"
+
+namespace qmg {
+
+/// Mixed-precision BiCGStab (the baseline of Table 3): red-black
+/// preconditioned, half-precision inner storage with reconstruct-8.
+struct BicgstabTrace {
+  double iterations = 0;       // measured on the proxy lattice
+  double matvecs_per_iter = 2.0;    // Schur applies per BiCGStab iteration
+  double reductions_per_iter = 4.0;
+  double blas_per_iter = 8.0;
+  SimPrecision precision = SimPrecision::Half;
+
+  /// Complex components per fine site (Wilson spinor).
+  static int dof_complex() { return 12; }
+
+  double solve_seconds(const ClusterModel& model,
+                       const JobPartition& fine) const;
+  /// Time-weighted device utilization (for the power model).
+  double utilization(const ClusterModel& model,
+                     const JobPartition& fine) const;
+};
+
+/// Workload of one MG level per outer (fine-grid GCR) iteration.
+struct MgLevelTrace {
+  Coord global_dims{};
+  bool fine = true;   // Wilson-Clover kernel vs coarse-operator kernel
+  int dof = 12;       // complex components per site
+  int block_dim = 0;  // 2*nvec for coarse levels
+  double matvecs_per_outer = 0;     // measured: operator applies
+  double reductions_per_outer = 0;  // estimated from Krylov structure
+  double blas_per_outer = 0;
+  double transfers_per_outer = 0;  // restrict+prolongate pairs to next level
+  int nvec_next = 0;               // transfer width to the next level
+};
+
+struct MgBreakdown {
+  std::vector<double> level_seconds;  // exclusive time per level, per solve
+  double total = 0;
+  double utilization = 0;  // time-weighted device utilization
+};
+
+struct MgTrace {
+  std::vector<MgLevelTrace> levels;
+  double outer_iterations = 0;  // measured on the proxy lattice
+  SimPrecision precision = SimPrecision::Single;
+
+  MgBreakdown solve_breakdown(const ClusterModel& model,
+                              const JobPartition& fine) const;
+  double solve_seconds(const ClusterModel& model,
+                       const JobPartition& fine) const {
+    return solve_breakdown(model, fine).total;
+  }
+};
+
+}  // namespace qmg

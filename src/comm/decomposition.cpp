@@ -1,0 +1,133 @@
+#include "comm/decomposition.h"
+
+#include <stdexcept>
+
+namespace qmg {
+
+RankGrid::RankGrid(const Coord& dims) : dims_(dims) {
+  nranks_ = 1;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    if (dims_[mu] < 1) throw std::invalid_argument("rank grid extent < 1");
+    nranks_ *= dims_[mu];
+  }
+}
+
+RankGrid RankGrid::factor(const Coord& global_dims, int nranks) {
+  if (nranks < 1 || (nranks & (nranks - 1)) != 0)
+    throw std::invalid_argument("rank count must be a power of two");
+  Coord grid{1, 1, 1, 1};
+  Coord local = global_dims;
+  while (nranks > 1) {
+    // Halve the dimension with the largest remaining local extent that is
+    // still evenly divisible; prefer t on ties (LQCD lattices are usually
+    // longest in time).
+    int best = -1;
+    for (int mu = 0; mu < kNDim; ++mu) {
+      if (local[mu] % 2 != 0) continue;
+      if (best < 0 || local[mu] >= local[best]) best = mu;
+    }
+    if (best < 0)
+      throw std::invalid_argument("lattice not divisible over rank count");
+    local[best] /= 2;
+    grid[best] *= 2;
+    nranks /= 2;
+  }
+  return RankGrid(grid);
+}
+
+Coord RankGrid::coords(int rank) const {
+  Coord rc;
+  int tmp1 = rank / dims_[0];
+  int tmp2 = tmp1 / dims_[1];
+  rc[0] = rank - tmp1 * dims_[0];
+  rc[1] = tmp1 - tmp2 * dims_[1];
+  rc[3] = tmp2 / dims_[2];
+  rc[2] = tmp2 - rc[3] * dims_[2];
+  return rc;
+}
+
+int RankGrid::rank_of(const Coord& rc) const {
+  return ((rc[3] * dims_[2] + rc[2]) * dims_[1] + rc[1]) * dims_[0] + rc[0];
+}
+
+int RankGrid::neighbor(int rank, int mu, int dir) const {
+  Coord rc = coords(rank);
+  const int step = dir == 0 ? 1 : dims_[mu] - 1;  // periodic
+  rc[mu] = (rc[mu] + step) % dims_[mu];
+  return rank_of(rc);
+}
+
+namespace {
+
+/// Lexicographic ordinal of a face site (coordinate mu dropped).
+long face_ordinal(const Coord& x, const Coord& dims, int mu) {
+  long ord = 0;
+  for (int nu = kNDim - 1; nu >= 0; --nu) {
+    if (nu == mu) continue;
+    ord = ord * dims[nu] + x[nu];
+  }
+  return ord;
+}
+
+}  // namespace
+
+DomainDecomposition::DomainDecomposition(GeometryPtr global, RankGrid grid)
+    : global_(std::move(global)), grid_(grid) {
+  Coord local_dims;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    if (global_->dim(mu) % grid_.dims()[mu] != 0)
+      throw std::invalid_argument("rank grid does not divide lattice");
+    local_dims[mu] = global_->dim(mu) / grid_.dims()[mu];
+    if (local_dims[mu] < 2)
+      throw std::invalid_argument(
+          "local extent < 2: a face would alias its opposite");
+  }
+  local_ = make_geometry(local_dims);
+
+  long offset = 0;
+  for (int mu = 0; mu < kNDim; ++mu)
+    for (int dir = 0; dir < 2; ++dir) {
+      ghost_offset_[mu][dir] = offset;
+      offset += face_sites(mu);
+    }
+  total_ghost_ = offset;
+
+  // Neighbor tables with ghost references, and send-face site lists.
+  const long v = local_->volume();
+  for (int mu = 0; mu < kNDim; ++mu) {
+    fwd_[mu].resize(v);
+    bwd_[mu].resize(v);
+    send_sites_[mu][0].resize(face_sites(mu));
+    send_sites_[mu][1].resize(face_sites(mu));
+  }
+  for (long idx = 0; idx < v; ++idx) {
+    const Coord x = local_->coords(idx);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      if (x[mu] + 1 < local_dims[mu]) {
+        fwd_[mu][idx] = local_->neighbor_fwd(idx, mu);
+      } else {
+        fwd_[mu][idx] =
+            v + ghost_offset_[mu][0] + face_ordinal(x, local_dims, mu);
+      }
+      if (x[mu] > 0) {
+        bwd_[mu][idx] = local_->neighbor_bwd(idx, mu);
+      } else {
+        bwd_[mu][idx] =
+            v + ghost_offset_[mu][1] + face_ordinal(x, local_dims, mu);
+      }
+      if (x[mu] == 0)
+        send_sites_[mu][0][face_ordinal(x, local_dims, mu)] = idx;
+      if (x[mu] == local_dims[mu] - 1)
+        send_sites_[mu][1][face_ordinal(x, local_dims, mu)] = idx;
+    }
+  }
+}
+
+long DomainDecomposition::global_index(int rank, long local_idx) const {
+  const Coord rc = grid_.coords(rank);
+  Coord x = local_->coords(local_idx);
+  for (int mu = 0; mu < kNDim; ++mu) x[mu] += rc[mu] * local_->dim(mu);
+  return global_->index(x);
+}
+
+}  // namespace qmg

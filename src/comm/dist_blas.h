@@ -1,0 +1,48 @@
+#pragma once
+// Global reductions over distributed fields: each virtual rank reduces its
+// local field, then the partials are combined — the structure of an
+// MPI_Allreduce, whose log(N) latency is what dominates the coarsest-grid
+// solve at scale (paper section 7.2, Fig. 4 discussion).  Each call is
+// metered as one allreduce in CommStats.
+//
+// Note the rank-partial summation order differs from a single-process
+// reduction over the global field, so results agree only to floating-point
+// reassociation tolerance — the same property a real MPI job has.
+
+#include "comm/dist_spinor.h"
+#include "fields/blas.h"
+
+namespace qmg {
+namespace dist {
+
+template <typename T>
+double norm2(const DistributedSpinor<T>& a, CommStats* stats = nullptr) {
+  double total = 0;
+  for (int r = 0; r < a.nranks(); ++r) total += blas::norm2(a.local(r));
+  if (stats) ++stats->allreduces;
+  return total;
+}
+
+template <typename T>
+complexd cdot(const DistributedSpinor<T>& a, const DistributedSpinor<T>& b,
+              CommStats* stats = nullptr) {
+  complexd total{};
+  for (int r = 0; r < a.nranks(); ++r)
+    total += blas::cdot(a.local(r), b.local(r));
+  if (stats) ++stats->allreduces;
+  return total;
+}
+
+template <typename T>
+void axpy(T alpha, const DistributedSpinor<T>& x, DistributedSpinor<T>& y) {
+  for (int r = 0; r < x.nranks(); ++r)
+    blas::axpy(alpha, x.local(r), y.local(r));
+}
+
+template <typename T>
+void zero(DistributedSpinor<T>& x) {
+  for (int r = 0; r < x.nranks(); ++r) blas::zero(x.local(r));
+}
+
+}  // namespace dist
+}  // namespace qmg

@@ -1,0 +1,68 @@
+#include "comm/dist_coarse.h"
+
+#include <cstring>
+
+#include "mg/coarse_row.h"
+
+namespace qmg {
+
+template <typename T>
+DistributedCoarseOp<T>::DistributedCoarseOp(const CoarseDirac<T>& global,
+                                            DecompositionPtr dec)
+    : dec_(std::move(dec)), nc_(global.ncolor()), n_(global.block_dim()) {
+  const int nranks = dec_->nranks();
+  const long v = dec_->local_volume();
+  const size_t block = static_cast<size_t>(n_) * n_;
+
+  links_.assign(nranks, std::vector<Complex<T>>(
+                            static_cast<size_t>(v) *
+                            CoarseDirac<T>::kNLinks * block));
+  diag_.assign(nranks,
+               std::vector<Complex<T>>(static_cast<size_t>(v) * block));
+  for (int r = 0; r < nranks; ++r) {
+    for (long i = 0; i < v; ++i) {
+      const long gi = dec_->global_index(r, i);
+      for (int l = 0; l < CoarseDirac<T>::kNLinks; ++l)
+        std::memcpy(links_[r].data() +
+                        (static_cast<size_t>(i) * CoarseDirac<T>::kNLinks +
+                         l) * block,
+                    global.link_data(gi, l), sizeof(Complex<T>) * block);
+      std::memcpy(diag_[r].data() + static_cast<size_t>(i) * block,
+                  global.diag_data(gi), sizeof(Complex<T>) * block);
+    }
+  }
+}
+
+template <typename T>
+void DistributedCoarseOp<T>::apply(DistributedSpinor<T>& out,
+                                   DistributedSpinor<T>& in,
+                                   const CoarseKernelConfig& config,
+                                   CommStats* stats) const {
+  in.exchange_halos(stats);
+  const long v = dec_->local_volume();
+
+  for (int r = 0; r < dec_->nranks(); ++r) {
+    ColorSpinorField<T>& dst_field = out.local(r);
+#pragma omp parallel for
+    for (long site = 0; site < v; ++site) {
+      const Complex<T>* mats[9];
+      const Complex<T>* xin[9];
+      mats[0] = diag_data(r, site);
+      xin[0] = in.local(r).site_data(site);
+      for (int mu = 0; mu < kNDim; ++mu) {
+        mats[1 + 2 * mu] = link_data(r, site, 2 * mu);
+        xin[1 + 2 * mu] = in.site_or_ghost(r, dec_->neighbor_fwd(site, mu));
+        mats[2 + 2 * mu] = link_data(r, site, 2 * mu + 1);
+        xin[2 + 2 * mu] = in.site_or_ghost(r, dec_->neighbor_bwd(site, mu));
+      }
+      Complex<T>* dst = dst_field.site_data(site);
+      for (int row = 0; row < n_; ++row)
+        dst[row] = coarse_row(mats, xin, row, n_, config);
+    }
+  }
+}
+
+template class DistributedCoarseOp<double>;
+template class DistributedCoarseOp<float>;
+
+}  // namespace qmg

@@ -1,0 +1,63 @@
+#pragma once
+// Domain-decomposed coarse-grid operator.  This is the communication side of
+// paper section 6.5: the coarse stencil's halo exchange is O(Nhat_s Nhat_c)
+// per face site while its compute is O(Nhat_s^2 Nhat_c^2), so communication
+// is relatively cheap — but on the coarsest grids (2^4 sites per rank) it is
+// latency, not bandwidth, that dominates, which is what the cluster model
+// charges for.
+//
+// The coarse links Y and diagonal X are indexed by the *output* site
+// (Eq. 3's backward link already stores Y^{+mu dagger}_{x-mu} at x), so only
+// the spinor field needs ghosts; the link blocks are split over ranks once
+// at construction.
+//
+// The per-row arithmetic is mg/coarse_row.h — identical to the
+// single-process operator for the same kernel configuration, so distributed
+// applies are bit-identical to global ones (asserted by tests).
+
+#include <memory>
+#include <vector>
+
+#include "comm/dist_spinor.h"
+#include "mg/coarse_op.h"
+
+namespace qmg {
+
+template <typename T>
+class DistributedCoarseOp {
+ public:
+  /// Splits a (globally built) coarse operator over the ranks.
+  DistributedCoarseOp(const CoarseDirac<T>& global, DecompositionPtr dec);
+
+  const DecompositionPtr& decomposition() const { return dec_; }
+  int ncolor() const { return nc_; }
+  int block_dim() const { return n_; }
+
+  DistributedSpinor<T> create_vector() const {
+    return DistributedSpinor<T>(dec_, CoarseDirac<T>::kNSpin, nc_);
+  }
+
+  /// out = Mhat in with the given fine-grained kernel configuration.
+  void apply(DistributedSpinor<T>& out, DistributedSpinor<T>& in,
+             const CoarseKernelConfig& config = {},
+             CommStats* stats = nullptr) const;
+
+ private:
+  DecompositionPtr dec_;
+  int nc_;
+  int n_;
+  // Per rank: 8 link blocks + diagonal per local site (same layout as
+  // CoarseDirac, local indexing).
+  std::vector<std::vector<Complex<T>>> links_;
+  std::vector<std::vector<Complex<T>>> diag_;
+
+  const Complex<T>* link_data(int rank, long site, int l) const {
+    return links_[rank].data() +
+           (static_cast<size_t>(site) * CoarseDirac<T>::kNLinks + l) * n_ * n_;
+  }
+  const Complex<T>* diag_data(int rank, long site) const {
+    return diag_[rank].data() + static_cast<size_t>(site) * n_ * n_;
+  }
+};
+
+}  // namespace qmg

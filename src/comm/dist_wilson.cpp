@@ -1,0 +1,149 @@
+#include "comm/dist_wilson.h"
+
+#include "dirac/gamma.h"
+#include "dirac/hop.h"
+
+namespace qmg {
+
+template <typename T>
+DistributedWilsonOp<T>::DistributedWilsonOp(const GaugeField<T>& gauge,
+                                            WilsonParams<T> params,
+                                            const CloverField<T>* clover,
+                                            DecompositionPtr dec)
+    : dec_(std::move(dec)), params_(params), has_clover_(clover != nullptr) {
+  const int nranks = dec_->nranks();
+  const long v = dec_->local_volume();
+
+  local_gauge_.reserve(nranks);
+  if (has_clover_) local_clover_.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    GaugeField<T> g(dec_->local());
+    g.set_anisotropy(gauge.anisotropy());
+    for (long i = 0; i < v; ++i) {
+      const long gi = dec_->global_index(r, i);
+      for (int mu = 0; mu < kNDim; ++mu) g.link(mu, i) = gauge.link(mu, gi);
+    }
+    local_gauge_.push_back(std::move(g));
+    if (has_clover_) {
+      CloverField<T> c(dec_->local());
+      for (long i = 0; i < v; ++i) {
+        const long gi = dec_->global_index(r, i);
+        c.block(i, 0) = clover->block(gi, 0);
+        c.block(i, 1) = clover->block(gi, 1);
+      }
+      local_clover_.push_back(std::move(c));
+    }
+  }
+
+  // Link halos for the backward hop: rank r's bwd ghost face (mu, 1) holds
+  // the backward neighbor's x_mu == L-1 face, and the hop needs that
+  // neighbor's U_mu there.  Links are static, so exchange once, directly
+  // from the already-split local fields.
+  ghost_links_.resize(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const int bwd = dec_->grid().neighbor(r, mu, 1);
+      const auto& sites = dec_->send_sites(mu, 1);  // x_mu == L-1 face
+      auto& ghost = ghost_links_[r][mu];
+      ghost.reserve(sites.size());
+      for (const long s : sites)
+        ghost.push_back(local_gauge_[bwd].link(mu, s));
+    }
+  }
+}
+
+template <typename T>
+void DistributedWilsonOp<T>::apply(DistributedSpinor<T>& out,
+                                   DistributedSpinor<T>& in,
+                                   CommStats* stats) const {
+  in.exchange_halos(stats);
+  const auto& algebra = GammaAlgebra::instance();
+  const long v = dec_->local_volume();
+  const T shift = T(4) + params_.mass;
+
+  for (int r = 0; r < dec_->nranks(); ++r) {
+    const GaugeField<T>& gauge = local_gauge_[r];
+    ColorSpinorField<T>& dst_field = out.local(r);
+#pragma omp parallel for
+    for (long i = 0; i < v; ++i) {
+      Complex<T> accum[12] = {};
+      for (int mu = 0; mu < kNDim; ++mu) {
+        const T coef = (mu == 3 ? params_.anisotropy : T(1)) * T(0.5);
+        const long xf = dec_->neighbor_fwd(i, mu);
+        accumulate_hop(accum, gauge.link(mu, i), in.site_or_ghost(r, xf),
+                       algebra.half_spin(mu, 0), coef);
+        const long xb = dec_->neighbor_bwd(i, mu);
+        accumulate_hop(accum, adjoint(bwd_link(r, mu, xb)),
+                       in.site_or_ghost(r, xb), algebra.half_spin(mu, 1),
+                       coef);
+      }
+      // out = diag*in - hop*in, in the single-domain operator's exact order.
+      const Complex<T>* src = in.local(r).site_data(i);
+      Complex<T>* dst = dst_field.site_data(i);
+      Complex<T> diag[12];
+      for (int k = 0; k < 12; ++k) diag[k] = shift * src[k];
+      if (has_clover_) {
+        const auto& a0 = local_clover_[r].block(i, 0);
+        const auto& a1 = local_clover_[r].block(i, 1);
+        for (int row = 0; row < 6; ++row) {
+          Complex<T> acc0{}, acc1{};
+          for (int col = 0; col < 6; ++col) {
+            acc0 += a0(row, col) * src[col];
+            acc1 += a1(row, col) * src[6 + col];
+          }
+          diag[row] += acc0;
+          diag[6 + row] += acc1;
+        }
+      }
+      for (int k = 0; k < 12; ++k) dst[k] = diag[k] - accum[k];
+    }
+  }
+}
+
+template <typename T>
+void DistributedWilsonOp<T>::apply_rank_local(
+    int rank, ColorSpinorField<T>& out, const ColorSpinorField<T>& in) const {
+  const auto& algebra = GammaAlgebra::instance();
+  const long v = dec_->local_volume();
+  const T shift = T(4) + params_.mass;
+  const GaugeField<T>& gauge = local_gauge_[rank];
+
+#pragma omp parallel for
+  for (long i = 0; i < v; ++i) {
+    Complex<T> accum[12] = {};
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const T coef = (mu == 3 ? params_.anisotropy : T(1)) * T(0.5);
+      const long xf = dec_->neighbor_fwd(i, mu);
+      if (!dec_->is_ghost(xf))
+        accumulate_hop(accum, gauge.link(mu, i), in.site_data(xf),
+                       algebra.half_spin(mu, 0), coef);
+      const long xb = dec_->neighbor_bwd(i, mu);
+      if (!dec_->is_ghost(xb))
+        accumulate_hop(accum, adjoint(gauge.link(mu, xb)), in.site_data(xb),
+                       algebra.half_spin(mu, 1), coef);
+    }
+    const Complex<T>* src = in.site_data(i);
+    Complex<T>* dst = out.site_data(i);
+    Complex<T> diag[12];
+    for (int k = 0; k < 12; ++k) diag[k] = shift * src[k];
+    if (has_clover_) {
+      const auto& a0 = local_clover_[rank].block(i, 0);
+      const auto& a1 = local_clover_[rank].block(i, 1);
+      for (int row = 0; row < 6; ++row) {
+        Complex<T> acc0{}, acc1{};
+        for (int col = 0; col < 6; ++col) {
+          acc0 += a0(row, col) * src[col];
+          acc1 += a1(row, col) * src[6 + col];
+        }
+        diag[row] += acc0;
+        diag[6 + row] += acc1;
+      }
+    }
+    for (int k = 0; k < 12; ++k) dst[k] = diag[k] - accum[k];
+  }
+}
+
+template class DistributedWilsonOp<double>;
+template class DistributedWilsonOp<float>;
+
+}  // namespace qmg

@@ -1,0 +1,69 @@
+#pragma once
+// Domain-decomposed Wilson-Clover operator: the single-process operator of
+// dirac/wilson.h applied per virtual rank, with neighbor data crossing
+// subdomain boundaries through the halo-exchange path of dist_spinor.h.
+//
+// The per-site arithmetic (dirac/hop.h) and its accumulation order are
+// exactly those of the single-domain operator, so a distributed apply is
+// bit-identical to the global one — the property the correctness tests
+// assert, and the reason QUDA can validate its multi-GPU dslash against the
+// single-GPU one.
+//
+// Gauge-link halos: the backward hop at a subdomain's lower face needs
+// U_mu(x - mu), which lives on the backward neighbor rank.  Links are static
+// over a solve, so their halos are exchanged once at construction (QUDA does
+// the same when the gauge field is loaded).
+
+#include <memory>
+#include <vector>
+
+#include "comm/dist_spinor.h"
+#include "dirac/clover.h"
+#include "dirac/wilson.h"
+
+namespace qmg {
+
+template <typename T>
+class DistributedWilsonOp {
+ public:
+  /// Splits the global gauge (and optional clover) field over the ranks.
+  DistributedWilsonOp(const GaugeField<T>& gauge, WilsonParams<T> params,
+                      const CloverField<T>* clover, DecompositionPtr dec);
+
+  const DecompositionPtr& decomposition() const { return dec_; }
+  const WilsonParams<T>& params() const { return params_; }
+
+  DistributedSpinor<T> create_vector() const {
+    return DistributedSpinor<T>(dec_, 4, 3);
+  }
+
+  /// out = M in.  Exchanges `in`'s halos (metered in `stats`), then applies
+  /// the Wilson-Clover matrix on every rank.
+  void apply(DistributedSpinor<T>& out, DistributedSpinor<T>& in,
+             CommStats* stats = nullptr) const;
+
+  /// One rank's subdomain operator with Dirichlet (zero) boundaries:
+  /// boundary-crossing hops are dropped.  This is the block operator of the
+  /// additive Schwarz preconditioner (comm/schwarz.h); it performs no
+  /// communication by construction.
+  void apply_rank_local(int rank, ColorSpinorField<T>& out,
+                        const ColorSpinorField<T>& in) const;
+
+ private:
+  DecompositionPtr dec_;
+  WilsonParams<T> params_;
+  std::vector<GaugeField<T>> local_gauge_;        // per rank
+  std::vector<CloverField<T>> local_clover_;      // per rank (may be empty)
+  bool has_clover_ = false;
+  // Ghost links for backward hops: per rank, per mu, the backward
+  // neighbor's U_mu on its x_mu == L-1 face (face enumeration order).
+  std::vector<std::array<std::vector<Su3<T>>, kNDim>> ghost_links_;
+
+  const Su3<T>& bwd_link(int rank, int mu, long nbr_idx) const {
+    const long v = dec_->local_volume();
+    if (nbr_idx < v) return local_gauge_[rank].link(mu, nbr_idx);
+    return ghost_links_[rank][mu][nbr_idx - v - dec_->ghost_offset(mu, 1)];
+  }
+};
+
+}  // namespace qmg

@@ -1,0 +1,101 @@
+#include "core/context.h"
+
+#include "fields/blas.h"
+#include "solvers/gcr.h"
+
+namespace qmg {
+
+QmgContext::QmgContext(const ContextOptions& options)
+    : options_(options),
+      geom_(make_geometry(options.dims)),
+      gauge_d_(disordered_gauge<double>(geom_, options.roughness,
+                                        options.seed)),
+      gauge_f_(GaugeField<float>(geom_)),
+      clover_d_(build_clover_with_inverse(gauge_d_, options.csw,
+                                          options.mass)),
+      clover_f_(CloverField<float>(geom_)) {
+  gauge_d_.set_anisotropy(options.anisotropy);
+  gauge_f_ = convert_gauge<float>(gauge_d_);
+  clover_f_ = convert_clover<float>(clover_d_);
+  const WilsonParams<double> params_d{options.mass, options.csw,
+                                      options.anisotropy};
+  const WilsonParams<float> params_f{static_cast<float>(options.mass),
+                                     static_cast<float>(options.csw),
+                                     static_cast<float>(options.anisotropy)};
+  op_d_ = std::make_unique<WilsonCloverOp<double>>(gauge_d_, params_d,
+                                                   &clover_d_);
+  op_f_ = std::make_unique<WilsonCloverOp<float>>(
+      gauge_f_, params_f, &clover_f_, options.reconstruct);
+  schur_d_ = std::make_unique<SchurWilsonOp<double>>(*op_d_);
+  schur_f_ = std::make_unique<SchurWilsonOp<float>>(*op_f_);
+}
+
+void QmgContext::setup_multigrid(const MgConfig& config) {
+  // The hierarchy lives in single precision (paper section 7.1: "with the
+  // exception of double precision on the outermost GCR solver, all other
+  // computation was in single precision").
+  mg_ = std::make_unique<Multigrid<float>>(*op_f_, config);
+}
+
+SolverResult QmgContext::solve_mg(ColorSpinorField<double>& x,
+                                  const ColorSpinorField<double>& b,
+                                  double tol, int max_iter, bool eo) {
+  if (!mg_) throw std::runtime_error("setup_multigrid() not called");
+  SolverParams params;
+  params.tol = tol;
+  params.max_iter = max_iter;
+  params.restart = 10;  // Krylov subspace size of the paper's outer GCR
+  blas::zero(x);
+  if (eo) {
+    auto b_hat = schur_d_->create_vector();
+    schur_d_->prepare(b_hat, b);
+    auto x_e = schur_d_->create_vector();
+    SchurMixedMgPreconditioner precond(*mg_);
+    const auto res =
+        GcrSolver<double>(*schur_d_, params, &precond).solve(x_e, b_hat);
+    schur_d_->reconstruct(x, x_e, b);
+    return res;
+  }
+  MixedPrecisionMgPreconditioner precond(*mg_);
+  return GcrSolver<double>(*op_d_, params, &precond).solve(x, b);
+}
+
+SolverResult QmgContext::solve_bicgstab(ColorSpinorField<double>& x,
+                                        const ColorSpinorField<double>& b,
+                                        double tol, int max_iter,
+                                        InnerPrecision inner, bool eo) {
+  SolverParams params;
+  params.tol = tol;
+  params.max_iter = max_iter;
+  params.reliable_delta = 1e-2;
+  blas::zero(x);
+  if (eo) {
+    auto b_hat = schur_d_->create_vector();
+    schur_d_->prepare(b_hat, b);
+    auto x_e = schur_d_->create_vector();
+    blas::zero(x_e);
+    MixedPrecisionBiCgStab solver(*schur_d_, *schur_f_, params, inner);
+    const auto res = solver.solve(x_e, b_hat);
+    schur_d_->reconstruct(x, x_e, b);
+    return res;
+  }
+  MixedPrecisionBiCgStab solver(*op_d_, *op_f_, params, inner);
+  return solver.solve(x, b);
+}
+
+double QmgContext::solver_error(const ColorSpinorField<double>& x,
+                                const ColorSpinorField<double>& b) {
+  // "Exact" reference via a much tighter solve (double-solve strategy).
+  auto x_ref = create_vector();
+  SolverParams params;
+  params.tol = 1e-12;
+  params.max_iter = 200000;
+  params.reliable_delta = 1e-2;
+  BiCgStabSolver<double> solver(*op_d_, params);
+  solver.solve(x_ref, b);
+  auto diff = x_ref;
+  blas::axpy(-1.0, x, diff);
+  return std::sqrt(blas::norm2(diff) / blas::norm2(x_ref));
+}
+
+}  // namespace qmg

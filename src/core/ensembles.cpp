@@ -1,0 +1,91 @@
+#include "core/ensembles.h"
+
+namespace qmg {
+
+Coord EnsembleSpec::block1_for_nodes(int nodes) const {
+  if (label == "Aniso40") {
+    // Table 2: 5^2 x 2 x 8 on 20 nodes, 5^3 x 8 on 32 nodes.
+    return nodes <= 20 ? Coord{5, 5, 2, 8} : Coord{5, 5, 5, 8};
+  }
+  return Coord{4, 4, 4, 4};  // Iso48 and Iso64 use 4^4 (Table 2)
+}
+
+EnsembleSpec EnsembleSpec::aniso40() {
+  EnsembleSpec e;
+  e.label = "Aniso40";
+  e.ls = 40;
+  e.lt = 256;
+  e.a_s = 0.125;
+  e.a_t = 0.035;
+  e.mq = -0.0860;
+  e.mpi_mev = 230;
+  e.anisotropy = 3.5;  // a_s/a_t
+  e.target_residuum = 5e-6;
+  e.node_counts = {20, 32};
+  e.block2 = {2, 2, 2, 4};
+  // Proxy: anisotropic temporal extent, blockings shaped like Table 2's
+  // scaled to the proxy volume.  The proxy runs with xi = 1.5, which shifts
+  // the critical mass positive (free-field m_c = xi - 1); +0.30 was
+  // calibrated to sit near criticality with both solvers convergent.
+  e.proxy_dims = {8, 8, 8, 32};
+  e.proxy_block1 = {4, 4, 4, 8};
+  e.proxy_block2 = {2, 2, 2, 2};
+  e.proxy_roughness = 0.55;
+  e.proxy_mass = 0.30;
+  return e;
+}
+
+EnsembleSpec EnsembleSpec::iso48() {
+  EnsembleSpec e;
+  e.label = "Iso48";
+  e.ls = 48;
+  e.lt = 96;
+  e.a_s = 0.075;
+  e.a_t = 0.075;
+  e.mq = -0.2416;
+  e.mpi_mev = 192;
+  e.target_residuum = 1e-7;
+  e.node_counts = {24, 48};
+  e.block2 = {3, 3, 3, 2};
+  // Proxy critical mass for this roughness sits near -0.205; -0.20 is the
+  // deepest point where both solvers remain convergent.
+  e.proxy_dims = {8, 8, 8, 16};
+  e.proxy_block1 = {4, 4, 4, 4};
+  e.proxy_block2 = {2, 2, 2, 2};
+  e.proxy_roughness = 0.58;
+  e.proxy_mass = -0.20;
+  return e;
+}
+
+EnsembleSpec EnsembleSpec::iso64() {
+  EnsembleSpec e;
+  e.label = "Iso64";
+  e.ls = 64;
+  e.lt = 128;
+  e.a_s = 0.075;
+  e.a_t = 0.075;
+  e.mq = -0.2416;
+  e.mpi_mev = 192;
+  e.target_residuum = 1e-7;
+  e.node_counts = {64, 128, 256, 512};
+  e.block2 = {2, 2, 2, 2};
+  // Larger proxy volume than Iso48 (mirroring the 64^3x128 vs 48^3x96
+  // volume ratio); temporal blocking 3 on the second level keeps the
+  // coarsest grid's volume even for red-black.
+  e.proxy_dims = {8, 8, 8, 24};
+  e.proxy_block1 = {4, 4, 4, 4};
+  e.proxy_block2 = {2, 2, 2, 3};
+  e.proxy_roughness = 0.58;
+  e.proxy_mass = -0.20;
+  return e;
+}
+
+std::vector<EnsembleSpec> EnsembleSpec::table1() {
+  return {aniso40(), iso48(), iso64()};
+}
+
+std::vector<MgStrategy> table3_strategies() {
+  return {{24, 24}, {24, 32}, {32, 32}};
+}
+
+}  // namespace qmg

@@ -1,0 +1,60 @@
+#pragma once
+// The gauge-ensemble and run-parameter presets of the paper's evaluation
+// (Tables 1 and 2), plus the scaled-down PROXY configurations used for the
+// real numerical runs on this machine (see DESIGN.md, substitutions).
+
+#include <string>
+#include <vector>
+
+#include "lattice/geometry.h"
+
+namespace qmg {
+
+struct EnsembleSpec {
+  std::string label;
+  // Table 1 parameters.
+  int ls = 0, lt = 0;
+  double a_s = 0, a_t = 0;  // lattice spacings (fm)
+  double mq = 0;            // bare sea quark mass
+  double mpi_mev = 0;       // pion mass (MeV)
+  double anisotropy = 1.0;  // xi = a_s/a_t
+  // Table 2 parameters.
+  double target_residuum = 1e-7;
+  std::vector<int> node_counts;
+  Coord block2{2, 2, 2, 2};  // level-2 blocking
+
+  // Proxy configuration for real numerics at laptop scale: a small lattice
+  // with synthetic disorder whose solver behaviour (MG iteration plateau,
+  // BiCGStab critical slowing down) mirrors the production ensemble.
+  Coord proxy_dims{8, 8, 8, 16};
+  Coord proxy_block1{4, 4, 4, 4};
+  Coord proxy_block2{2, 2, 2, 2};
+  double proxy_roughness = 0.55;
+  double proxy_mass = -0.06;
+  double proxy_csw = 1.0;
+
+  Coord dims() const { return Coord{ls, ls, ls, lt}; }
+
+  /// Level-1 blocking (Table 2); Aniso40 uses different blockings on its
+  /// two partition sizes.
+  Coord block1_for_nodes(int nodes) const;
+
+  static EnsembleSpec aniso40();
+  static EnsembleSpec iso48();
+  static EnsembleSpec iso64();
+  static std::vector<EnsembleSpec> table1();
+};
+
+/// A null-vector strategy of section 7.1: nvec at level 1 / level 2.
+struct MgStrategy {
+  int nvec1 = 24;
+  int nvec2 = 24;
+  std::string label() const {
+    return std::to_string(nvec1) + "/" + std::to_string(nvec2);
+  }
+};
+
+/// The three strategies investigated in the paper: 24/24, 24/32, 32/32.
+std::vector<MgStrategy> table3_strategies();
+
+}  // namespace qmg

@@ -1,0 +1,27 @@
+#pragma once
+// qmg — Lattice QCD adaptive multigrid with fine-grained parallelization.
+//
+// Umbrella header: everything a downstream application needs.
+//
+//   QmgContext ctx({.dims = {8, 8, 8, 16}, .mass = -0.05});
+//   MgConfig mg; mg.levels = {...};
+//   ctx.setup_multigrid(mg);
+//   auto b = ctx.create_vector(); b.point_source(0, 0, 0);
+//   auto x = ctx.create_vector();
+//   auto result = ctx.solve_mg(x, b, 1e-8);
+//
+// See README.md for the architecture overview and examples/ for complete
+// programs.
+
+#include "core/context.h"     // IWYU pragma: export
+#include "core/ensembles.h"   // IWYU pragma: export
+#include "dirac/clover.h"     // IWYU pragma: export
+#include "dirac/wilson.h"     // IWYU pragma: export
+#include "fields/blas.h"      // IWYU pragma: export
+#include "gauge/ensemble.h"   // IWYU pragma: export
+#include "mg/multigrid.h"     // IWYU pragma: export
+#include "solvers/bicgstab.h" // IWYU pragma: export
+#include "solvers/cg.h"       // IWYU pragma: export
+#include "solvers/gcr.h"      // IWYU pragma: export
+#include "solvers/mixed.h"    // IWYU pragma: export
+#include "solvers/mr.h"       // IWYU pragma: export

@@ -1,0 +1,92 @@
+#include "dirac/clover.h"
+
+#include "dirac/gamma.h"
+
+namespace qmg {
+
+namespace {
+
+/// Sum of the four plaquette leaves in the (mu, nu) plane at site x.
+template <typename T>
+Su3<T> clover_leaves(const GaugeField<T>& g, const LatticeGeometry& geom,
+                     long x, int mu, int nu) {
+  const long xpm = geom.neighbor_fwd(x, mu);
+  const long xpn = geom.neighbor_fwd(x, nu);
+  const long xmm = geom.neighbor_bwd(x, mu);
+  const long xmn = geom.neighbor_bwd(x, nu);
+  const long xmm_pn = geom.neighbor_fwd(xmm, nu);
+  const long xmm_mn = geom.neighbor_bwd(xmm, nu);
+  const long xpm_mn = geom.neighbor_bwd(xpm, nu);
+
+  // Leaf 1: x -> x+mu -> x+mu+nu -> x+nu -> x.
+  const Su3<T> l1 = g.link(mu, x) * g.link(nu, xpm) *
+                    adjoint(g.link(mu, xpn)) * adjoint(g.link(nu, x));
+  // Leaf 2: x -> x+nu -> x-mu+nu -> x-mu -> x.
+  const Su3<T> l2 = g.link(nu, x) * adjoint(g.link(mu, xmm_pn)) *
+                    adjoint(g.link(nu, xmm)) * g.link(mu, xmm);
+  // Leaf 3: x -> x-mu -> x-mu-nu -> x-nu -> x.
+  const Su3<T> l3 = adjoint(g.link(mu, xmm)) * adjoint(g.link(nu, xmm_mn)) *
+                    g.link(mu, xmm_mn) * g.link(nu, xmn);
+  // Leaf 4: x -> x-nu -> x+mu-nu -> x+mu -> x.
+  const Su3<T> l4 = adjoint(g.link(nu, xmn)) * g.link(mu, xmn) *
+                    g.link(nu, xpm_mn) * adjoint(g.link(mu, x));
+  return l1 + l2 + l3 + l4;
+}
+
+}  // namespace
+
+template <typename T>
+CloverField<T> build_clover(const GaugeField<T>& gauge, T csw) {
+  const auto& geom = *gauge.geometry();
+  const auto& algebra = GammaAlgebra::instance();
+  CloverField<T> clover(gauge.geometry());
+  if (csw == T(0)) return clover;
+
+#pragma omp parallel for
+  for (long x = 0; x < geom.volume(); ++x) {
+    for (int mu = 0; mu < kNDim; ++mu)
+      for (int nu = mu + 1; nu < kNDim; ++nu) {
+        const Su3<T> q = clover_leaves(gauge, geom, x, mu, nu);
+        // F = (Q - Q^dag)/8: anti-Hermitian field strength.
+        Su3<T> f = q - adjoint(q);
+        f *= T(0.125);
+        const SpinMatrix& sig = algebra.sigma(mu, nu);
+        // sigma is block diagonal; accumulate csw * sigma (x) F into the
+        // chirality blocks.  Block row index = local_spin*3 + color.
+        for (int ch = 0; ch < 2; ++ch) {
+          auto& block = clover.block(x, ch);
+          for (int s = 0; s < 2; ++s)
+            for (int sp = 0; sp < 2; ++sp) {
+              const complexd sd = sig(2 * ch + s, 2 * ch + sp);
+              if (norm2(sd) < 1e-28) continue;
+              const Complex<T> w =
+                  Complex<T>(static_cast<T>(sd.re), static_cast<T>(sd.im)) *
+                  csw;
+              for (int c = 0; c < 3; ++c)
+                for (int cp = 0; cp < 3; ++cp)
+                  block(3 * s + c, 3 * sp + cp) += w * f(c, cp);
+            }
+        }
+      }
+  }
+  return clover;
+}
+
+template <typename T>
+CloverField<T> build_clover_with_inverse(const GaugeField<T>& gauge, T csw,
+                                         T mass) {
+  CloverField<T> clover = build_clover(gauge, csw);
+  clover.compute_inverse(T(4) + mass);
+  return clover;
+}
+
+template CloverField<double> build_clover<double>(const GaugeField<double>&,
+                                                  double);
+template CloverField<float> build_clover<float>(const GaugeField<float>&,
+                                                float);
+template CloverField<double> build_clover_with_inverse<double>(
+    const GaugeField<double>&, double, double);
+template CloverField<float> build_clover_with_inverse<float>(
+    const GaugeField<float>&, float, float);
+
+}  // namespace qmg

@@ -1,0 +1,22 @@
+#pragma once
+// Construction of the clover (Sheikholeslami-Wohlert) field from the gauge
+// field: A_x = c_sw * sum_{mu<nu} sigma_{mu nu} F_{mu nu}(x), with F the
+// traceless anti-Hermitian four-leaf ("clover") average of the plaquette.
+// In the chiral basis sigma_{mu nu} is chirality-block-diagonal, so A_x is
+// stored as two Hermitian 6x6 blocks per site.
+
+#include "fields/cloverfield.h"
+#include "fields/gaugefield.h"
+
+namespace qmg {
+
+template <typename T>
+CloverField<T> build_clover(const GaugeField<T>& gauge, T csw);
+
+/// Convenience: build clover and precompute (4 + m + A)^{-1} blocks for
+/// Schur preconditioning.
+template <typename T>
+CloverField<T> build_clover_with_inverse(const GaugeField<T>& gauge, T csw,
+                                         T mass);
+
+}  // namespace qmg

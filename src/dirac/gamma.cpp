@@ -1,0 +1,116 @@
+#include "dirac/gamma.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qmg {
+
+namespace {
+
+SpinMatrix make_gamma(int mu) {
+  SpinMatrix g{};
+  const complexd I(0, 1);
+  switch (mu) {
+    case 0:  // gamma_x: top-right -i sigma_1, bottom-left i sigma_1
+      g(0, 3) = -I;
+      g(1, 2) = -I;
+      g(2, 1) = I;
+      g(3, 0) = I;
+      break;
+    case 1:  // gamma_y: top-right -i sigma_2, bottom-left i sigma_2
+      g(0, 3) = complexd(-1, 0);
+      g(1, 2) = complexd(1, 0);
+      g(2, 1) = complexd(1, 0);
+      g(3, 0) = complexd(-1, 0);
+      break;
+    case 2:  // gamma_z: top-right -i sigma_3, bottom-left i sigma_3
+      g(0, 2) = -I;
+      g(1, 3) = I;
+      g(2, 0) = I;
+      g(3, 1) = -I;
+      break;
+    case 3:  // gamma_t: off-diagonal identities
+      g(0, 2) = complexd(1, 0);
+      g(1, 3) = complexd(1, 0);
+      g(2, 0) = complexd(1, 0);
+      g(3, 1) = complexd(1, 0);
+      break;
+  }
+  return g;
+}
+
+}  // namespace
+
+GammaAlgebra::GammaAlgebra() {
+  for (int mu = 0; mu < 4; ++mu) gamma_[mu] = make_gamma(mu);
+
+  gamma5_ = gamma_[0] * gamma_[1] * gamma_[2] * gamma_[3];
+  // The basis is constructed so gamma5 is exactly diag(1, 1, -1, -1); this
+  // property underpins the chirality-preserving aggregation, so verify it.
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) {
+      const double expect =
+          (r == c) ? (r < 2 ? 1.0 : -1.0) : 0.0;
+      assert(std::abs(gamma5_(r, c).re - expect) < 1e-14 &&
+             std::abs(gamma5_(r, c).im) < 1e-14);
+    }
+
+  for (int mu = 0; mu < 4; ++mu)
+    for (int nu = 0; nu < 4; ++nu) {
+      SpinMatrix comm = gamma_[mu] * gamma_[nu] - gamma_[nu] * gamma_[mu];
+      sigma_[mu][nu] = 0.5 * comm;
+    }
+
+  const SpinMatrix one = SpinMatrix::identity();
+  for (int mu = 0; mu < 4; ++mu) {
+    proj_[2 * mu + 0] = one - gamma_[mu];  // forward hop: 1 - gamma_mu
+    proj_[2 * mu + 1] = one + gamma_[mu];  // backward hop: 1 + gamma_mu
+  }
+
+  for (int pd = 0; pd < 8; ++pd) {
+    auto& sparse = proj_sparse_[pd];
+    for (int r = 0; r < 4; ++r)
+      for (int c = 0; c < 4; ++c) {
+        const complexd v = proj_[pd](r, c);
+        if (norm2(v) > 1e-28) sparse.entries.push_back({r, c, v});
+      }
+  }
+
+  // Extract the rank-2 half-spinor factorization of each projector and
+  // verify the structural assumptions it rests on (P(a,a) = 1, exactly one
+  // lower-chirality partner per upper row, and rows pair[a] proportional to
+  // rows a).  The assertions fire if the basis is ever changed to one where
+  // the factorization does not hold.
+  for (int pd = 0; pd < 8; ++pd) {
+    const SpinMatrix& p = proj_[pd];
+    auto& hs = half_spin_[pd];
+    for (int a = 0; a < 2; ++a) {
+      assert(std::abs(p(a, a).re - 1.0) < 1e-14 &&
+             std::abs(p(a, a).im) < 1e-14);
+      assert(norm2(p(a, 1 - a)) < 1e-28);
+      int pair = -1;
+      for (int c = 2; c < 4; ++c)
+        if (norm2(p(a, c)) > 1e-28) {
+          assert(pair < 0);
+          pair = c;
+        }
+      assert(pair >= 0);
+      hs.pair[a] = pair;
+      hs.proj_coeff[a] = p(a, pair);
+      hs.recon_coeff[a] = p(pair, a);
+      // Row `pair` must be recon_coeff[a] times row `a`.
+      for (int c = 0; c < 4; ++c) {
+        const complexd diff = p(pair, c) - hs.recon_coeff[a] * p(a, c);
+        assert(norm2(diff) < 1e-24);
+        (void)diff;
+      }
+    }
+  }
+}
+
+const GammaAlgebra& GammaAlgebra::instance() {
+  static const GammaAlgebra algebra;
+  return algebra;
+}
+
+}  // namespace qmg

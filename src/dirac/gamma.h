@@ -1,0 +1,106 @@
+#pragma once
+// Euclidean gamma-matrix algebra in the chiral basis.
+//
+//   gamma_k = [[0, -i sigma_k], [i sigma_k, 0]]   (k = 1,2,3)
+//   gamma_4 = [[0, 1], [1, 0]]
+//   gamma_5 = gamma_1 gamma_2 gamma_3 gamma_4 = diag(+1, +1, -1, -1)
+//
+// gamma_5 diagonal means chirality = (spin index < 2), which is what makes
+// the chirality-preserving MG aggregation (paper footnote 1) a simple split
+// of the spin components into upper/lower pairs.
+//
+// The hopping projectors of Eq. 2 are stored both as dense 4x4 matrices and
+// as sparse (row, col, coeff) lists, which is how the stencil kernels apply
+// them.
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace qmg {
+
+using SpinMatrix = Matrix<double, 4, 4>;
+
+/// Sparse spin-space coupling: out[s_out] += coeff * in[s_in].
+struct SpinCoupling {
+  struct Entry {
+    int s_out;
+    int s_in;
+    complexd coeff;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Rank-2 half-spinor factorization of a hopping projector 1 -/+ gamma_mu.
+/// In the chiral basis each projector row a in {0, 1} couples to exactly one
+/// lower-chirality spin pair[a], and rows pair[0], pair[1] are scalar
+/// multiples of rows 0, 1.  The hop therefore factorizes as
+///
+///   h_a           = in[a] + proj_coeff[a] * in[pair[a]]   (project)
+///   out[a]       += w * (U h_a)                           (reconstruct)
+///   out[pair[a]] += w * recon_coeff[a] * (U h_a)
+///
+/// halving the number of SU(3) matrix-vector products per hop relative to
+/// multiplying all four spin components (the standard lattice-QCD
+/// "half-spinor" optimization; QUDA uses the same trick on the GPU).
+struct HalfSpinForm {
+  int pair[2];
+  complexd proj_coeff[2];
+  complexd recon_coeff[2];
+};
+
+class GammaAlgebra {
+ public:
+  static const GammaAlgebra& instance();
+
+  /// gamma_mu for mu in 0..3 (x, y, z, t).
+  const SpinMatrix& gamma(int mu) const { return gamma_[mu]; }
+  const SpinMatrix& gamma5() const { return gamma5_; }
+
+  /// sigma_{mu nu} = [gamma_mu, gamma_nu] / 2 (anti-Hermitian, block
+  /// diagonal in chirality).
+  const SpinMatrix& sigma(int mu, int nu) const { return sigma_[mu][nu]; }
+
+  /// Hopping-term spin matrix: dir 0 (forward) -> 1 - gamma_mu,
+  /// dir 1 (backward) -> 1 + gamma_mu.  Dense and sparse forms.
+  const SpinMatrix& projector(int mu, int dir) const {
+    return proj_[2 * mu + dir];
+  }
+  const SpinCoupling& projector_sparse(int mu, int dir) const {
+    return proj_sparse_[2 * mu + dir];
+  }
+  const HalfSpinForm& half_spin(int mu, int dir) const {
+    return half_spin_[2 * mu + dir];
+  }
+
+  /// Chirality of a fine spin index (0 for spins 0,1; 1 for spins 2,3).
+  static int chirality(int spin) { return spin < 2 ? 0 : 1; }
+
+ private:
+  GammaAlgebra();
+
+  SpinMatrix gamma_[4];
+  SpinMatrix gamma5_;
+  SpinMatrix sigma_[4][4];
+  SpinMatrix proj_[8];
+  SpinCoupling proj_sparse_[8];
+  HalfSpinForm half_spin_[8];
+};
+
+/// In-place gamma5 multiplication of a 4-spin color vector (per site):
+/// flips the sign of the lower chirality components.
+template <typename FieldT>
+void apply_gamma5(FieldT& out, const FieldT& in) {
+  using T = typename FieldT::value_type;
+  for (long i = 0; i < in.nsites(); ++i)
+    for (int s = 0; s < in.nspin(); ++s) {
+      // Fine grid: gamma5 = diag(1,1,-1,-1).  Coarse grids (nspin=2) keep
+      // a chirality interpretation: spin 0 = +, spin 1 = -.
+      const bool lower =
+          in.nspin() == 4 ? (s >= 2) : (s >= in.nspin() / 2);
+      for (int c = 0; c < in.ncolor(); ++c)
+        out(i, s, c) = lower ? T{} - in(i, s, c) : in(i, s, c);
+    }
+}
+
+}  // namespace qmg

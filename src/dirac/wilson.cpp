@@ -1,0 +1,274 @@
+#include "dirac/wilson.h"
+
+#include <cassert>
+
+#include "dirac/gamma.h"
+#include "dirac/hop.h"
+
+namespace qmg {
+
+namespace {
+
+/// Hopping term over a site range.  `site_of` maps output index -> full
+/// lattice index; `in_index_of` maps a neighbor's full index -> site index
+/// in the input field (identity for full fields, checkerboard index for
+/// parity fields).
+template <typename T, typename Gauge, typename SiteOf, typename InIndexOf>
+void hopping_kernel(ColorSpinorField<T>& out, const ColorSpinorField<T>& in,
+                    const Gauge& gauge, const LatticeGeometry& geom,
+                    long n_out, SiteOf site_of, InIndexOf in_index_of,
+                    T anisotropy) {
+  const auto& algebra = GammaAlgebra::instance();
+#pragma omp parallel for
+  for (long i = 0; i < n_out; ++i) {
+    const long x = site_of(i);
+    Complex<T> accum[12] = {};
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const T coef = (mu == 3 ? anisotropy : T(1)) * T(0.5);
+      // Forward: (1 - gamma_mu) U_mu(x) in(x+mu).
+      const long xf = geom.neighbor_fwd(x, mu);
+      accumulate_hop(accum, gauge.link(mu, x), in.site_data(in_index_of(xf)),
+                     algebra.half_spin(mu, 0), coef);
+      // Backward: (1 + gamma_mu) U_mu(x-mu)^dag in(x-mu).
+      const long xb = geom.neighbor_bwd(x, mu);
+      accumulate_hop(accum, adjoint(gauge.link(mu, xb)),
+                     in.site_data(in_index_of(xb)),
+                     algebra.half_spin(mu, 1), coef);
+    }
+    Complex<T>* dst = out.site_data(i);
+    for (int k = 0; k < 12; ++k) dst[k] = accum[k];
+  }
+}
+
+/// Clover block application: out_site += A(block) * in_site per chirality.
+template <typename T>
+inline void clover_multiply_add(const typename CloverField<T>::Block& a,
+                                const Complex<T>* in, Complex<T>* out) {
+  for (int r = 0; r < 6; ++r) {
+    Complex<T> acc{};
+    for (int c = 0; c < 6; ++c) acc += a(r, c) * in[c];
+    out[r] += acc;
+  }
+}
+
+template <typename T>
+inline void block_multiply(const typename CloverField<T>::Block& a,
+                           const Complex<T>* in, Complex<T>* out) {
+  for (int r = 0; r < 6; ++r) {
+    Complex<T> acc{};
+    for (int c = 0; c < 6; ++c) acc += a(r, c) * in[c];
+    out[r] = acc;
+  }
+}
+
+}  // namespace
+
+// --- WilsonCloverOp ---------------------------------------------------------
+
+template <typename T>
+WilsonCloverOp<T>::WilsonCloverOp(const GaugeField<T>& gauge,
+                                  WilsonParams<T> params,
+                                  const CloverField<T>* clover,
+                                  Reconstruct reconstruct)
+    : gauge_(gauge),
+      params_(params),
+      clover_(clover),
+      reconstruct_(reconstruct) {
+  if (reconstruct_ != Reconstruct::Full18)
+    compressed_ =
+        std::make_unique<CompressedGaugeField<T>>(gauge_, reconstruct_);
+}
+
+template <typename T>
+typename WilsonCloverOp<T>::Field WilsonCloverOp<T>::create_vector() const {
+  return Field(gauge_.geometry(), 4, 3);
+}
+
+template <typename T>
+double WilsonCloverOp<T>::flops_per_apply() const {
+  const double per_site =
+      kWilsonFlopsPerSite + (clover_ ? kCloverFlopsPerSite : 0.0);
+  return per_site * static_cast<double>(gauge_.geometry()->volume());
+}
+
+template <typename T>
+void WilsonCloverOp<T>::apply_hopping(Field& out, const Field& in) const {
+  assert(in.subset() == Subset::Full && out.subset() == Subset::Full);
+  const auto& geom = *gauge_.geometry();
+  auto site_of = [](long i) { return i; };
+  auto in_index_of = [](long f) { return f; };
+  if (compressed_)
+    hopping_kernel(out, in, *compressed_, geom, geom.volume(), site_of,
+                   in_index_of, params_.anisotropy);
+  else
+    hopping_kernel(out, in, gauge_, geom, geom.volume(), site_of, in_index_of,
+                   params_.anisotropy);
+}
+
+template <typename T>
+void WilsonCloverOp<T>::apply_hopping_parity(Field& out, const Field& in,
+                                             int out_parity) const {
+  assert(out.subset() == (out_parity ? Subset::Odd : Subset::Even));
+  assert(in.subset() == (out_parity ? Subset::Even : Subset::Odd));
+  const auto& geom = *gauge_.geometry();
+  auto site_of = [&](long i) { return geom.full_index(out_parity, i); };
+  auto in_index_of = [&](long f) { return geom.cb_index(f); };
+  if (compressed_)
+    hopping_kernel(out, in, *compressed_, geom, geom.half_volume(), site_of,
+                   in_index_of, params_.anisotropy);
+  else
+    hopping_kernel(out, in, gauge_, geom, geom.half_volume(), site_of,
+                   in_index_of, params_.anisotropy);
+}
+
+template <typename T>
+void WilsonCloverOp<T>::apply_diag(Field& out, const Field& in,
+                                   int parity) const {
+  const auto& geom = *gauge_.geometry();
+  const T shift = T(4) + params_.mass;
+  const long n = in.nsites();
+  assert(parity >= 0 ? in.subset() != Subset::Full
+                     : in.subset() == Subset::Full);
+#pragma omp parallel for
+  for (long i = 0; i < n; ++i) {
+    const Complex<T>* src = in.site_data(i);
+    Complex<T>* dst = out.site_data(i);
+    for (int k = 0; k < 12; ++k) dst[k] = shift * src[k];
+    if (clover_) {
+      const long full = parity >= 0 ? geom.full_index(parity, i) : i;
+      clover_multiply_add<T>(clover_->block(full, 0), src, dst);
+      clover_multiply_add<T>(clover_->block(full, 1), src + 6, dst + 6);
+    }
+  }
+}
+
+template <typename T>
+void WilsonCloverOp<T>::apply_diag_inverse(Field& out, const Field& in,
+                                           int parity) const {
+  const auto& geom = *gauge_.geometry();
+  const long n = in.nsites();
+  if (clover_) {
+    assert(clover_->has_inverse());
+#pragma omp parallel for
+    for (long i = 0; i < n; ++i) {
+      const long full = parity >= 0 ? geom.full_index(parity, i) : i;
+      const Complex<T>* src = in.site_data(i);
+      Complex<T>* dst = out.site_data(i);
+      block_multiply<T>(clover_->inverse_block(full, 0), src, dst);
+      block_multiply<T>(clover_->inverse_block(full, 1), src + 6, dst + 6);
+    }
+  } else {
+    const T inv = T(1) / (T(4) + params_.mass);
+#pragma omp parallel for
+    for (long i = 0; i < n; ++i) {
+      const Complex<T>* src = in.site_data(i);
+      Complex<T>* dst = out.site_data(i);
+      for (int k = 0; k < 12; ++k) dst[k] = inv * src[k];
+    }
+  }
+}
+
+template <typename T>
+void WilsonCloverOp<T>::apply(Field& out, const Field& in) const {
+  this->count_apply();
+  apply_hopping(out, in);
+  // out = diag*in - hop*in.
+  const auto& geom = *gauge_.geometry();
+  const T shift = T(4) + params_.mass;
+#pragma omp parallel for
+  for (long i = 0; i < geom.volume(); ++i) {
+    const Complex<T>* src = in.site_data(i);
+    Complex<T>* dst = out.site_data(i);
+    Complex<T> diag[12];
+    for (int k = 0; k < 12; ++k) diag[k] = shift * src[k];
+    if (clover_) {
+      clover_multiply_add<T>(clover_->block(i, 0), src, diag);
+      clover_multiply_add<T>(clover_->block(i, 1), src + 6, diag + 6);
+    }
+    for (int k = 0; k < 12; ++k) dst[k] = diag[k] - dst[k];
+  }
+}
+
+template <typename T>
+void WilsonCloverOp<T>::apply_dagger(Field& out, const Field& in) const {
+  // gamma5-Hermiticity: M^dag = gamma5 M gamma5.
+  if (!dagger_tmp_) dagger_tmp_.emplace(create_vector());
+  apply_gamma5(*dagger_tmp_, in);
+  apply(out, *dagger_tmp_);
+  apply_gamma5(out, out);
+}
+
+// --- SchurWilsonOp ----------------------------------------------------------
+
+template <typename T>
+SchurWilsonOp<T>::SchurWilsonOp(const WilsonCloverOp<T>& fine)
+    : fine_(fine),
+      tmp_odd_(fine.geometry(), 4, 3, Subset::Odd),
+      tmp_odd2_(fine.geometry(), 4, 3, Subset::Odd),
+      tmp_even_(fine.geometry(), 4, 3, Subset::Even) {}
+
+template <typename T>
+typename SchurWilsonOp<T>::Field SchurWilsonOp<T>::create_vector() const {
+  return Field(fine_.geometry(), 4, 3, Subset::Even);
+}
+
+template <typename T>
+double SchurWilsonOp<T>::flops_per_apply() const {
+  // Two half-volume hopping applications + diagonal work: comparable to one
+  // full-volume operator application.
+  return fine_.flops_per_apply();
+}
+
+template <typename T>
+void SchurWilsonOp<T>::apply(Field& out, const Field& in) const {
+  this->count_apply();
+  fine_.count_apply();  // one Schur apply costs one fine-operator apply
+  // out = A_ee in - H_eo A_oo^{-1} H_oe in.
+  fine_.apply_hopping_parity(tmp_odd_, in, /*out_parity=*/1);
+  fine_.apply_diag_inverse(tmp_odd2_, tmp_odd_, /*parity=*/1);
+  fine_.apply_hopping_parity(tmp_even_, tmp_odd2_, /*out_parity=*/0);
+  fine_.apply_diag(out, in, /*parity=*/0);
+  for (long k = 0; k < out.size(); ++k) out.data()[k] -= tmp_even_.data()[k];
+}
+
+template <typename T>
+void SchurWilsonOp<T>::apply_dagger(Field& out, const Field& in) const {
+  if (!dagger_tmp_) dagger_tmp_.emplace(create_vector());
+  apply_gamma5(*dagger_tmp_, in);
+  apply(out, *dagger_tmp_);
+  apply_gamma5(out, out);
+}
+
+template <typename T>
+void SchurWilsonOp<T>::prepare(Field& b_hat, const Field& b) const {
+  assert(b.subset() == Subset::Full);
+  Field b_odd(fine_.geometry(), 4, 3, Subset::Odd);
+  extract_parity(b_odd, b, 1);
+  fine_.apply_diag_inverse(tmp_odd_, b_odd, /*parity=*/1);
+  fine_.apply_hopping_parity(tmp_even_, tmp_odd_, /*out_parity=*/0);
+  extract_parity(b_hat, b, 0);
+  for (long k = 0; k < b_hat.size(); ++k)
+    b_hat.data()[k] += tmp_even_.data()[k];
+}
+
+template <typename T>
+void SchurWilsonOp<T>::reconstruct(Field& x_full, const Field& x_even,
+                                   const Field& b) const {
+  assert(b.subset() == Subset::Full && x_full.subset() == Subset::Full);
+  // x_o = A_oo^{-1} (b_o + H_oe x_e).
+  fine_.apply_hopping_parity(tmp_odd_, x_even, /*out_parity=*/1);
+  Field b_odd(fine_.geometry(), 4, 3, Subset::Odd);
+  extract_parity(b_odd, b, 1);
+  for (long k = 0; k < b_odd.size(); ++k)
+    b_odd.data()[k] += tmp_odd_.data()[k];
+  fine_.apply_diag_inverse(tmp_odd2_, b_odd, /*parity=*/1);
+  insert_parity(x_full, x_even, 0);
+  insert_parity(x_full, tmp_odd2_, 1);
+}
+
+template class WilsonCloverOp<double>;
+template class WilsonCloverOp<float>;
+template class SchurWilsonOp<double>;
+template class SchurWilsonOp<float>;
+
+}  // namespace qmg

@@ -1,0 +1,136 @@
+#pragma once
+// Field BLAS, written in the single-code-path style of paper Listing 1:
+// each operation is a small per-element body ("__device__ __host__"
+// function), wrapped by two stubs — a "GPU kernel" stub that derives the
+// element index from a simulated thread id, and a CPU stub that loops (with
+// OpenMP) over the index range.  Dispatch follows the field's Location.
+
+#include <cassert>
+#include <cmath>
+
+#include "fields/colorspinor.h"
+
+namespace qmg {
+namespace blas {
+
+namespace detail {
+
+/// Run `body(i)` for i in [0, n) on the field's location.  The Device path
+/// mimics a kernel launch: iteration chunked into "thread blocks" whose
+/// indices reproduce blockIdx/blockDim/threadIdx arithmetic.
+template <typename Body>
+void for_each(Location loc, long n, Body&& body) {
+  if (loc == Location::Device) {
+    constexpr long kBlockDim = 128;  // simulated CUDA block size
+    const long grid_dim = (n + kBlockDim - 1) / kBlockDim;
+    for (long block_idx = 0; block_idx < grid_dim; ++block_idx) {
+      for (long thread_idx = 0; thread_idx < kBlockDim; ++thread_idx) {
+        const long i = block_idx * kBlockDim + thread_idx;
+        if (i >= n) break;
+        body(i);
+      }
+    }
+  } else {
+#pragma omp parallel for
+    for (long i = 0; i < n; ++i) body(i);
+  }
+}
+
+}  // namespace detail
+
+template <typename T>
+void zero(ColorSpinorField<T>& x) {
+  detail::for_each(x.location(), x.size(),
+                   [&](long i) { x.data()[i] = Complex<T>{}; });
+}
+
+template <typename T>
+void copy(ColorSpinorField<T>& y, const ColorSpinorField<T>& x) {
+  assert(y.size() == x.size());
+  detail::for_each(x.location(), x.size(),
+                   [&](long i) { y.data()[i] = x.data()[i]; });
+}
+
+/// y += a*x.
+template <typename T>
+void axpy(T a, const ColorSpinorField<T>& x, ColorSpinorField<T>& y) {
+  assert(y.size() == x.size());
+  detail::for_each(x.location(), x.size(),
+                   [&](long i) { y.data()[i] += a * x.data()[i]; });
+}
+
+/// y = x + a*y.
+template <typename T>
+void xpay(const ColorSpinorField<T>& x, T a, ColorSpinorField<T>& y) {
+  assert(y.size() == x.size());
+  detail::for_each(x.location(), x.size(), [&](long i) {
+    y.data()[i] = x.data()[i] + a * y.data()[i];
+  });
+}
+
+/// y = a*x + b*y.
+template <typename T>
+void axpby(T a, const ColorSpinorField<T>& x, T b, ColorSpinorField<T>& y) {
+  assert(y.size() == x.size());
+  detail::for_each(x.location(), x.size(), [&](long i) {
+    y.data()[i] = a * x.data()[i] + b * y.data()[i];
+  });
+}
+
+/// y += a*x (complex a).
+template <typename T>
+void caxpy(Complex<T> a, const ColorSpinorField<T>& x,
+           ColorSpinorField<T>& y) {
+  assert(y.size() == x.size());
+  detail::for_each(x.location(), x.size(),
+                   [&](long i) { y.data()[i] += a * x.data()[i]; });
+}
+
+/// y = x + a*y (complex a).
+template <typename T>
+void cxpay(const ColorSpinorField<T>& x, Complex<T> a,
+           ColorSpinorField<T>& y) {
+  assert(y.size() == x.size());
+  detail::for_each(x.location(), x.size(), [&](long i) {
+    y.data()[i] = x.data()[i] + a * y.data()[i];
+  });
+}
+
+template <typename T>
+void scale(T a, ColorSpinorField<T>& x) {
+  detail::for_each(x.location(), x.size(),
+                   [&](long i) { x.data()[i] *= a; });
+}
+
+// Reductions.  These are the global-synchronization points whose log(N)
+// network cost dominates the coarsest MG level at scale (paper Fig. 4).
+
+template <typename T>
+double norm2(const ColorSpinorField<T>& x) {
+  double sum = 0;
+#pragma omp parallel for reduction(+ : sum)
+  for (long i = 0; i < x.size(); ++i) sum += qmg::norm2(x.data()[i]);
+  return sum;
+}
+
+/// <x, y> = sum_i conj(x_i) y_i.
+template <typename T>
+complexd cdot(const ColorSpinorField<T>& x, const ColorSpinorField<T>& y) {
+  assert(y.size() == x.size());
+  double re = 0, im = 0;
+#pragma omp parallel for reduction(+ : re, im)
+  for (long i = 0; i < x.size(); ++i) {
+    const auto d = conj_mul(x.data()[i], y.data()[i]);
+    re += d.re;
+    im += d.im;
+  }
+  return {re, im};
+}
+
+template <typename T>
+double rdot(const ColorSpinorField<T>& x, const ColorSpinorField<T>& y) {
+  return cdot(x, y).re;
+}
+
+}  // namespace blas
+}  // namespace qmg

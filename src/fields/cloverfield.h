@@ -1,0 +1,87 @@
+#pragma once
+// Clover field: the Sheikholeslami-Wohlert improvement term A_x of Eq. 2.
+//
+// In the chiral gamma basis, sigma_{mu nu} is block diagonal in chirality, so
+// A_x decomposes into two Hermitian 6x6 blocks per site (2 spins x 3 colors
+// each).  We store the blocks and, when red-black preconditioning is used,
+// their inverses (needed for A_oo^{-1} in the Schur complement).
+
+#include <vector>
+
+#include "lattice/geometry.h"
+#include "linalg/matrix.h"
+#include "linalg/smallmat.h"
+
+namespace qmg {
+
+template <typename T>
+class CloverField {
+ public:
+  static constexpr int kBlockDim = 6;  // 2 spins x 3 colors per chirality
+  using Block = Matrix<T, kBlockDim, kBlockDim>;
+
+  CloverField() = default;
+
+  explicit CloverField(GeometryPtr geom) : geom_(std::move(geom)) {
+    blocks_.assign(2 * static_cast<size_t>(geom_->volume()), Block{});
+  }
+
+  const GeometryPtr& geometry() const { return geom_; }
+  bool has_inverse() const { return !inverse_.empty(); }
+
+  /// Chirality block ch in {0 (spins 0,1), 1 (spins 2,3)} at a site.
+  Block& block(long site, int ch) {
+    return blocks_[2 * static_cast<size_t>(site) + ch];
+  }
+  const Block& block(long site, int ch) const {
+    return blocks_[2 * static_cast<size_t>(site) + ch];
+  }
+
+  const Block& inverse_block(long site, int ch) const {
+    return inverse_[2 * static_cast<size_t>(site) + ch];
+  }
+
+  /// Precompute (diag + A)^{-1} per site where diag = 4 + m (the full
+  /// even/odd diagonal operator of the Schur complement).
+  void compute_inverse(T diag_shift) {
+    inverse_.assign(blocks_.size(), Block{});
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      SmallMatrix<T> m(kBlockDim, kBlockDim);
+      for (int r = 0; r < kBlockDim; ++r)
+        for (int c = 0; c < kBlockDim; ++c) m(r, c) = blocks_[i](r, c);
+      for (int r = 0; r < kBlockDim; ++r) m(r, r) += Complex<T>(diag_shift);
+      const LuFactor<T> lu(m);
+      const SmallMatrix<T> inv = lu.inverse();
+      for (int r = 0; r < kBlockDim; ++r)
+        for (int c = 0; c < kBlockDim; ++c) inverse_[i](r, c) = inv(r, c);
+    }
+    inverse_shift_ = diag_shift;
+  }
+
+  T inverse_shift() const { return inverse_shift_; }
+
+ private:
+  GeometryPtr geom_;
+  std::vector<Block> blocks_;
+  std::vector<Block> inverse_;  // (diag_shift + A)^{-1}
+  T inverse_shift_ = T(0);
+};
+
+/// Precision conversion.
+template <typename To, typename From>
+CloverField<To> convert_clover(const CloverField<From>& in) {
+  CloverField<To> out(in.geometry());
+  for (long s = 0; s < in.geometry()->volume(); ++s)
+    for (int ch = 0; ch < 2; ++ch) {
+      const auto& b = in.block(s, ch);
+      auto& o = out.block(s, ch);
+      for (int i = 0; i < CloverField<From>::kBlockDim *
+                               CloverField<From>::kBlockDim; ++i)
+        o.e[i] = Complex<To>(static_cast<To>(b.e[i].re),
+                             static_cast<To>(b.e[i].im));
+    }
+  if (in.has_inverse()) out.compute_inverse(static_cast<To>(in.inverse_shift()));
+  return out;
+}
+
+}  // namespace qmg

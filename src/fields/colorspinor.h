@@ -1,0 +1,206 @@
+#pragma once
+// Color-spinor ("quark") fields.
+//
+// A field assigns a complex vector of nspin x ncolor components to every
+// lattice site.  On the fine grid nspin=4, ncolor=3; on coarse MG grids
+// nspin=2 and ncolor = Nhat_c (number of null vectors, e.g. 24 or 32).
+//
+// Following the paper's heterogeneous design (section 5), each field carries
+// run-time members for its precision (the template parameter), its data
+// ORDER (site-major "AoS" vs dof-major "SoA") and its LOCATION (Host or
+// Device).  Computation kernels query these members and dispatch; moving a
+// field between locations is explicit and metered so the simulated PCIe
+// traffic can be accounted for.
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "fields/location.h"
+#include "lattice/geometry.h"
+#include "linalg/complex.h"
+#include "util/rng.h"
+
+namespace qmg {
+
+enum class Subset { Full, Even, Odd };
+
+enum class FieldOrder {
+  SiteMajor,  // index = (site*ns + s)*nc + c  — natural for CPU
+  DofMajor    // index = (s*nc + c)*nsites + site — coalesced for GPU threads
+};
+
+inline const char* to_string(Subset s) {
+  switch (s) {
+    case Subset::Full: return "full";
+    case Subset::Even: return "even";
+    default: return "odd";
+  }
+}
+
+template <typename T>
+class ColorSpinorField {
+ public:
+  using value_type = Complex<T>;
+
+  ColorSpinorField() = default;
+
+  ColorSpinorField(GeometryPtr geom, int nspin, int ncolor,
+                   Subset subset = Subset::Full,
+                   FieldOrder order = FieldOrder::SiteMajor,
+                   Location location = Location::Host)
+      : geom_(std::move(geom)),
+        nspin_(nspin),
+        ncolor_(ncolor),
+        subset_(subset),
+        order_(order),
+        location_(location) {
+    nsites_ = subset == Subset::Full ? geom_->volume() : geom_->half_volume();
+    data_.assign(static_cast<size_t>(nsites_) * nspin_ * ncolor_, value_type{});
+  }
+
+  /// A new zero field with the same shape as this one.
+  ColorSpinorField similar() const {
+    return ColorSpinorField(geom_, nspin_, ncolor_, subset_, order_,
+                            location_);
+  }
+
+  const GeometryPtr& geometry() const { return geom_; }
+  int nspin() const { return nspin_; }
+  int ncolor() const { return ncolor_; }
+  int site_dof() const { return nspin_ * ncolor_; }
+  long nsites() const { return nsites_; }
+  long size() const { return static_cast<long>(data_.size()); }
+  Subset subset() const { return subset_; }
+  FieldOrder order() const { return order_; }
+  Location location() const { return location_; }
+
+  size_t linear_index(long site, int s, int c) const {
+    return order_ == FieldOrder::SiteMajor
+               ? (static_cast<size_t>(site) * nspin_ + s) * ncolor_ + c
+               : (static_cast<size_t>(s) * ncolor_ + c) * nsites_ + site;
+  }
+
+  value_type& operator()(long site, int s, int c) {
+    return data_[linear_index(site, s, c)];
+  }
+  const value_type& operator()(long site, int s, int c) const {
+    return data_[linear_index(site, s, c)];
+  }
+
+  /// Contiguous per-site pointer; only meaningful in SiteMajor order.
+  value_type* site_data(long site) {
+    assert(order_ == FieldOrder::SiteMajor);
+    return data_.data() + static_cast<size_t>(site) * site_dof();
+  }
+  const value_type* site_data(long site) const {
+    assert(order_ == FieldOrder::SiteMajor);
+    return data_.data() + static_cast<size_t>(site) * site_dof();
+  }
+
+  value_type* data() { return data_.data(); }
+  const value_type* data() const { return data_.data(); }
+
+  /// Repack the field into a different data order (in place).
+  void reorder(FieldOrder target) {
+    if (target == order_) return;
+    ColorSpinorField tmp(geom_, nspin_, ncolor_, subset_, target, location_);
+    for (long i = 0; i < nsites_; ++i)
+      for (int s = 0; s < nspin_; ++s)
+        for (int c = 0; c < ncolor_; ++c) tmp(i, s, c) = (*this)(i, s, c);
+    *this = std::move(tmp);
+  }
+
+  /// Explicit migration between memory spaces; meters simulated PCIe bytes.
+  void to(Location target) {
+    if (target == location_) return;
+    transfer_ledger().record(location_, target,
+                             data_.size() * sizeof(value_type));
+    location_ = target;
+  }
+
+  /// Gaussian random fill, reproducible independent of traversal order.
+  void gaussian(std::uint64_t seed) {
+    const SiteRng rng(seed);
+    const int dof = site_dof();
+    for (long i = 0; i < nsites_; ++i) {
+      // For parity subsets, key the RNG on the full-lattice site index so
+      // even/odd halves of a seed never collide.
+      const long key = subset_ == Subset::Full
+                           ? i
+                           : geom_->full_index(subset_ == Subset::Odd, i);
+      for (int d = 0; d < dof; ++d) {
+        const int s = d / ncolor_;
+        const int c = d % ncolor_;
+        (*this)(i, s, c) =
+            value_type(static_cast<T>(rng.normal(key, 2 * d)),
+                       static_cast<T>(rng.normal(key, 2 * d + 1)));
+      }
+    }
+  }
+
+  /// Unit point source at (site, spin, color) — the propagator source.
+  void point_source(long site, int s, int c) {
+    std::fill(data_.begin(), data_.end(), value_type{});
+    (*this)(site, s, c) = value_type(1);
+  }
+
+ private:
+  GeometryPtr geom_;
+  int nspin_ = 0;
+  int ncolor_ = 0;
+  long nsites_ = 0;
+  Subset subset_ = Subset::Full;
+  FieldOrder order_ = FieldOrder::SiteMajor;
+  Location location_ = Location::Host;
+  std::vector<value_type> data_;
+};
+
+/// Copy the given parity's sites of a full field into a parity field.
+template <typename T>
+void extract_parity(ColorSpinorField<T>& out, const ColorSpinorField<T>& in,
+                    int parity) {
+  assert(in.subset() == Subset::Full);
+  assert(out.subset() == (parity ? Subset::Odd : Subset::Even));
+  const auto& geom = *in.geometry();
+  for (long cb = 0; cb < geom.half_volume(); ++cb) {
+    const long full = geom.full_index(parity, cb);
+    for (int s = 0; s < in.nspin(); ++s)
+      for (int c = 0; c < in.ncolor(); ++c) out(cb, s, c) = in(full, s, c);
+  }
+}
+
+/// Scatter a parity field back into the corresponding sites of a full field.
+template <typename T>
+void insert_parity(ColorSpinorField<T>& out, const ColorSpinorField<T>& in,
+                   int parity) {
+  assert(out.subset() == Subset::Full);
+  assert(in.subset() == (parity ? Subset::Odd : Subset::Even));
+  const auto& geom = *out.geometry();
+  for (long cb = 0; cb < geom.half_volume(); ++cb) {
+    const long full = geom.full_index(parity, cb);
+    for (int s = 0; s < out.nspin(); ++s)
+      for (int c = 0; c < out.ncolor(); ++c) out(full, s, c) = in(cb, s, c);
+  }
+}
+
+/// Precision conversion (double <-> float), preserving shape and order.
+template <typename To, typename From>
+ColorSpinorField<To> convert(const ColorSpinorField<From>& in) {
+  ColorSpinorField<To> out(in.geometry(), in.nspin(), in.ncolor(), in.subset(),
+                           in.order(), in.location());
+  for (long i = 0; i < in.size(); ++i)
+    out.data()[i] = Complex<To>(static_cast<To>(in.data()[i].re),
+                                static_cast<To>(in.data()[i].im));
+  return out;
+}
+
+template <typename To, typename From>
+void convert_into(ColorSpinorField<To>& out, const ColorSpinorField<From>& in) {
+  assert(out.size() == in.size());
+  for (long i = 0; i < in.size(); ++i)
+    out.data()[i] = Complex<To>(static_cast<To>(in.data()[i].re),
+                                static_cast<To>(in.data()[i].im));
+}
+
+}  // namespace qmg

@@ -1,0 +1,99 @@
+#pragma once
+// 16-bit fixed-point ("half") storage format, after QUDA (paper section 4,
+// strategy (c)).  Each site stores its color-spinor components as int16
+// fractions of the per-site max-magnitude, plus one float norm.  Mixed-
+// precision solvers use this as the inner/smoother storage precision; the
+// quantization error is recovered by outer reliable updates.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "fields/colorspinor.h"
+
+namespace qmg {
+
+class HalfSpinorField {
+ public:
+  HalfSpinorField() = default;
+
+  HalfSpinorField(GeometryPtr geom, int nspin, int ncolor,
+                  Subset subset = Subset::Full)
+      : geom_(std::move(geom)), nspin_(nspin), ncolor_(ncolor),
+        subset_(subset) {
+    nsites_ = subset == Subset::Full ? geom_->volume() : geom_->half_volume();
+    comps_.assign(static_cast<size_t>(nsites_) * nspin_ * ncolor_ * 2, 0);
+    norms_.assign(static_cast<size_t>(nsites_), 0.0f);
+  }
+
+  long nsites() const { return nsites_; }
+  int nspin() const { return nspin_; }
+  int ncolor() const { return ncolor_; }
+  Subset subset() const { return subset_; }
+
+  /// Bytes per site of this format (components + norm) — used by the
+  /// bandwidth model.
+  size_t bytes_per_site() const {
+    return static_cast<size_t>(nspin_) * ncolor_ * 2 * sizeof(std::int16_t) +
+           sizeof(float);
+  }
+
+  /// Quantize a float field into half storage.
+  void store(const ColorSpinorField<float>& in) {
+    const int dof = nspin_ * ncolor_;
+    for (long i = 0; i < nsites_; ++i) {
+      float max_abs = 0.0f;
+      for (int s = 0; s < nspin_; ++s)
+        for (int c = 0; c < ncolor_; ++c) {
+          const auto v = in(i, s, c);
+          max_abs = std::max({max_abs, std::fabs(v.re), std::fabs(v.im)});
+        }
+      norms_[i] = max_abs;
+      const float scale = max_abs > 0.0f ? 32767.0f / max_abs : 0.0f;
+      std::int16_t* site = comps_.data() + static_cast<size_t>(i) * dof * 2;
+      int k = 0;
+      for (int s = 0; s < nspin_; ++s)
+        for (int c = 0; c < ncolor_; ++c) {
+          const auto v = in(i, s, c);
+          site[k++] = static_cast<std::int16_t>(std::lrintf(v.re * scale));
+          site[k++] = static_cast<std::int16_t>(std::lrintf(v.im * scale));
+        }
+    }
+  }
+
+  /// Dequantize into a float field.
+  void load(ColorSpinorField<float>& out) const {
+    const int dof = nspin_ * ncolor_;
+    for (long i = 0; i < nsites_; ++i) {
+      const float scale = norms_[i] / 32767.0f;
+      const std::int16_t* site =
+          comps_.data() + static_cast<size_t>(i) * dof * 2;
+      int k = 0;
+      for (int s = 0; s < nspin_; ++s)
+        for (int c = 0; c < ncolor_; ++c) {
+          const float re = site[k++] * scale;
+          const float im = site[k++] * scale;
+          out(i, s, c) = Complex<float>(re, im);
+        }
+    }
+  }
+
+ private:
+  GeometryPtr geom_;
+  int nspin_ = 0;
+  int ncolor_ = 0;
+  long nsites_ = 0;
+  Subset subset_ = Subset::Full;
+  std::vector<std::int16_t> comps_;
+  std::vector<float> norms_;
+};
+
+/// Round-trip a float field through half storage — models the precision a
+/// half-precision smoother actually sees.
+inline void quantize_half(ColorSpinorField<float>& x) {
+  HalfSpinorField h(x.geometry(), x.nspin(), x.ncolor(), x.subset());
+  h.store(x);
+  h.load(x);
+}
+
+}  // namespace qmg

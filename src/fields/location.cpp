@@ -1,0 +1,10 @@
+#include "fields/location.h"
+
+namespace qmg {
+
+TransferLedger& transfer_ledger() {
+  static TransferLedger ledger;
+  return ledger;
+}
+
+}  // namespace qmg

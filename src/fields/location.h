@@ -1,0 +1,46 @@
+#pragma once
+// Execution/memory location abstraction (paper section 5).
+//
+// On the real heterogeneous system fields live either in host (CPU) or
+// device (GPU) memory, connected by PCIe.  Here both locations are host
+// RAM, but the abstraction is preserved: algorithms are written against
+// generic fields, each field knows its location, and migrations are
+// explicit and metered.  The TransferLedger stands in for the PCIe bus —
+// the cluster model uses its byte counts to charge transfer time.
+
+#include <cstdint>
+
+namespace qmg {
+
+enum class Location { Host, Device };
+
+inline const char* to_string(Location l) {
+  return l == Location::Host ? "host" : "device";
+}
+
+/// Process-global accounting of simulated host<->device traffic.
+class TransferLedger {
+ public:
+  void record(Location from, Location to, std::uint64_t bytes) {
+    if (from == to) return;
+    if (to == Location::Device)
+      h2d_bytes_ += bytes;
+    else
+      d2h_bytes_ += bytes;
+    ++transfers_;
+  }
+
+  std::uint64_t h2d_bytes() const { return h2d_bytes_; }
+  std::uint64_t d2h_bytes() const { return d2h_bytes_; }
+  std::uint64_t transfers() const { return transfers_; }
+  void reset() { h2d_bytes_ = d2h_bytes_ = transfers_ = 0; }
+
+ private:
+  std::uint64_t h2d_bytes_ = 0;
+  std::uint64_t d2h_bytes_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+TransferLedger& transfer_ledger();
+
+}  // namespace qmg

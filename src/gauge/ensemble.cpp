@@ -1,0 +1,143 @@
+#include "gauge/ensemble.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace qmg {
+
+template <typename T>
+GaugeField<T> unit_gauge(GeometryPtr geom) {
+  return GaugeField<T>(std::move(geom));
+}
+
+template <typename T>
+GaugeField<T> random_gauge(GeometryPtr geom, std::uint64_t seed) {
+  GaugeField<T> gauge(std::move(geom));
+  const SiteRng rng(seed);
+  const auto& g = *gauge.geometry();
+  for (int mu = 0; mu < kNDim; ++mu)
+    for (long s = 0; s < g.volume(); ++s)
+      gauge.link(mu, s) = random_su3<T>(rng, s, 100 * mu);
+  return gauge;
+}
+
+template <typename T>
+GaugeField<T> disordered_gauge(GeometryPtr geom, double roughness,
+                               std::uint64_t seed, int sweeps) {
+  GaugeField<T> gauge(std::move(geom));
+  if (roughness <= 0.0) return gauge;
+  const auto& g = *gauge.geometry();
+  const T eps = static_cast<T>(roughness);
+  const SiteRng rng(seed);
+  for (int mu = 0; mu < kNDim; ++mu)
+    for (long s = 0; s < g.volume(); ++s)
+      gauge.link(mu, s) =
+          random_su3_near_identity<T>(rng, s, 1000 * (mu + 1), eps);
+
+  // Relaxation sweeps: replace each link by the reunitarized average with
+  // its "staple-free" neighbors along mu, introducing smoothness akin to APE
+  // smearing so the ensemble is not pure white noise.
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    GaugeField<T> next = gauge;
+    for (int mu = 0; mu < kNDim; ++mu)
+      for (long s = 0; s < g.volume(); ++s) {
+        Su3<T> avg = gauge.link(mu, s) * T(2);
+        for (int nu = 0; nu < kNDim; ++nu) {
+          if (nu == mu) continue;
+          avg += gauge.link(mu, g.neighbor_fwd(s, nu)) * T(0.5);
+          avg += gauge.link(mu, g.neighbor_bwd(s, nu)) * T(0.5);
+        }
+        reunitarize(avg);
+        next.link(mu, s) = avg;
+      }
+    gauge = std::move(next);
+  }
+  return gauge;
+}
+
+template <typename T>
+double average_plaquette(const GaugeField<T>& gauge) {
+  const auto& g = *gauge.geometry();
+  double sum = 0;
+  long count = 0;
+  for (long s = 0; s < g.volume(); ++s)
+    for (int mu = 0; mu < kNDim; ++mu)
+      for (int nu = mu + 1; nu < kNDim; ++nu) {
+        // P = U_mu(x) U_nu(x+mu) U_mu(x+nu)^dag U_nu(x)^dag
+        const Su3<T> p = gauge.link(mu, s) *
+                         gauge.link(nu, g.neighbor_fwd(s, mu)) *
+                         adjoint(gauge.link(mu, g.neighbor_fwd(s, nu))) *
+                         adjoint(gauge.link(nu, s));
+        sum += trace(p).re / 3.0;
+        ++count;
+      }
+  return sum / static_cast<double>(count);
+}
+
+void save_gauge(const GaugeField<double>& gauge, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  const auto& g = *gauge.geometry();
+  const char magic[8] = {'q', 'm', 'g', 'G', 'A', 'U', 'G', 'E'};
+  std::fwrite(magic, 1, 8, f);
+  std::int64_t dims[4];
+  for (int mu = 0; mu < 4; ++mu) dims[mu] = g.dim(mu);
+  std::fwrite(dims, sizeof(std::int64_t), 4, f);
+  const double aniso = gauge.anisotropy();
+  std::fwrite(&aniso, sizeof(double), 1, f);
+  for (int mu = 0; mu < kNDim; ++mu)
+    for (long s = 0; s < g.volume(); ++s)
+      std::fwrite(gauge.link(mu, s).e.data(), sizeof(complexd), 9, f);
+  std::fclose(f);
+}
+
+GaugeField<double> load_gauge(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("cannot open " + path);
+  char magic[8];
+  if (std::fread(magic, 1, 8, f) != 8 || std::string(magic, 8) != "qmgGAUGE") {
+    std::fclose(f);
+    throw std::runtime_error("bad gauge file header in " + path);
+  }
+  std::int64_t dims[4];
+  if (std::fread(dims, sizeof(std::int64_t), 4, f) != 4) {
+    std::fclose(f);
+    throw std::runtime_error("truncated gauge file " + path);
+  }
+  double aniso = 1.0;
+  if (std::fread(&aniso, sizeof(double), 1, f) != 1) {
+    std::fclose(f);
+    throw std::runtime_error("truncated gauge file " + path);
+  }
+  auto geom = make_geometry(Coord{static_cast<int>(dims[0]),
+                                  static_cast<int>(dims[1]),
+                                  static_cast<int>(dims[2]),
+                                  static_cast<int>(dims[3])});
+  GaugeField<double> gauge(geom);
+  gauge.set_anisotropy(aniso);
+  for (int mu = 0; mu < kNDim; ++mu)
+    for (long s = 0; s < geom->volume(); ++s) {
+      if (std::fread(gauge.link(mu, s).e.data(), sizeof(complexd), 9, f) != 9) {
+        std::fclose(f);
+        throw std::runtime_error("truncated gauge file " + path);
+      }
+    }
+  std::fclose(f);
+  return gauge;
+}
+
+// Explicit instantiations.
+template GaugeField<double> unit_gauge<double>(GeometryPtr);
+template GaugeField<float> unit_gauge<float>(GeometryPtr);
+template GaugeField<double> random_gauge<double>(GeometryPtr, std::uint64_t);
+template GaugeField<float> random_gauge<float>(GeometryPtr, std::uint64_t);
+template GaugeField<double> disordered_gauge<double>(GeometryPtr, double,
+                                                     std::uint64_t, int);
+template GaugeField<float> disordered_gauge<float>(GeometryPtr, double,
+                                                   std::uint64_t, int);
+template double average_plaquette<double>(const GaugeField<double>&);
+template double average_plaquette<float>(const GaugeField<float>&);
+
+}  // namespace qmg

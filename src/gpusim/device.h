@@ -1,0 +1,74 @@
+#pragma once
+// SIMT device performance model.
+//
+// This machine has no GPU, so the paper's single-GPU measurements (Fig. 2)
+// are regenerated from a calibrated analytic model of the Tesla K20X.  The
+// model combines the four effects the paper identifies as governing
+// coarse-grid kernel throughput:
+//
+//   1. roofline: min(peak flops, achievable bandwidth x arithmetic
+//      intensity) — the coarse operator is bandwidth bound at AI ~ 1
+//      (section 6.5: "140 GFLOPS represents around 80% of achievable
+//      STREAM bandwidth");
+//   2. occupancy: throughput ramps with the number of resident warps until
+//      instruction/memory latency is hidden ("requires upwards of ten
+//      thousand active threads", section 1);
+//   3. warp efficiency: with fewer threads than a warp (the 2^4 = 16-site
+//      grid), SIMD lanes idle (section 6.4);
+//   4. Amdahl indexing overhead: the fixed per-thread cost of coordinate
+//      arithmetic (Listing 2) bounds the speedup of ever finer splitting
+//      (section 6.5: profiling showed the fixed indexing cost to be the
+//      Amdahl's-law limiter on the 2^4 lattice).
+//
+// Calibration targets (paper numbers) are in EXPERIMENTS.md.
+
+#include <string>
+
+namespace qmg {
+
+struct DeviceSpec {
+  std::string name;
+  int sm_count = 14;
+  int warp_size = 32;
+  int max_threads_per_sm = 2048;
+  double clock_ghz = 0.732;
+  double peak_fp32_gflops = 3935.0;
+  double mem_bw_gbs = 250.0;            // theoretical
+  double stream_fraction = 0.70;        // achievable/theoretical (STREAM)
+  double stencil_bw_efficiency = 0.80;  // stencil vs STREAM (section 6.5)
+  int dep_latency_cycles = 9;           // Kepler; 6 on Maxwell/Pascal
+  // Threads needed to reach 50% of the latency-hidden throughput.
+  double occupancy_half_point = 9000.0;
+
+  /// Achievable streaming bandwidth in GB/s.
+  double achievable_bw() const { return mem_bw_gbs * stream_fraction; }
+
+  static DeviceSpec tesla_k20x();   // Titan's GPU (the paper's platform)
+  static DeviceSpec maxwell_m40();  // lower dependent-instruction latency
+  static DeviceSpec pascal_p100();
+};
+
+/// One kernel launch, reduced to what the model needs.
+struct KernelWork {
+  double flops = 0;        // useful floating-point work
+  double bytes = 0;        // unavoidable memory traffic
+  long threads = 0;        // simulated CUDA threads launched
+  double flops_per_thread = 0;
+  // Fixed per-thread overhead in cycles: index arithmetic (Listing 2) plus
+  // reduction steps (shared-memory and shuffle) added by finer splitting.
+  double overhead_cycles_per_thread = 0;
+  // Instruction-level parallelism exposed per thread (Listing 5); partially
+  // offsets the dependent-instruction latency term.
+  int ilp = 1;
+  // Streaming kernels (BLAS, packing, transfers) are pure bandwidth: their
+  // time is bytes over achieved bandwidth, not flops over a flop rate.
+  bool streaming = false;
+};
+
+/// Estimated sustained GFLOPS for the kernel on the device.
+double estimate_gflops(const DeviceSpec& dev, const KernelWork& work);
+
+/// Estimated execution time in seconds.
+double estimate_seconds(const DeviceSpec& dev, const KernelWork& work);
+
+}  // namespace qmg

@@ -1,0 +1,146 @@
+#include "gpusim/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace qmg {
+
+namespace {
+// Fixed per-thread cost of the coordinate arithmetic of Listing 2 (integer
+// divisions dominate).  The paper identifies this as the Amdahl's-law
+// limiter on the 2^4 grid and suggests host-precomputed magic numbers as
+// future work (section 6.5).
+constexpr double kIndexOverheadCycles = 100.0;
+}  // namespace
+
+KernelWork coarse_op_work(long volume, int block_dim,
+                          const CoarseKernelConfig& config,
+                          SimPrecision precision) {
+  const double n = block_dim;
+  const double pb = 2 * bytes_per_real(precision);  // complex
+  KernelWork w;
+  w.flops = 72.0 * n * n * static_cast<double>(volume);
+  w.bytes = (9.0 * n * n + 10.0 * n) * pb * static_cast<double>(volume);
+  w.threads = config.threads(volume, block_dim);
+  w.flops_per_thread = w.flops / static_cast<double>(w.threads);
+  w.ilp = config.ilp;
+
+  double overhead = kIndexOverheadCycles;
+  if (config.strategy >= Strategy::StencilDir) {
+    // Shared-memory partial store + block synchronization + final gather
+    // (section 6.3 steps 2-4).
+    overhead += 6.0 * config.dir_split;
+  }
+  if (config.strategy >= Strategy::DotProduct) {
+    // Cascading warp-shuffle reduction (Listing 4): log2(split) steps.
+    overhead += 8.0 * std::log2(std::max(config.dot_split, 2));
+  }
+  w.overhead_cycles_per_thread = overhead;
+  return w;
+}
+
+KernelWork wilson_work(long volume, SimPrecision precision,
+                       int reconstruct_reals, bool clover,
+                       double cache_reuse) {
+  const double br = bytes_per_real(precision);
+  KernelWork w;
+  w.flops = (1320.0 + (clover ? 504.0 : 0.0)) * static_cast<double>(volume);
+  // Per site: 8 gauge links, 1 spinor write, 1 + 8*(1-reuse) spinor reads,
+  // clover block, plus half-precision norms.
+  double site_bytes = 8.0 * reconstruct_reals * br          // gauge
+                      + (2.0 + 8.0 * (1.0 - cache_reuse)) * 24.0 * br;
+  if (clover) site_bytes += 72.0 * br;  // two Hermitian 6x6 blocks packed
+  if (precision == SimPrecision::Half) site_bytes += 10.0 * 4.0;  // norms
+  w.bytes = site_bytes * static_cast<double>(volume);
+  w.threads = volume;  // grid parallelism only (section 6: fine grids)
+  w.flops_per_thread = w.flops / static_cast<double>(std::max(w.threads, 1L));
+  w.overhead_cycles_per_thread = kIndexOverheadCycles;
+  w.ilp = 2;  // the fine dslash has ample ILP across spin-color
+  return w;
+}
+
+KernelWork blas_axpy_work(double n_complex, SimPrecision precision) {
+  const double pb = 2 * bytes_per_real(precision);
+  KernelWork w;
+  w.flops = 8.0 * n_complex;
+  w.bytes = 3.0 * pb * n_complex;
+  w.threads = static_cast<long>(n_complex);
+  w.flops_per_thread = 8.0;
+  w.overhead_cycles_per_thread = 10.0;  // trivial linear indexing
+  w.ilp = 2;
+  w.streaming = true;
+  return w;
+}
+
+KernelWork reduction_work(double n_complex, SimPrecision precision) {
+  const double pb = 2 * bytes_per_real(precision);
+  KernelWork w;
+  w.flops = 8.0 * n_complex;
+  w.bytes = pb * n_complex;
+  w.threads = static_cast<long>(n_complex);
+  w.flops_per_thread = 8.0;
+  w.overhead_cycles_per_thread = 24.0;  // tree reduction tail
+  w.ilp = 2;
+  w.streaming = true;
+  return w;
+}
+
+KernelWork transfer_work(long fine_volume, int fine_dof, int nvec,
+                         SimPrecision precision) {
+  const double pb = 2 * bytes_per_real(precision);
+  KernelWork w;
+  // Each fine dof contracts against nvec null-vector components.
+  w.flops = 8.0 * static_cast<double>(fine_volume) * fine_dof * nvec;
+  w.bytes = pb * static_cast<double>(fine_volume) * fine_dof * (nvec + 2.0);
+  w.threads = fine_volume * fine_dof;  // parallelized over fine geometry
+  w.flops_per_thread = 8.0 * nvec;
+  w.overhead_cycles_per_thread = kIndexOverheadCycles;
+  w.ilp = 2;
+  w.streaming = true;
+  return w;
+}
+
+KernelWork halo_pack_work(long surface_sites, int dof,
+                          SimPrecision precision) {
+  const double pb = 2 * bytes_per_real(precision);
+  KernelWork w;
+  w.flops = 2.0 * static_cast<double>(surface_sites) * dof;
+  w.bytes = 2.0 * pb * static_cast<double>(surface_sites) * dof;
+  w.threads = surface_sites * dof;  // fine-grained site+color+spin packing
+  w.flops_per_thread = 2.0;
+  w.overhead_cycles_per_thread = kIndexOverheadCycles;
+  w.ilp = 1;
+  w.streaming = true;
+  return w;
+}
+
+double best_coarse_gflops(const DeviceSpec& dev, long volume, int block_dim,
+                          Strategy max_strategy,
+                          CoarseKernelConfig* best_config) {
+  std::vector<CoarseKernelConfig> candidates;
+  for (int ilp : {1, 2}) {
+    candidates.push_back({Strategy::GridOnly, 1, 1, ilp});
+    if (max_strategy >= Strategy::ColorSpin)
+      candidates.push_back({Strategy::ColorSpin, 1, 1, ilp});
+    if (max_strategy >= Strategy::StencilDir)
+      for (int ds : {2, 3, 9})
+        candidates.push_back({Strategy::StencilDir, ds, 1, ilp});
+    if (max_strategy >= Strategy::DotProduct)
+      for (int ds : {1, 3, 9})
+        for (int dot : {2, 4})
+          candidates.push_back({Strategy::DotProduct, ds, dot, ilp});
+  }
+  double best = 0;
+  for (const auto& cand : candidates) {
+    const double gf = estimate_gflops(dev, coarse_op_work(volume, block_dim,
+                                                          cand));
+    if (gf > best) {
+      best = gf;
+      if (best_config) *best_config = cand;
+    }
+  }
+  return best;
+}
+
+}  // namespace qmg

@@ -1,0 +1,55 @@
+#pragma once
+// KernelWork builders for the lattice kernels of this library: translate a
+// kernel invocation (volume, degrees of freedom, launch policy, precision)
+// into the flop/byte/thread/overhead counts the device model consumes.
+
+#include "gpusim/device.h"
+#include "parallel/strategy.h"
+
+namespace qmg {
+
+/// Bytes per real number for a storage precision.
+enum class SimPrecision { Double = 8, Single = 4, Half = 2 };
+
+inline double bytes_per_real(SimPrecision p) {
+  return static_cast<double>(static_cast<int>(p));
+}
+
+/// Coarse-grid operator apply (Eq. 3): 9 dense (2Nc)^2 blocks per site.
+/// `config` determines the thread decomposition and the per-thread
+/// reduction overhead (sections 6.1-6.4).
+KernelWork coarse_op_work(long volume, int block_dim,
+                          const CoarseKernelConfig& config,
+                          SimPrecision precision = SimPrecision::Single);
+
+/// Fine-grid Wilson-Clover dslash.  `reconstruct_reals` is 18, 12 or 8;
+/// `cache_reuse` is the fraction of neighbor spinor loads served by the
+/// texture/L2 cache (nearest-neighbor stencils reuse most loads).
+KernelWork wilson_work(long volume, SimPrecision precision,
+                       int reconstruct_reals = 12, bool clover = true,
+                       double cache_reuse = 0.85);
+
+/// Streaming BLAS (axpy-like): reads 2 vectors, writes 1.
+KernelWork blas_axpy_work(double n_complex, SimPrecision precision);
+
+/// Reduction (norm/dot): reads vectors, produces a scalar.
+KernelWork reduction_work(double n_complex, SimPrecision precision);
+
+/// Prolongator / restrictor between a fine grid with `fine_dof` complex
+/// components per site and nvec coarse components (section 6.6).
+KernelWork transfer_work(long fine_volume, int fine_dof, int nvec,
+                         SimPrecision precision);
+
+/// Halo packing kernel (section 6.5): fine-grained over site, color, spin.
+KernelWork halo_pack_work(long surface_sites, int dof,
+                          SimPrecision precision);
+
+/// Best modeled coarse-operator GFLOPS over the cumulative configuration
+/// space of `max_strategy` — later strategies may also disable their extra
+/// split, so each Fig. 2 series is the autotuned optimum of a superset of
+/// the previous series' launch policies (sections 6.3 and 6.5).
+double best_coarse_gflops(const DeviceSpec& dev, long volume, int block_dim,
+                          Strategy max_strategy,
+                          CoarseKernelConfig* best_config = nullptr);
+
+}  // namespace qmg

@@ -1,0 +1,34 @@
+#include "lattice/blockmap.h"
+
+#include <stdexcept>
+
+namespace qmg {
+
+BlockMap::BlockMap(GeometryPtr fine, const Coord& block)
+    : fine_(std::move(fine)), block_(block) {
+  Coord cdims;
+  block_volume_ = 1;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    if (block_[mu] < 1 || fine_->dim(mu) % block_[mu] != 0)
+      throw std::invalid_argument(
+          "block extent must divide the fine lattice dimension");
+    cdims[mu] = fine_->dim(mu) / block_[mu];
+    block_volume_ *= block_[mu];
+  }
+  coarse_ = make_geometry(cdims);
+
+  coarse_of_fine_.resize(fine_->volume());
+  sites_of_block_.resize(coarse_->volume());
+  for (auto& v : sites_of_block_) v.reserve(block_volume_);
+
+  for (long idx = 0; idx < fine_->volume(); ++idx) {
+    const Coord x = fine_->coords(idx);
+    Coord cx;
+    for (int mu = 0; mu < kNDim; ++mu) cx[mu] = x[mu] / block_[mu];
+    const long c = coarse_->index(cx);
+    coarse_of_fine_[idx] = static_cast<std::int32_t>(c);
+    sites_of_block_[c].push_back(static_cast<std::int32_t>(idx));
+  }
+}
+
+}  // namespace qmg

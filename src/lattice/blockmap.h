@@ -1,0 +1,41 @@
+#pragma once
+// Geometric aggregation: partition the fine lattice into regular,
+// non-overlapping hypercubic blocks (paper section 3.4).  Each block becomes
+// one coarse-grid site; the fine sites of a block (together with a chirality)
+// form one aggregate for the adaptive-MG block orthonormalization.
+
+#include <memory>
+#include <vector>
+
+#include "lattice/geometry.h"
+
+namespace qmg {
+
+class BlockMap {
+ public:
+  /// block = aggregate extent in each dimension; must divide the fine dims.
+  BlockMap(GeometryPtr fine, const Coord& block);
+
+  const GeometryPtr& fine() const { return fine_; }
+  const GeometryPtr& coarse() const { return coarse_; }
+  const Coord& block() const { return block_; }
+  long block_volume() const { return block_volume_; }
+
+  /// Coarse-site index that fine site idx belongs to.
+  long coarse_site(long fine_idx) const { return coarse_of_fine_[fine_idx]; }
+
+  /// Fine sites belonging to coarse site c (size == block_volume()).
+  const std::vector<std::int32_t>& block_sites(long coarse_idx) const {
+    return sites_of_block_[coarse_idx];
+  }
+
+ private:
+  GeometryPtr fine_;
+  GeometryPtr coarse_;
+  Coord block_;
+  long block_volume_;
+  std::vector<std::int32_t> coarse_of_fine_;
+  std::vector<std::vector<std::int32_t>> sites_of_block_;
+};
+
+}  // namespace qmg

@@ -1,0 +1,48 @@
+#include "lattice/geometry.h"
+
+#include <stdexcept>
+
+namespace qmg {
+
+LatticeGeometry::LatticeGeometry(const Coord& dims) : dims_(dims) {
+  volume_ = 1;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    if (dims_[mu] < 1) throw std::invalid_argument("lattice dim must be >= 1");
+    volume_ *= dims_[mu];
+  }
+  // Red-black decomposition needs an even number of sites overall so the two
+  // checkerboards have equal size; we additionally require even total volume.
+  if (volume_ % 2 != 0)
+    throw std::invalid_argument("lattice volume must be even for red-black");
+
+  parity_.resize(volume_);
+  cb_of_lex_.resize(volume_);
+  lex_of_cb_[0].reserve(volume_ / 2);
+  lex_of_cb_[1].reserve(volume_ / 2);
+
+  for (long idx = 0; idx < volume_; ++idx) {
+    const Coord x = coords(idx);
+    const int p = parity_of(x);
+    parity_[idx] = static_cast<std::uint8_t>(p);
+    cb_of_lex_[idx] = static_cast<std::int32_t>(lex_of_cb_[p].size());
+    lex_of_cb_[p].push_back(static_cast<std::int32_t>(idx));
+  }
+
+  for (int mu = 0; mu < kNDim; ++mu) {
+    fwd_[mu].resize(volume_);
+    bwd_[mu].resize(volume_);
+  }
+  for (long idx = 0; idx < volume_; ++idx) {
+    const Coord x = coords(idx);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      Coord xf = x;
+      Coord xb = x;
+      xf[mu] = (x[mu] + 1) % dims_[mu];
+      xb[mu] = (x[mu] - 1 + dims_[mu]) % dims_[mu];
+      fwd_[mu][idx] = static_cast<std::int32_t>(index(xf));
+      bwd_[mu][idx] = static_cast<std::int32_t>(index(xb));
+    }
+  }
+}
+
+}  // namespace qmg

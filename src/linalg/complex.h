@@ -1,0 +1,139 @@
+#pragma once
+// Lightweight complex type.
+//
+// std::complex multiplication lowers to a library call (__mulsc3) to handle
+// NaN corner cases unless -ffast-math is enabled; for stencil kernels that is
+// a large overhead.  This type performs the naive (a*c - b*d, a*d + b*c)
+// product, which is what every lattice QCD code uses.  It is layout
+// compatible with std::complex (two contiguous reals).
+
+#include <cmath>
+#include <iosfwd>
+#include <ostream>
+
+namespace qmg {
+
+template <typename T>
+struct Complex {
+  T re{};
+  T im{};
+
+  constexpr Complex() = default;
+  constexpr Complex(T r) : re(r), im(0) {}
+  constexpr Complex(T r, T i) : re(r), im(i) {}
+
+  template <typename U>
+  explicit constexpr Complex(const Complex<U>& o)
+      : re(static_cast<T>(o.re)), im(static_cast<T>(o.im)) {}
+
+  constexpr T real() const { return re; }
+  constexpr T imag() const { return im; }
+
+  constexpr Complex& operator+=(const Complex& o) {
+    re += o.re;
+    im += o.im;
+    return *this;
+  }
+  constexpr Complex& operator-=(const Complex& o) {
+    re -= o.re;
+    im -= o.im;
+    return *this;
+  }
+  constexpr Complex& operator*=(const Complex& o) {
+    const T r = re * o.re - im * o.im;
+    im = re * o.im + im * o.re;
+    re = r;
+    return *this;
+  }
+  constexpr Complex& operator*=(T s) {
+    re *= s;
+    im *= s;
+    return *this;
+  }
+  constexpr Complex& operator/=(T s) {
+    re /= s;
+    im /= s;
+    return *this;
+  }
+
+  constexpr Complex operator-() const { return {-re, -im}; }
+};
+
+template <typename T>
+constexpr Complex<T> operator+(Complex<T> a, const Complex<T>& b) {
+  return a += b;
+}
+template <typename T>
+constexpr Complex<T> operator-(Complex<T> a, const Complex<T>& b) {
+  return a -= b;
+}
+template <typename T>
+constexpr Complex<T> operator*(Complex<T> a, const Complex<T>& b) {
+  return a *= b;
+}
+template <typename T>
+constexpr Complex<T> operator*(Complex<T> a, T s) {
+  return a *= s;
+}
+template <typename T>
+constexpr Complex<T> operator*(T s, Complex<T> a) {
+  return a *= s;
+}
+template <typename T>
+constexpr Complex<T> operator/(Complex<T> a, T s) {
+  return a /= s;
+}
+
+template <typename T>
+constexpr Complex<T> operator/(const Complex<T>& a, const Complex<T>& b) {
+  const T d = b.re * b.re + b.im * b.im;
+  return {(a.re * b.re + a.im * b.im) / d, (a.im * b.re - a.re * b.im) / d};
+}
+
+template <typename T>
+constexpr bool operator==(const Complex<T>& a, const Complex<T>& b) {
+  return a.re == b.re && a.im == b.im;
+}
+
+template <typename T>
+constexpr Complex<T> conj(const Complex<T>& a) {
+  return {a.re, -a.im};
+}
+
+/// |a|^2.
+template <typename T>
+constexpr T norm2(const Complex<T>& a) {
+  return a.re * a.re + a.im * a.im;
+}
+
+template <typename T>
+inline T abs(const Complex<T>& a) {
+  return std::sqrt(norm2(a));
+}
+
+template <typename T>
+inline T arg(const Complex<T>& a) {
+  return std::atan2(a.im, a.re);
+}
+
+/// Fused conj(a)*b — the ubiquitous inner-product kernel.
+template <typename T>
+constexpr Complex<T> conj_mul(const Complex<T>& a, const Complex<T>& b) {
+  return {a.re * b.re + a.im * b.im, a.re * b.im - a.im * b.re};
+}
+
+/// e^{i theta}.
+template <typename T>
+inline Complex<T> polar1(T theta) {
+  return {std::cos(theta), std::sin(theta)};
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Complex<T>& a) {
+  return os << "(" << a.re << (a.im < 0 ? "" : "+") << a.im << "i)";
+}
+
+using complexd = Complex<double>;
+using complexf = Complex<float>;
+
+}  // namespace qmg

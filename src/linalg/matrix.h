@@ -1,0 +1,160 @@
+#pragma once
+// Fixed-size dense complex matrices and vectors (compile-time dimensions).
+// These model the per-site objects of lattice QCD: SU(3) link matrices,
+// 4x4 spin matrices, 12-component color-spinors.
+
+#include <array>
+#include <cmath>
+
+#include "linalg/complex.h"
+
+namespace qmg {
+
+template <typename T, int R, int C>
+struct Matrix {
+  std::array<Complex<T>, R * C> e{};
+
+  static constexpr int rows = R;
+  static constexpr int cols = C;
+
+  constexpr Complex<T>& operator()(int r, int c) { return e[r * C + c]; }
+  constexpr const Complex<T>& operator()(int r, int c) const {
+    return e[r * C + c];
+  }
+
+  constexpr Matrix& operator+=(const Matrix& o) {
+    for (int i = 0; i < R * C; ++i) e[i] += o.e[i];
+    return *this;
+  }
+  constexpr Matrix& operator-=(const Matrix& o) {
+    for (int i = 0; i < R * C; ++i) e[i] -= o.e[i];
+    return *this;
+  }
+  constexpr Matrix& operator*=(const Complex<T>& s) {
+    for (auto& x : e) x *= s;
+    return *this;
+  }
+  constexpr Matrix& operator*=(T s) {
+    for (auto& x : e) x *= s;
+    return *this;
+  }
+
+  static constexpr Matrix zero() { return Matrix{}; }
+
+  static constexpr Matrix identity() {
+    static_assert(R == C, "identity requires square matrix");
+    Matrix m{};
+    for (int i = 0; i < R; ++i) m(i, i) = Complex<T>(1);
+    return m;
+  }
+};
+
+template <typename T, int N>
+using Vector = Matrix<T, N, 1>;
+
+template <typename T, int R, int C>
+constexpr Matrix<T, R, C> operator+(Matrix<T, R, C> a,
+                                    const Matrix<T, R, C>& b) {
+  return a += b;
+}
+template <typename T, int R, int C>
+constexpr Matrix<T, R, C> operator-(Matrix<T, R, C> a,
+                                    const Matrix<T, R, C>& b) {
+  return a -= b;
+}
+template <typename T, int R, int C>
+constexpr Matrix<T, R, C> operator*(Matrix<T, R, C> a, const Complex<T>& s) {
+  return a *= s;
+}
+template <typename T, int R, int C>
+constexpr Matrix<T, R, C> operator*(const Complex<T>& s, Matrix<T, R, C> a) {
+  return a *= s;
+}
+template <typename T, int R, int C>
+constexpr Matrix<T, R, C> operator*(Matrix<T, R, C> a, T s) {
+  return a *= s;
+}
+template <typename T, int R, int C>
+constexpr Matrix<T, R, C> operator*(T s, Matrix<T, R, C> a) {
+  return a *= s;
+}
+
+template <typename T, int R, int K, int C>
+constexpr Matrix<T, R, C> operator*(const Matrix<T, R, K>& a,
+                                    const Matrix<T, K, C>& b) {
+  Matrix<T, R, C> out{};
+  for (int r = 0; r < R; ++r)
+    for (int k = 0; k < K; ++k) {
+      const Complex<T> ark = a(r, k);
+      for (int c = 0; c < C; ++c) out(r, c) += ark * b(k, c);
+    }
+  return out;
+}
+
+/// Hermitian conjugate.
+template <typename T, int R, int C>
+constexpr Matrix<T, C, R> adjoint(const Matrix<T, R, C>& a) {
+  Matrix<T, C, R> out{};
+  for (int r = 0; r < R; ++r)
+    for (int c = 0; c < C; ++c) out(c, r) = conj(a(r, c));
+  return out;
+}
+
+template <typename T, int R, int C>
+constexpr Matrix<T, C, R> transpose(const Matrix<T, R, C>& a) {
+  Matrix<T, C, R> out{};
+  for (int r = 0; r < R; ++r)
+    for (int c = 0; c < C; ++c) out(c, r) = a(r, c);
+  return out;
+}
+
+template <typename T, int R, int C>
+constexpr Matrix<T, R, C> conj(const Matrix<T, R, C>& a) {
+  Matrix<T, R, C> out{};
+  for (int i = 0; i < R * C; ++i) out.e[i] = conj(a.e[i]);
+  return out;
+}
+
+template <typename T, int N>
+constexpr Complex<T> trace(const Matrix<T, N, N>& a) {
+  Complex<T> t{};
+  for (int i = 0; i < N; ++i) t += a(i, i);
+  return t;
+}
+
+/// Frobenius norm squared.
+template <typename T, int R, int C>
+constexpr T norm2(const Matrix<T, R, C>& a) {
+  T n{};
+  for (const auto& x : a.e) n += norm2(x);
+  return n;
+}
+
+/// <a, b> = sum conj(a_i) b_i.
+template <typename T, int R, int C>
+constexpr Complex<T> dot(const Matrix<T, R, C>& a, const Matrix<T, R, C>& b) {
+  Complex<T> d{};
+  for (int i = 0; i < R * C; ++i) d += conj_mul(a.e[i], b.e[i]);
+  return d;
+}
+
+template <typename T, int N>
+constexpr Complex<T> det3(const Matrix<T, N, N>& a) {
+  static_assert(N == 3, "det3 is for 3x3 matrices");
+  return a(0, 0) * (a(1, 1) * a(2, 2) - a(1, 2) * a(2, 1)) -
+         a(0, 1) * (a(1, 0) * a(2, 2) - a(1, 2) * a(2, 0)) +
+         a(0, 2) * (a(1, 0) * a(2, 1) - a(1, 1) * a(2, 0));
+}
+
+template <typename T, int R, int C>
+inline T max_abs_deviation(const Matrix<T, R, C>& a,
+                           const Matrix<T, R, C>& b) {
+  T m{};
+  for (int i = 0; i < R * C; ++i) {
+    const T d = std::sqrt(norm2(a.e[i] - b.e[i]));
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+}  // namespace qmg

@@ -1,0 +1,200 @@
+#pragma once
+// Runtime-sized small dense complex matrices.
+//
+// These model objects whose dimension is an algorithm parameter rather than
+// a compile-time constant: the coarse-grid link matrices Y of size
+// (2*Nhat_c)^2 (Eq. 3 of the paper; Nhat_c is the number of null vectors,
+// typically 24 or 32) and the chiral 6x6 clover blocks.  Storage is a flat
+// row-major array; an LU factorization with partial pivoting provides the
+// inverses needed by red-black (Schur-complement) preconditioning.
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "linalg/complex.h"
+
+namespace qmg {
+
+template <typename T>
+class SmallMatrix {
+ public:
+  SmallMatrix() = default;
+  SmallMatrix(int rows, int cols)
+      : rows_(rows), cols_(cols), e_(static_cast<size_t>(rows) * cols) {}
+
+  static SmallMatrix identity(int n) {
+    SmallMatrix m(n, n);
+    for (int i = 0; i < n; ++i) m(i, i) = Complex<T>(1);
+    return m;
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  Complex<T>& operator()(int r, int c) {
+    return e_[static_cast<size_t>(r) * cols_ + c];
+  }
+  const Complex<T>& operator()(int r, int c) const {
+    return e_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  Complex<T>* data() { return e_.data(); }
+  const Complex<T>* data() const { return e_.data(); }
+
+  SmallMatrix& operator+=(const SmallMatrix& o) {
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    for (size_t i = 0; i < e_.size(); ++i) e_[i] += o.e_[i];
+    return *this;
+  }
+  SmallMatrix& operator-=(const SmallMatrix& o) {
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    for (size_t i = 0; i < e_.size(); ++i) e_[i] -= o.e_[i];
+    return *this;
+  }
+  SmallMatrix& operator*=(const Complex<T>& s) {
+    for (auto& x : e_) x *= s;
+    return *this;
+  }
+
+  friend SmallMatrix operator+(SmallMatrix a, const SmallMatrix& b) {
+    return a += b;
+  }
+  friend SmallMatrix operator-(SmallMatrix a, const SmallMatrix& b) {
+    return a -= b;
+  }
+
+  friend SmallMatrix operator*(const SmallMatrix& a, const SmallMatrix& b) {
+    assert(a.cols_ == b.rows_);
+    SmallMatrix out(a.rows_, b.cols_);
+    for (int r = 0; r < a.rows_; ++r)
+      for (int k = 0; k < a.cols_; ++k) {
+        const Complex<T> ark = a(r, k);
+        for (int c = 0; c < b.cols_; ++c) out(r, c) += ark * b(k, c);
+      }
+    return out;
+  }
+
+  SmallMatrix adjoint() const {
+    SmallMatrix out(cols_, rows_);
+    for (int r = 0; r < rows_; ++r)
+      for (int c = 0; c < cols_; ++c) out(c, r) = conj((*this)(r, c));
+    return out;
+  }
+
+  /// y = A x (x, y are raw complex arrays of the right length).
+  void multiply(const Complex<T>* x, Complex<T>* y) const {
+    for (int r = 0; r < rows_; ++r) {
+      Complex<T> acc{};
+      const Complex<T>* row = &e_[static_cast<size_t>(r) * cols_];
+      for (int c = 0; c < cols_; ++c) acc += row[c] * x[c];
+      y[r] = acc;
+    }
+  }
+
+  /// y += A x.
+  void multiply_add(const Complex<T>* x, Complex<T>* y) const {
+    for (int r = 0; r < rows_; ++r) {
+      Complex<T> acc{};
+      const Complex<T>* row = &e_[static_cast<size_t>(r) * cols_];
+      for (int c = 0; c < cols_; ++c) acc += row[c] * x[c];
+      y[r] += acc;
+    }
+  }
+
+  T frobenius_norm2() const {
+    T n{};
+    for (const auto& x : e_) n += norm2(x);
+    return n;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<Complex<T>> e_;
+};
+
+/// LU factorization with partial pivoting for runtime-sized square matrices.
+/// Used to invert the even/odd clover blocks and the coarse diagonal term X
+/// for Schur-complement preconditioning on every level.
+template <typename T>
+class LuFactor {
+ public:
+  explicit LuFactor(const SmallMatrix<T>& a)
+      : n_(a.rows()), lu_(a), piv_(static_cast<size_t>(a.rows())) {
+    assert(a.rows() == a.cols());
+    factor();
+  }
+
+  bool singular() const { return singular_; }
+
+  /// Solve A x = b in place (b becomes x).
+  void solve(Complex<T>* b) const {
+    // Apply pivots.
+    for (int i = 0; i < n_; ++i) {
+      if (piv_[i] != i) std::swap(b[i], b[piv_[i]]);
+    }
+    // Forward substitution (unit lower).
+    for (int i = 1; i < n_; ++i) {
+      Complex<T> acc = b[i];
+      for (int j = 0; j < i; ++j) acc -= lu_(i, j) * b[j];
+      b[i] = acc;
+    }
+    // Backward substitution.
+    for (int i = n_ - 1; i >= 0; --i) {
+      Complex<T> acc = b[i];
+      for (int j = i + 1; j < n_; ++j) acc -= lu_(i, j) * b[j];
+      b[i] = acc / lu_(i, i);
+    }
+  }
+
+  SmallMatrix<T> inverse() const {
+    SmallMatrix<T> inv = SmallMatrix<T>::identity(n_);
+    std::vector<Complex<T>> col(static_cast<size_t>(n_));
+    SmallMatrix<T> out(n_, n_);
+    for (int c = 0; c < n_; ++c) {
+      for (int r = 0; r < n_; ++r) col[r] = inv(r, c);
+      solve(col.data());
+      for (int r = 0; r < n_; ++r) out(r, c) = col[r];
+    }
+    return out;
+  }
+
+ private:
+  void factor() {
+    for (int k = 0; k < n_; ++k) {
+      // Partial pivot on column k.
+      int p = k;
+      T best = norm2(lu_(k, k));
+      for (int i = k + 1; i < n_; ++i) {
+        const T v = norm2(lu_(i, k));
+        if (v > best) {
+          best = v;
+          p = i;
+        }
+      }
+      piv_[k] = p;
+      if (p != k) {
+        for (int c = 0; c < n_; ++c) std::swap(lu_(k, c), lu_(p, c));
+      }
+      if (best == T(0)) {
+        singular_ = true;
+        continue;
+      }
+      const Complex<T> pivot = lu_(k, k);
+      for (int i = k + 1; i < n_; ++i) {
+        const Complex<T> m = lu_(i, k) / pivot;
+        lu_(i, k) = m;
+        for (int c = k + 1; c < n_; ++c) lu_(i, c) -= m * lu_(k, c);
+      }
+    }
+  }
+
+  int n_;
+  SmallMatrix<T> lu_;
+  std::vector<int> piv_;
+  bool singular_ = false;
+};
+
+}  // namespace qmg

@@ -1,0 +1,156 @@
+#pragma once
+// SU(3) helpers: Haar-random generation, reunitarization, and the gauge-field
+// compression schemes of QUDA (store 12 or 8 reals instead of 18 and
+// reconstruct the rest on the fly, trading flops for memory bandwidth; see
+// paper section 4, strategy (a)).
+
+#include <cmath>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace qmg {
+
+template <typename T>
+using Su3 = Matrix<T, 3, 3>;
+
+/// Project onto SU(3) by Gram-Schmidt on the first two rows and rebuilding
+/// the third as the conjugate cross product (exact for near-unitary input).
+template <typename T>
+inline void reunitarize(Su3<T>& u) {
+  // Normalize row 0.
+  T n0 = 0;
+  for (int c = 0; c < 3; ++c) n0 += norm2(u(0, c));
+  n0 = T(1) / std::sqrt(n0);
+  for (int c = 0; c < 3; ++c) u(0, c) *= n0;
+  // Orthogonalize row 1 against row 0, then normalize.
+  Complex<T> proj{};
+  for (int c = 0; c < 3; ++c) proj += conj_mul(u(0, c), u(1, c));
+  for (int c = 0; c < 3; ++c) u(1, c) -= proj * u(0, c);
+  T n1 = 0;
+  for (int c = 0; c < 3; ++c) n1 += norm2(u(1, c));
+  n1 = T(1) / std::sqrt(n1);
+  for (int c = 0; c < 3; ++c) u(1, c) *= n1;
+  // Row 2 = conj(row0 x row1): guarantees det = +1.
+  u(2, 0) = conj(u(0, 1) * u(1, 2) - u(0, 2) * u(1, 1));
+  u(2, 1) = conj(u(0, 2) * u(1, 0) - u(0, 0) * u(1, 2));
+  u(2, 2) = conj(u(0, 0) * u(1, 1) - u(0, 1) * u(1, 0));
+}
+
+/// Haar-ish random SU(3): complex Gaussian entries followed by
+/// reunitarization.  Adequate for synthetic disordered gauge fields.
+template <typename T>
+inline Su3<T> random_su3(const SiteRng& rng, std::uint64_t site,
+                         std::uint64_t slot_base) {
+  Su3<T> u;
+  for (int i = 0; i < 9; ++i) {
+    u.e[i] = Complex<T>(static_cast<T>(rng.normal(site, slot_base + 2 * i)),
+                        static_cast<T>(rng.normal(site, slot_base + 2 * i + 1)));
+  }
+  reunitarize(u);
+  return u;
+}
+
+/// Small random SU(3) rotation: exp(i eps H) ~ 1 + i eps H, reunitarized.
+/// eps controls the disorder strength of synthetic ensembles.
+template <typename T>
+inline Su3<T> random_su3_near_identity(const SiteRng& rng, std::uint64_t site,
+                                       std::uint64_t slot_base, T eps) {
+  Su3<T> u = Su3<T>::identity();
+  // Hermitian perturbation H with Gaussian entries.
+  for (int r = 0; r < 3; ++r) {
+    u(r, r) += Complex<T>(
+        T(0), eps * static_cast<T>(rng.normal(site, slot_base + 20 + r)));
+  }
+  int slot = 0;
+  for (int r = 0; r < 3; ++r)
+    for (int c = r + 1; c < 3; ++c, ++slot) {
+      const Complex<T> h(
+          static_cast<T>(rng.normal(site, slot_base + 2 * slot)),
+          static_cast<T>(rng.normal(site, slot_base + 2 * slot + 1)));
+      u(r, c) += Complex<T>(T(0), eps) * h;
+      u(c, r) += Complex<T>(T(0), eps) * conj(h);
+    }
+  reunitarize(u);
+  return u;
+}
+
+/// Deviation from unitarity: || U U^dag - 1 ||_F.
+template <typename T>
+inline T unitarity_violation(const Su3<T>& u) {
+  const Su3<T> d = u * adjoint(u) - Su3<T>::identity();
+  return std::sqrt(norm2(d));
+}
+
+// --- Compression -----------------------------------------------------------
+
+/// 12-real compression: store the first two rows; the third row of any SU(3)
+/// matrix is conj(row0 x row1).
+template <typename T>
+struct Su3Compressed12 {
+  Complex<T> row[6];  // rows 0 and 1
+};
+
+template <typename T>
+inline Su3Compressed12<T> compress12(const Su3<T>& u) {
+  Su3Compressed12<T> c;
+  for (int i = 0; i < 6; ++i) c.row[i] = u.e[i];
+  return c;
+}
+
+template <typename T>
+inline Su3<T> reconstruct12(const Su3Compressed12<T>& c) {
+  Su3<T> u;
+  for (int i = 0; i < 6; ++i) u.e[i] = c.row[i];
+  u(2, 0) = conj(u(0, 1) * u(1, 2) - u(0, 2) * u(1, 1));
+  u(2, 1) = conj(u(0, 2) * u(1, 0) - u(0, 0) * u(1, 2));
+  u(2, 2) = conj(u(0, 0) * u(1, 1) - u(0, 1) * u(1, 0));
+  return u;
+}
+
+/// 8-real compression (QUDA reconstruct-8): store u01, u02, u10 as complex
+/// plus the phases of u00 and u20.  Magnitudes follow from row/column
+/// normalization; the remaining 2x2 block follows from orthogonality and the
+/// cross-product identity.
+template <typename T>
+struct Su3Compressed8 {
+  Complex<T> u01, u02, u10;
+  T theta00, theta20;
+};
+
+template <typename T>
+inline Su3Compressed8<T> compress8(const Su3<T>& u) {
+  return {u(0, 1), u(0, 2), u(1, 0), arg(u(0, 0)), arg(u(2, 0))};
+}
+
+template <typename T>
+inline Su3<T> reconstruct8(const Su3Compressed8<T>& c) {
+  Su3<T> u{};
+  const T row0_rest = norm2(c.u01) + norm2(c.u02);
+  const T abs00 = std::sqrt(std::max(T(0), T(1) - row0_rest));
+  u(0, 0) = abs00 * polar1(c.theta00);
+  u(0, 1) = c.u01;
+  u(0, 2) = c.u02;
+  u(1, 0) = c.u10;
+  // Column 0 normalization fixes |u20|.
+  const T abs20sq =
+      std::max(T(0), T(1) - norm2(u(0, 0)) - norm2(c.u10));
+  u(2, 0) = std::sqrt(abs20sq) * polar1(c.theta20);
+  // Solve for u11, u12 from
+  //   row1 . conj(row0) = 0        : conj(u00) u10 + conj(u01) u11 + conj(u02) u12 = 0
+  //   conj(u20) = u01 u12 - u02 u11  (third row is conj cross product)
+  // Linear 2x2 system in (u11, u12) with determinant |u01|^2 + |u02|^2.
+  const Complex<T> rhs1 = -conj(u(0, 0)) * c.u10;
+  const Complex<T> rhs2 = conj(u(2, 0));
+  const T det = row0_rest;  // |u01|^2 + |u02|^2
+  // [ conj(u01)  conj(u02) ] [u11]   [rhs1]
+  // [   -u02        u01    ] [u12] = [rhs2]
+  u(1, 1) = (u(0, 1) * rhs1 - conj(u(0, 2)) * rhs2) / det;
+  u(1, 2) = (u(0, 2) * rhs1 + conj(u(0, 1)) * rhs2) / det;
+  // Third row from the cross-product identity.
+  u(2, 1) = conj(u(0, 2) * u(1, 0) - u(0, 0) * u(1, 2));
+  u(2, 2) = conj(u(0, 0) * u(1, 1) - u(0, 1) * u(1, 0));
+  return u;
+}
+
+}  // namespace qmg

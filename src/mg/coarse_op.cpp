@@ -1,0 +1,284 @@
+#include "mg/coarse_op.h"
+
+#include <cassert>
+
+#include "dirac/gamma.h"
+#include "mg/coarse_row.h"
+#include "parallel/autotune.h"
+#include "util/timer.h"
+
+namespace qmg {
+
+template <typename T>
+CoarseDirac<T>::CoarseDirac(GeometryPtr geom, int ncolor)
+    : geom_(std::move(geom)), nc_(ncolor), n_(2 * ncolor) {
+  const size_t per_site = static_cast<size_t>(n_) * n_;
+  links_.assign(static_cast<size_t>(geom_->volume()) * kNLinks * per_site,
+                Complex<T>{});
+  diag_.assign(static_cast<size_t>(geom_->volume()) * per_site, Complex<T>{});
+}
+
+template <typename T>
+typename CoarseDirac<T>::Field CoarseDirac<T>::create_vector() const {
+  return Field(geom_, kNSpin, nc_);
+}
+
+template <typename T>
+double CoarseDirac<T>::flops_per_apply() const {
+  // 9 dense NxN complex mat-vecs per site: 8 flops per cmul-add.
+  return 9.0 * 8.0 * n_ * n_ * static_cast<double>(geom_->volume());
+}
+
+template <typename T>
+void CoarseDirac<T>::apply_with_config(
+    Field& out, const Field& in, const CoarseKernelConfig& config) const {
+  assert(in.subset() == Subset::Full);
+  const long v = geom_->volume();
+#pragma omp parallel for
+  for (long site = 0; site < v; ++site) {
+    const Complex<T>* mats[9];
+    const Complex<T>* xin[9];
+    mats[0] = diag_data(site);
+    xin[0] = in.site_data(site);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      mats[1 + 2 * mu] = link_data(site, 2 * mu);
+      xin[1 + 2 * mu] = in.site_data(geom_->neighbor_fwd(site, mu));
+      mats[2 + 2 * mu] = link_data(site, 2 * mu + 1);
+      xin[2 + 2 * mu] = in.site_data(geom_->neighbor_bwd(site, mu));
+    }
+    Complex<T>* dst = out.site_data(site);
+    for (int r = 0; r < n_; ++r)
+      dst[r] = coarse_row(mats, xin, r, n_, config);
+  }
+}
+
+template <typename T>
+void CoarseDirac<T>::apply(Field& out, const Field& in) const {
+  this->count_apply();
+  if (!autotune_) {
+    apply_with_config(out, in, config_);
+    return;
+  }
+  // Autotune on first use for this (volume, N) shape (section 6.5).
+  auto& cache = TuneCache::instance();
+  const std::string key = coarse_tune_key(geom_->volume(), n_);
+  CoarseKernelConfig best;
+  if (!cache.lookup(key, &best)) {
+    best = cache.tune(key, n_, [&](const CoarseKernelConfig& cand) {
+      Timer timer;
+      apply_with_config(out, in, cand);
+      return timer.seconds();
+    });
+  }
+  apply_with_config(out, in, best);
+}
+
+template <typename T>
+void CoarseDirac<T>::apply_dagger(Field& out, const Field& in) const {
+  // Coarse gamma5-Hermiticity: Mhat^dag = Gamma5 Mhat Gamma5 with
+  // Gamma5 = diag(+1_{Nc}, -1_{Nc}) in coarse spin (inherited from the
+  // chirality-preserving aggregation).
+  if (!dagger_tmp_) dagger_tmp_.emplace(create_vector());
+  apply_gamma5(*dagger_tmp_, in);
+  apply(out, *dagger_tmp_);
+  apply_gamma5(out, out);
+}
+
+template <typename T>
+void CoarseDirac<T>::apply_hopping_parity(Field& out, const Field& in,
+                                          int out_parity) const {
+  assert(out.subset() == (out_parity ? Subset::Odd : Subset::Even));
+  const long hv = geom_->half_volume();
+#pragma omp parallel for
+  for (long cb = 0; cb < hv; ++cb) {
+    const long site = geom_->full_index(out_parity, cb);
+    const Complex<T>* mats[8];
+    const Complex<T>* xin[8];
+    for (int mu = 0; mu < kNDim; ++mu) {
+      mats[2 * mu] = link_data(site, 2 * mu);
+      xin[2 * mu] = in.site_data(geom_->cb_index(geom_->neighbor_fwd(site, mu)));
+      mats[2 * mu + 1] = link_data(site, 2 * mu + 1);
+      xin[2 * mu + 1] =
+          in.site_data(geom_->cb_index(geom_->neighbor_bwd(site, mu)));
+    }
+    Complex<T>* dst = out.site_data(cb);
+    for (int r = 0; r < n_; ++r) {
+      Complex<T> acc{};
+      for (int m = 0; m < 8; ++m) {
+        const Complex<T>* row = mats[m] + static_cast<size_t>(r) * n_;
+        for (int c = 0; c < n_; ++c) acc += row[c] * xin[m][c];
+      }
+      dst[r] = acc;
+    }
+  }
+}
+
+template <typename T>
+void CoarseDirac<T>::apply_diag(Field& out, const Field& in,
+                                int parity) const {
+  const long n_sites = in.nsites();
+#pragma omp parallel for
+  for (long i = 0; i < n_sites; ++i) {
+    const long site = parity >= 0 ? geom_->full_index(parity, i) : i;
+    const Complex<T>* d = diag_data(site);
+    const Complex<T>* src = in.site_data(i);
+    Complex<T>* dst = out.site_data(i);
+    for (int r = 0; r < n_; ++r) {
+      Complex<T> acc{};
+      const Complex<T>* row = d + static_cast<size_t>(r) * n_;
+      for (int c = 0; c < n_; ++c) acc += row[c] * src[c];
+      dst[r] = acc;
+    }
+  }
+}
+
+template <typename T>
+void CoarseDirac<T>::compute_diag_inverse() {
+  const long v = geom_->volume();
+  diag_inv_.assign(static_cast<size_t>(v) * n_ * n_, Complex<T>{});
+#pragma omp parallel for
+  for (long site = 0; site < v; ++site) {
+    SmallMatrix<T> m(n_, n_);
+    const Complex<T>* d = diag_data(site);
+    for (int r = 0; r < n_; ++r)
+      for (int c = 0; c < n_; ++c) m(r, c) = d[static_cast<size_t>(r) * n_ + c];
+    const LuFactor<T> lu(m);
+    const SmallMatrix<T> inv = lu.inverse();
+    Complex<T>* dst = diag_inv_.data() + static_cast<size_t>(site) * n_ * n_;
+    for (int r = 0; r < n_; ++r)
+      for (int c = 0; c < n_; ++c) dst[static_cast<size_t>(r) * n_ + c] = inv(r, c);
+  }
+}
+
+template <typename T>
+void CoarseDirac<T>::apply_diag_inverse(Field& out, const Field& in,
+                                        int parity) const {
+  assert(has_diag_inverse());
+  const long n_sites = in.nsites();
+#pragma omp parallel for
+  for (long i = 0; i < n_sites; ++i) {
+    const long site = parity >= 0 ? geom_->full_index(parity, i) : i;
+    const Complex<T>* d = diag_inv_data(site);
+    const Complex<T>* src = in.site_data(i);
+    Complex<T>* dst = out.site_data(i);
+    for (int r = 0; r < n_; ++r) {
+      Complex<T> acc{};
+      const Complex<T>* row = d + static_cast<size_t>(r) * n_;
+      for (int c = 0; c < n_; ++c) acc += row[c] * src[c];
+      dst[r] = acc;
+    }
+  }
+}
+
+// --- SchurCoarseOp ----------------------------------------------------------
+
+template <typename T>
+SchurCoarseOp<T>::SchurCoarseOp(const CoarseDirac<T>& op)
+    : op_(op),
+      tmp_odd_(op.geometry(), CoarseDirac<T>::kNSpin, op.ncolor(),
+               Subset::Odd),
+      tmp_odd2_(op.geometry(), CoarseDirac<T>::kNSpin, op.ncolor(),
+                Subset::Odd),
+      tmp_even_(op.geometry(), CoarseDirac<T>::kNSpin, op.ncolor(),
+                Subset::Even) {
+  assert(op.has_diag_inverse());
+}
+
+template <typename T>
+typename SchurCoarseOp<T>::Field SchurCoarseOp<T>::create_vector() const {
+  return Field(op_.geometry(), CoarseDirac<T>::kNSpin, op_.ncolor(),
+               Subset::Even);
+}
+
+template <typename T>
+double SchurCoarseOp<T>::flops_per_apply() const {
+  return op_.flops_per_apply();
+}
+
+template <typename T>
+void SchurCoarseOp<T>::apply(Field& out, const Field& in) const {
+  this->count_apply();
+  op_.count_apply();  // one Schur apply costs one coarse-operator apply
+  // S = X_ee + Y_eo X_oo^{-1} Y_oe sign convention: Mhat = X + Y_hop, so
+  // S in = X_ee in - Y_eo X_oo^{-1} Y_oe in ... with Mhat = X + H the Schur
+  // complement is X_ee - H_eo X_oo^{-1} H_oe.
+  op_.apply_hopping_parity(tmp_odd_, in, /*out_parity=*/1);
+  op_.apply_diag_inverse(tmp_odd2_, tmp_odd_, /*parity=*/1);
+  op_.apply_hopping_parity(tmp_even_, tmp_odd2_, /*out_parity=*/0);
+  op_.apply_diag(out, in, /*parity=*/0);
+  for (long k = 0; k < out.size(); ++k) out.data()[k] -= tmp_even_.data()[k];
+}
+
+template <typename T>
+void SchurCoarseOp<T>::apply_dagger(Field& out, const Field& in) const {
+  if (!dagger_tmp_) dagger_tmp_.emplace(create_vector());
+  apply_gamma5(*dagger_tmp_, in);
+  apply(out, *dagger_tmp_);
+  apply_gamma5(out, out);
+}
+
+template <typename T>
+void SchurCoarseOp<T>::prepare(Field& b_hat, const Field& b) const {
+  assert(b.subset() == Subset::Full);
+  Field b_odd(op_.geometry(), CoarseDirac<T>::kNSpin, op_.ncolor(),
+              Subset::Odd);
+  extract_parity(b_odd, b, 1);
+  op_.apply_diag_inverse(tmp_odd_, b_odd, /*parity=*/1);
+  op_.apply_hopping_parity(tmp_even_, tmp_odd_, /*out_parity=*/0);
+  extract_parity(b_hat, b, 0);
+  // Mhat x = X x + H x = b  =>  Schur rhs: b_e - H_eo X_oo^{-1} b_o.
+  for (long k = 0; k < b_hat.size(); ++k)
+    b_hat.data()[k] -= tmp_even_.data()[k];
+}
+
+template <typename T>
+void SchurCoarseOp<T>::reconstruct(Field& x_full, const Field& x_even,
+                                   const Field& b) const {
+  assert(b.subset() == Subset::Full && x_full.subset() == Subset::Full);
+  // x_o = X_oo^{-1} (b_o - H_oe x_e).
+  op_.apply_hopping_parity(tmp_odd_, x_even, /*out_parity=*/1);
+  Field b_odd(op_.geometry(), CoarseDirac<T>::kNSpin, op_.ncolor(),
+              Subset::Odd);
+  extract_parity(b_odd, b, 1);
+  for (long k = 0; k < b_odd.size(); ++k)
+    b_odd.data()[k] -= tmp_odd_.data()[k];
+  op_.apply_diag_inverse(tmp_odd2_, b_odd, /*parity=*/1);
+  insert_parity(x_full, x_even, 0);
+  insert_parity(x_full, tmp_odd2_, 1);
+}
+
+// --- conversion -------------------------------------------------------------
+
+template <typename To, typename From>
+CoarseDirac<To> convert_coarse(const CoarseDirac<From>& in) {
+  CoarseDirac<To> out(in.geometry(), in.ncolor());
+  const int n = in.block_dim();
+  const long v = in.geometry()->volume();
+  for (long site = 0; site < v; ++site) {
+    for (int link = 0; link < CoarseDirac<From>::kNLinks; ++link) {
+      const Complex<From>* src = in.link_data(site, link);
+      Complex<To>* dst = out.link_data(site, link);
+      for (int k = 0; k < n * n; ++k)
+        dst[k] = Complex<To>(static_cast<To>(src[k].re),
+                             static_cast<To>(src[k].im));
+    }
+    const Complex<From>* src = in.diag_data(site);
+    Complex<To>* dst = out.diag_data(site);
+    for (int k = 0; k < n * n; ++k)
+      dst[k] = Complex<To>(static_cast<To>(src[k].re),
+                           static_cast<To>(src[k].im));
+  }
+  if (in.has_diag_inverse()) out.compute_diag_inverse();
+  return out;
+}
+
+template class CoarseDirac<double>;
+template class CoarseDirac<float>;
+template class SchurCoarseOp<double>;
+template class SchurCoarseOp<float>;
+template CoarseDirac<float> convert_coarse<float, double>(
+    const CoarseDirac<double>&);
+template CoarseDirac<double> convert_coarse<double, float>(
+    const CoarseDirac<float>&);
+
+}  // namespace qmg

@@ -1,0 +1,145 @@
+#pragma once
+// The coarse-grid operator (paper Eq. 3):
+//
+//   Mhat_{x,x'} = X_x delta_{x,x'}
+//               + sum_mu [ Yfwd_mu(x) delta_{x+mu,x'} + Ybwd_mu(x) delta_{x-mu,x'} ]
+//
+// where X and the eight Y link matrices are dense (2*Nhat_c)^2 complex
+// blocks produced by the Galerkin product P^dag M P.  The tensor-product
+// structure between spin and color of the fine grid is lost (section 3.4),
+// which is why the coarse operator is both denser per site and far less
+// parallel per flop — the motivating problem of the paper.
+//
+// The apply() kernel is parameterized by the fine-grained parallelization
+// strategy of section 6 and, by default, autotuned.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lattice/geometry.h"
+#include "linalg/smallmat.h"
+#include "parallel/strategy.h"
+#include "solvers/linear_operator.h"
+
+namespace qmg {
+
+template <typename T>
+class CoarseDirac : public LinearOperator<T> {
+ public:
+  using Field = typename LinearOperator<T>::Field;
+
+  static constexpr int kNSpin = 2;
+  /// 8 hop links (2*mu + dir, dir 0 = forward) + diagonal per site.
+  static constexpr int kNLinks = 8;
+
+  CoarseDirac(GeometryPtr geom, int ncolor);
+
+  const GeometryPtr& geometry() const { return geom_; }
+  int ncolor() const { return nc_; }
+  /// Dense block dimension N = Nhat_s * Nhat_c = 2 * ncolor.
+  int block_dim() const { return n_; }
+
+  // Raw storage (row-major N x N blocks), written by the Galerkin builder.
+  Complex<T>* link_data(long site, int link) {
+    return links_.data() + ((static_cast<size_t>(site) * kNLinks + link) *
+                            n_) * n_;
+  }
+  const Complex<T>* link_data(long site, int link) const {
+    return links_.data() + ((static_cast<size_t>(site) * kNLinks + link) *
+                            n_) * n_;
+  }
+  Complex<T>* diag_data(long site) {
+    return diag_.data() + static_cast<size_t>(site) * n_ * n_;
+  }
+  const Complex<T>* diag_data(long site) const {
+    return diag_.data() + static_cast<size_t>(site) * n_ * n_;
+  }
+
+  /// Precompute per-site X^{-1} (needed by Schur preconditioning and by the
+  /// coarsest-level diagonal smoothing).
+  void compute_diag_inverse();
+  bool has_diag_inverse() const { return !diag_inv_.empty(); }
+  const Complex<T>* diag_inv_data(long site) const {
+    return diag_inv_.data() + static_cast<size_t>(site) * n_ * n_;
+  }
+
+  // LinearOperator interface.
+  void apply(Field& out, const Field& in) const override;
+  void apply_dagger(Field& out, const Field& in) const override;
+  Field create_vector() const override;
+  double flops_per_apply() const override;
+
+  /// Apply with an explicit kernel configuration (bypasses the autotuner);
+  /// used by the strategy-equivalence tests and the Fig. 2 bench.
+  void apply_with_config(Field& out, const Field& in,
+                         const CoarseKernelConfig& config) const;
+
+  /// Hopping term restricted to parities: out (on out_parity sites, cb
+  /// indexed) = sum of link matrices times in (opposite parity).
+  void apply_hopping_parity(Field& out, const Field& in,
+                            int out_parity) const;
+
+  /// Diagonal / inverse-diagonal on a parity field (cb indexed) or full.
+  void apply_diag(Field& out, const Field& in, int parity = -1) const;
+  void apply_diag_inverse(Field& out, const Field& in, int parity = -1) const;
+
+  /// Kernel policy: fixed config, or autotuned when enabled (default).
+  void set_kernel_config(const CoarseKernelConfig& config) {
+    config_ = config;
+    autotune_ = false;
+  }
+  void enable_autotune() { autotune_ = true; }
+  const CoarseKernelConfig& kernel_config() const { return config_; }
+
+  /// Memory traffic of one apply in bytes (for roofline modeling):
+  /// 9 blocks + 9 input vectors + 1 output vector per site.
+  double bytes_per_apply() const {
+    const double site_bytes =
+        (9.0 * n_ * n_ + 10.0 * n_) * 2 * sizeof(T);
+    return site_bytes * static_cast<double>(geom_->volume());
+  }
+
+ private:
+  GeometryPtr geom_;
+  int nc_;
+  int n_;
+  std::vector<Complex<T>> links_;
+  std::vector<Complex<T>> diag_;
+  std::vector<Complex<T>> diag_inv_;
+  CoarseKernelConfig config_;
+  bool autotune_ = true;
+  mutable std::optional<Field> dagger_tmp_;
+};
+
+/// Even-odd Schur complement of a coarse operator:
+///   S = X_ee - Y_eo X_oo^{-1} Y_oe,
+/// enabling red-black preconditioning "on all levels" (paper section 7.1).
+template <typename T>
+class SchurCoarseOp : public LinearOperator<T> {
+ public:
+  using Field = typename LinearOperator<T>::Field;
+
+  explicit SchurCoarseOp(const CoarseDirac<T>& op);
+
+  void apply(Field& out, const Field& in) const override;
+  void apply_dagger(Field& out, const Field& in) const override;
+  Field create_vector() const override;
+  double flops_per_apply() const override;
+
+  void prepare(Field& b_hat, const Field& b) const;
+  void reconstruct(Field& x_full, const Field& x_even, const Field& b) const;
+
+  const CoarseDirac<T>& coarse_op() const { return op_; }
+
+ private:
+  const CoarseDirac<T>& op_;
+  mutable Field tmp_odd_, tmp_odd2_, tmp_even_;
+  mutable std::optional<Field> dagger_tmp_;
+};
+
+/// Precision conversion of the whole operator (for mixed-precision cycles).
+template <typename To, typename From>
+CoarseDirac<To> convert_coarse(const CoarseDirac<From>& in);
+
+}  // namespace qmg

@@ -1,0 +1,74 @@
+#pragma once
+// The coarse-operator row kernel: one output color-spin row computed with
+// the fine-grained decomposition of paper section 6 (direction split, dot
+// split, ILP), shared by the single-process operator (mg/coarse_op.cpp) and
+// the domain-decomposed operator (comm/dist_coarse.cpp) so that both
+// produce bit-identical results for the same kernel configuration.
+
+#include <algorithm>
+
+#include "linalg/complex.h"
+#include "parallel/strategy.h"
+
+namespace qmg {
+
+/// Row dot product decomposed exactly like the GPU thread mapping:
+/// the 9 stencil matrices are strided over `dir_split` chunks (z threads),
+/// each chunk's dot products are partitioned into `dot_split` contiguous
+/// ranges (warp-split threads, Listing 4) with `ilp` independent
+/// accumulators (Listing 5); dot partials are combined with a cascading
+/// pairwise reduction (the shfl_down tree) and chunk partials with a
+/// sequential "shared-memory" reduction.
+template <typename T>
+inline Complex<T> coarse_row(const Complex<T>* const mats[9],
+                             const Complex<T>* const xin[9], int row, int n,
+                             const CoarseKernelConfig& cfg) {
+  const int dir_split =
+      cfg.strategy >= Strategy::StencilDir ? cfg.dir_split : 1;
+  const int dot_split =
+      cfg.strategy >= Strategy::DotProduct ? std::min(cfg.dot_split, 8) : 1;
+  const int ilp = std::min(cfg.ilp, 4);  // accumulator register budget
+
+  Complex<T> dir_partial[9];
+  for (int chunk = 0; chunk < dir_split; ++chunk) {
+    // Warp-split partials for this direction chunk (power-of-two padded for
+    // the cascade; dot_split <= 8 in practice).
+    Complex<T> dot_partial[8] = {};
+    for (int m = chunk; m < 9; m += dir_split) {
+      const Complex<T>* row_data = mats[m] + static_cast<size_t>(row) * n;
+      const Complex<T>* x = xin[m];
+      for (int ds = 0; ds < dot_split; ++ds) {
+        const int begin = static_cast<int>((static_cast<long>(n) * ds) /
+                                           dot_split);
+        const int end = static_cast<int>((static_cast<long>(n) * (ds + 1)) /
+                                         dot_split);
+        // ILP: independent accumulators over the strip (Listing 5).
+        Complex<T> acc[4] = {};
+        int i = begin;
+        for (; i + ilp <= end; i += ilp)
+          for (int j = 0; j < ilp; ++j)
+            acc[j] += row_data[i + j] * x[i + j];
+        for (; i < end; ++i) acc[0] += row_data[i] * x[i];
+        Complex<T> strip{};
+        for (int j = 0; j < ilp; ++j) strip += acc[j];
+        dot_partial[ds] += strip;
+      }
+    }
+    // Cascading reduction over the warp-split partials (Listing 4); start
+    // from the next power of two so non-power-of-two splits also fold in.
+    int span = 1;
+    while (span < dot_split) span <<= 1;
+    for (int offset = span / 2; offset >= 1; offset /= 2)
+      for (int i = 0; i < offset && i + offset < 8; ++i)
+        dot_partial[i] += dot_partial[i + offset];
+    dir_partial[chunk] = dot_partial[0];
+  }
+  // Shared-memory reduction over direction chunks (section 6.3, step 4).
+  Complex<T> total{};
+  for (int chunk = 0; chunk < dir_split; ++chunk)
+    total += dir_partial[chunk];
+  return total;
+}
+
+
+}  // namespace qmg

@@ -1,0 +1,24 @@
+#pragma once
+// Galerkin construction of the coarse operator, Mhat = P^dag M P (paper
+// section 3.4, step 4).
+//
+// Rather than applying M to prolongated unit vectors, the coarse link and
+// diagonal blocks are accumulated directly from the fine stencil: every fine
+// hop either stays inside an aggregate (contributing to the coarse diagonal
+// X) or crosses an aggregate boundary (contributing to the coarse link Y in
+// that direction).  Nearest-neighbor structure is therefore preserved
+// exactly, as the paper notes below Eq. 3.
+
+#include "mg/coarse_op.h"
+#include "mg/stencil.h"
+#include "mg/transfer.h"
+
+namespace qmg {
+
+/// Build the coarse operator for `transfer` from the fine stencil view.
+/// The result has ncolor = transfer.nvec() and nspin = 2.
+template <typename T>
+CoarseDirac<T> build_coarse_operator(const StencilView<T>& fine,
+                                     const Transfer<T>& transfer);
+
+}  // namespace qmg

@@ -1,0 +1,50 @@
+#include "mg/mrhs.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "mg/coarse_row.h"
+
+namespace qmg {
+
+template <typename T>
+void MultiRhsCoarseOp<T>::apply(std::vector<Field>& out,
+                                const std::vector<Field>& in,
+                                const CoarseKernelConfig& config) const {
+  if (out.size() != in.size())
+    throw std::invalid_argument("mrhs: out/in size mismatch");
+  const int nrhs = static_cast<int>(in.size());
+  const auto& geom = *op_.geometry();
+  const int n = op_.block_dim();
+  const long v = geom.volume();
+
+#pragma omp parallel for
+  for (long site = 0; site < v; ++site) {
+    // Load the site's stencil blocks and neighbor indices once...
+    const Complex<T>* mats[9];
+    long nbr[9];
+    mats[0] = op_.diag_data(site);
+    nbr[0] = site;
+    for (int mu = 0; mu < kNDim; ++mu) {
+      mats[1 + 2 * mu] = op_.link_data(site, 2 * mu);
+      nbr[1 + 2 * mu] = geom.neighbor_fwd(site, mu);
+      mats[2 + 2 * mu] = op_.link_data(site, 2 * mu + 1);
+      nbr[2 + 2 * mu] = geom.neighbor_bwd(site, mu);
+    }
+    // ...and stream every right-hand side through them.  The inner row loop
+    // is exactly the single-rhs kernel, so results are bit-identical.
+    for (int k = 0; k < nrhs; ++k) {
+      assert(in[k].subset() == Subset::Full);
+      const Complex<T>* xin[9];
+      for (int m = 0; m < 9; ++m) xin[m] = in[k].site_data(nbr[m]);
+      Complex<T>* dst = out[k].site_data(site);
+      for (int row = 0; row < n; ++row)
+        dst[row] = coarse_row(mats, xin, row, n, config);
+    }
+  }
+}
+
+template class MultiRhsCoarseOp<double>;
+template class MultiRhsCoarseOp<float>;
+
+}  // namespace qmg

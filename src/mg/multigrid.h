@@ -1,0 +1,194 @@
+#pragma once
+// The adaptive geometric multigrid hierarchy and K-cycle preconditioner
+// (paper sections 3.4 and 7.1):
+//
+//   * setup: per level, generate null vectors, block-orthonormalize into a
+//     Transfer, Galerkin-coarsen, recurse;
+//   * solve: flexible GCR on the fine grid, preconditioned by a K-cycle —
+//     MR pre/post smoothing on each level, and on intermediate levels a
+//     GCR(k) solve of the coarse-grid system that is itself preconditioned
+//     by the next level's cycle.  The coarsest grid is solved with GCR.
+
+#include <memory>
+#include <vector>
+
+#include "dirac/wilson.h"
+#include "mg/coarse_op.h"
+#include "mg/galerkin.h"
+#include "mg/nullspace.h"
+#include "mg/transfer.h"
+#include "solvers/gcr.h"
+#include "solvers/mr.h"
+#include "util/timer.h"
+
+namespace qmg {
+
+enum class CycleType { KCycle, VCycle };
+
+/// Parameters for one coarsening step (fine side of the transfer).
+struct MgLevelConfig {
+  Coord block{2, 2, 2, 2};  // aggregate extents (Table 2 "blocking")
+  int nvec = 16;            // null vectors / coarse colors (24 or 32 in paper)
+  int null_iters = 100;     // relaxation sweeps per null vector
+  NullSpaceMethod null_method = NullSpaceMethod::Relax;
+  double null_inverse_tol = 5e-3;  // for NullSpaceMethod::InverseIterate
+  int pre_smooth = 0;       // MR pre-smoothing applications
+  int post_smooth = 4;      // MR post-smoothing applications (paper: 4)
+  double smoother_omega = 0.85;
+  // Smooth on the even-odd (Schur) system of this level's operator instead
+  // of the full system (paper section 7.1: red-black "on all levels").  The
+  // odd sites are then reconstructed exactly from the smoothed even sites.
+  bool eo_smooth = true;
+  // Adaptive setup refinement (paper section 3.4, steps 1-2 "repeat until we
+  // obtain enough candidate vectors"): after the hierarchy of this level is
+  // first built, each null vector v is driven through v <- (1 - B M) v where
+  // B is the current two-grid cycle.  Components the coarse space already
+  // captures are annihilated, leaving v rich in the error modes the method
+  // cannot yet handle; the transfer and coarse operator are then rebuilt.
+  int adaptive_passes = 1;   // number of refine-and-rebuild passes
+  int adaptive_iters = 4;    // (1 - B M) applications per vector per pass
+  // K-cycle coarse solve at the next level: GCR(krylov) to tol or maxiter.
+  int cycle_krylov = 10;   // Krylov subspace size (paper: 10)
+  int cycle_maxiter = 8;
+  double cycle_tol = 0.25;
+};
+
+struct MgConfig {
+  std::vector<MgLevelConfig> levels;  // one entry per coarsening
+  CycleType cycle = CycleType::KCycle;
+  double coarsest_tol = 0.25;  // relative tolerance of the bottom solve
+  int coarsest_maxiter = 100;
+  int coarsest_krylov = 10;
+  bool coarsest_eo = true;  // solve the coarsest grid's Schur system
+  std::uint64_t seed = 7;
+};
+
+/// The multigrid hierarchy over a Wilson-Clover fine operator, in a single
+/// working precision T (the paper runs this part in single precision inside
+/// a double-precision outer GCR; see MixedPrecisionMgPreconditioner).
+template <typename T>
+class Multigrid {
+ public:
+  using Field = ColorSpinorField<T>;
+
+  /// Builds the full hierarchy (null vectors, transfers, coarse operators).
+  Multigrid(const WilsonCloverOp<T>& fine_op, MgConfig config);
+
+  int num_levels() const { return static_cast<int>(ops_.size()); }
+  const LinearOperator<T>& op(int level) const { return *ops_[level]; }
+  const Transfer<T>& transfer(int level) const { return *transfers_[level]; }
+  const CoarseDirac<T>& coarse_op(int level) const {
+    return *coarse_ops_[level];
+  }
+  const MgConfig& config() const { return config_; }
+  double setup_seconds() const { return setup_seconds_; }
+
+  /// One multigrid cycle at `level`: x is overwritten with an approximate
+  /// solution of op(level) x = b.
+  void cycle(int level, Field& x, const Field& b) const;
+
+  /// Per-level profiling of time spent inside cycles (feeds Fig. 4).
+  const Profiler& profiler() const { return profiler_; }
+  void reset_profile() { profiler_.clear(); }
+
+  /// The fine operator's even-odd Schur complement (null when the level-0
+  /// configuration does not use red-black smoothing).
+  const SchurWilsonOp<T>* schur_fine() const { return schur_fine_.get(); }
+
+ private:
+  const WilsonCloverOp<T>& fine_op_;
+  MgConfig config_;
+  std::vector<const LinearOperator<T>*> ops_;
+  std::vector<std::unique_ptr<Transfer<T>>> transfers_;
+  std::vector<std::unique_ptr<CoarseDirac<T>>> coarse_ops_;
+  std::unique_ptr<SchurWilsonOp<T>> schur_fine_;
+  std::vector<std::unique_ptr<SchurCoarseOp<T>>> schur_coarse_;
+  double setup_seconds_ = 0;
+  mutable Profiler profiler_;
+
+  /// MR smoothing at `level`, on the Schur system when configured.
+  void smooth(int level, Field& x, const Field& b, int iters) const;
+
+  /// One adaptive-setup pass at `level`: v <- normalize((1 - B M)^k v) for
+  /// each candidate vector, with B the two-grid cycle over (op, coarse).
+  void refine_null_vectors(int level, const Transfer<T>& transfer,
+                           const CoarseDirac<T>& coarse,
+                           std::vector<Field>& vecs,
+                           const MgLevelConfig& lvl) const;
+
+  // Per-level recursive preconditioner used by the K-cycle's coarse GCR.
+  class LevelPreconditioner : public Preconditioner<T> {
+   public:
+    LevelPreconditioner(const Multigrid& mg, int level)
+        : mg_(mg), level_(level) {}
+    void operator()(Field& out, const Field& in) override {
+      mg_.cycle(level_, out, in);
+    }
+
+   private:
+    const Multigrid& mg_;
+    int level_;
+  };
+};
+
+/// The multigrid cycle packaged as a Preconditioner for the outer GCR.
+template <typename T>
+class MgPreconditioner : public Preconditioner<T> {
+ public:
+  using Field = typename Preconditioner<T>::Field;
+  explicit MgPreconditioner(const Multigrid<T>& mg) : mg_(mg) {}
+  void operator()(Field& out, const Field& in) override {
+    mg_.cycle(0, out, in);
+  }
+
+ private:
+  const Multigrid<T>& mg_;
+};
+
+/// Precision-bridging preconditioner: the outer double-precision GCR sees a
+/// single-precision multigrid cycle (the paper's precision layout: double
+/// outermost GCR, single everywhere inside, section 7.1).
+class MixedPrecisionMgPreconditioner : public Preconditioner<double> {
+ public:
+  explicit MixedPrecisionMgPreconditioner(const Multigrid<float>& mg)
+      : mg_(mg) {}
+  void operator()(ColorSpinorField<double>& out,
+                  const ColorSpinorField<double>& in) override {
+    auto in_f = convert<float>(in);
+    auto out_f = in_f.similar();
+    mg_.cycle(0, out_f, in_f);
+    convert_into(out, out_f);
+  }
+
+ private:
+  const Multigrid<float>& mg_;
+};
+
+/// Even-odd bridging preconditioner: preconditions the fine-grid *Schur
+/// complement* system with the multigrid cycle on the *full* system.  Block
+/// elimination of M x = (r_e, 0) gives S x_e = r_e exactly, so embedding the
+/// even-parity residual into a full-lattice vector (zero on odd sites),
+/// running one MG cycle, and extracting the even component preconditions S.
+/// This is how red-black preconditioning on the outer Krylov solver composes
+/// with multigrid (paper section 7.1).
+class SchurMixedMgPreconditioner : public Preconditioner<double> {
+ public:
+  explicit SchurMixedMgPreconditioner(const Multigrid<float>& mg) : mg_(mg) {}
+  void operator()(ColorSpinorField<double>& out_e,
+                  const ColorSpinorField<double>& in_e) override {
+    auto full = mg_.op(0).create_vector();  // full lattice, float
+    blas::zero(full);
+    const auto in_f = convert<float>(in_e);
+    insert_parity(full, in_f, /*parity=*/0);
+    auto x_full = full.similar();
+    mg_.cycle(0, x_full, full);
+    auto x_e = in_f.similar();
+    extract_parity(x_e, x_full, /*parity=*/0);
+    convert_into(out_e, x_e);
+  }
+
+ private:
+  const Multigrid<float>& mg_;
+};
+
+}  // namespace qmg

@@ -1,0 +1,63 @@
+#include "mg/nullspace.h"
+
+#include <cmath>
+
+#include "fields/blas.h"
+#include "solvers/bicgstab.h"
+
+namespace qmg {
+
+template <typename T>
+std::vector<ColorSpinorField<T>> generate_null_vectors(
+    const LinearOperator<T>& op, const NullSpaceParams& params) {
+  std::vector<ColorSpinorField<T>> vecs;
+  vecs.reserve(params.nvec);
+  const T omega = static_cast<T>(params.omega);
+
+  auto r = op.create_vector();
+  auto mr = op.create_vector();
+
+  for (int k = 0; k < params.nvec; ++k) {
+    auto x = op.create_vector();
+    x.gaussian(params.seed + 1000 * static_cast<std::uint64_t>(k));
+
+    if (params.method == NullSpaceMethod::InverseIterate) {
+      // Inverse iteration: x <- M^{-1} eta computed loosely.  The solve
+      // amplifies the low modes by their inverse eigenvalues — a stronger
+      // enrichment than relaxation when the operator is near-critical.
+      auto eta = x;
+      blas::zero(x);
+      SolverParams sp;
+      sp.tol = params.inverse_tol;
+      sp.max_iter = std::max(params.iters, 10);
+      BiCgStabSolver<T>(op, sp).solve(x, eta);
+    } else {
+      // MR relaxation on M x = 0: r = -M x; each step damps the high modes
+      // of x, leaving the near-null component (cannot reuse MrSolver since
+      // b = 0 is its trivial-solution early-out).
+      for (int it = 0; it < params.iters; ++it) {
+        op.apply(r, x);
+        blas::scale(T(-1), r);
+        op.apply(mr, r);
+        const double mr2 = blas::norm2(mr);
+        if (mr2 == 0.0) break;
+        const complexd a = blas::cdot(mr, r);
+        const Complex<T> alpha(static_cast<T>(a.re / mr2),
+                               static_cast<T>(a.im / mr2));
+        blas::caxpy(alpha * omega, r, x);
+      }
+    }
+
+    const double n2 = blas::norm2(x);
+    if (n2 > 0) blas::scale(static_cast<T>(1.0 / std::sqrt(n2)), x);
+    vecs.push_back(std::move(x));
+  }
+  return vecs;
+}
+
+template std::vector<ColorSpinorField<double>> generate_null_vectors<double>(
+    const LinearOperator<double>&, const NullSpaceParams&);
+template std::vector<ColorSpinorField<float>> generate_null_vectors<float>(
+    const LinearOperator<float>&, const NullSpaceParams&);
+
+}  // namespace qmg

@@ -1,0 +1,127 @@
+#include "mg/transfer.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace qmg {
+
+template <typename T>
+Transfer<T>::Transfer(std::shared_ptr<const BlockMap> map, int fine_nspin,
+                      int fine_ncolor, int nvec)
+    : map_(std::move(map)),
+      fine_nspin_(fine_nspin),
+      fine_ncolor_(fine_ncolor),
+      nvec_(nvec) {
+  if (fine_nspin_ % 2 != 0)
+    throw std::invalid_argument("fine nspin must be even for chirality split");
+}
+
+template <typename T>
+void Transfer<T>::set_null_vectors(const std::vector<Field>& vecs) {
+  if (static_cast<int>(vecs.size()) != nvec_)
+    throw std::invalid_argument("wrong number of null vectors");
+  for (const auto& v : vecs) {
+    if (v.nspin() != fine_nspin_ || v.ncolor() != fine_ncolor_ ||
+        v.geometry() != map_->fine())
+      throw std::invalid_argument("null vector has wrong shape");
+  }
+  vecs_ = vecs;
+  block_orthonormalize();
+}
+
+template <typename T>
+void Transfer<T>::block_orthonormalize() {
+  const long n_blocks = map_->coarse()->volume();
+  const int half_spin = fine_nspin_ / 2;
+
+  // Two passes of modified Gram-Schmidt per aggregate: numerically robust
+  // local QR (paper section 3.4, step 3).
+#pragma omp parallel for
+  for (long b = 0; b < n_blocks; ++b) {
+    const auto& sites = map_->block_sites(b);
+    for (int ch = 0; ch < 2; ++ch) {
+      const int s0 = ch * half_spin;
+      for (int k = 0; k < nvec_; ++k) {
+        for (int pass = 0; pass < 2; ++pass) {
+          for (int j = 0; j < k; ++j) {
+            // proj = <v_j, v_k> over the aggregate.
+            Complex<T> proj{};
+            for (const long x : sites)
+              for (int s = s0; s < s0 + half_spin; ++s)
+                for (int c = 0; c < fine_ncolor_; ++c)
+                  proj += conj_mul(vecs_[j](x, s, c), vecs_[k](x, s, c));
+            for (const long x : sites)
+              for (int s = s0; s < s0 + half_spin; ++s)
+                for (int c = 0; c < fine_ncolor_; ++c)
+                  vecs_[k](x, s, c) -= proj * vecs_[j](x, s, c);
+          }
+        }
+        T nrm2{};
+        for (const long x : sites)
+          for (int s = s0; s < s0 + half_spin; ++s)
+            for (int c = 0; c < fine_ncolor_; ++c)
+              nrm2 += norm2(vecs_[k](x, s, c));
+        if (nrm2 <= T(0))
+          throw std::runtime_error(
+              "aggregate became rank deficient during orthonormalization");
+        const T inv = T(1) / std::sqrt(nrm2);
+        for (const long x : sites)
+          for (int s = s0; s < s0 + half_spin; ++s)
+            for (int c = 0; c < fine_ncolor_; ++c) vecs_[k](x, s, c) *= inv;
+      }
+    }
+  }
+}
+
+template <typename T>
+void Transfer<T>::prolongate(Field& fine, const Field& coarse) const {
+  assert(fine.nspin() == fine_nspin_ && fine.ncolor() == fine_ncolor_);
+  assert(coarse.nspin() == 2 && coarse.ncolor() == nvec_);
+  const long vf = map_->fine()->volume();
+  const int half_spin = fine_nspin_ / 2;
+  // Gather: one independent "thread" per fine-grid (site, spin, color).
+#pragma omp parallel for
+  for (long x = 0; x < vf; ++x) {
+    const long b = map_->coarse_site(x);
+    for (int s = 0; s < fine_nspin_; ++s) {
+      const int ch = s / half_spin;
+      for (int c = 0; c < fine_ncolor_; ++c) {
+        Complex<T> acc{};
+        for (int k = 0; k < nvec_; ++k)
+          acc += vecs_[k](x, s, c) * coarse(b, ch, k);
+        fine(x, s, c) = acc;
+      }
+    }
+  }
+}
+
+template <typename T>
+void Transfer<T>::restrict_to_coarse(Field& coarse, const Field& fine) const {
+  assert(fine.nspin() == fine_nspin_ && fine.ncolor() == fine_ncolor_);
+  assert(coarse.nspin() == 2 && coarse.ncolor() == nvec_);
+  const long n_blocks = map_->coarse()->volume();
+  const int half_spin = fine_nspin_ / 2;
+  // One aggregate per "thread block"; local reduction replaces the scatter
+  // (no atomics needed), matching the GPU kernel of section 6.6.
+#pragma omp parallel for
+  for (long b = 0; b < n_blocks; ++b) {
+    const auto& sites = map_->block_sites(b);
+    for (int ch = 0; ch < 2; ++ch) {
+      const int s0 = ch * half_spin;
+      for (int k = 0; k < nvec_; ++k) {
+        Complex<T> acc{};
+        for (const long x : sites)
+          for (int s = s0; s < s0 + half_spin; ++s)
+            for (int c = 0; c < fine_ncolor_; ++c)
+              acc += conj_mul(vecs_[k](x, s, c), fine(x, s, c));
+        coarse(b, ch, k) = acc;
+      }
+    }
+  }
+}
+
+template class Transfer<double>;
+template class Transfer<float>;
+
+}  // namespace qmg

@@ -1,0 +1,77 @@
+#pragma once
+// Inter-grid transfer operators (paper sections 3.4 and 6.6).
+//
+// The prolongator P maps a coarse vector to the fine grid; its columns are
+// the block-orthonormalized null-space vectors, partitioned into aggregates
+// = (hypercubic block) x (chirality).  Chirality preservation (footnote 1)
+// keeps Nhat_s = 2 coarse spin components and lets the restrictor be
+// R = P^dag.
+//
+// Parallelization (section 6.6): both directions are parallelized over the
+// FINE grid geometry.  Prolongation is a trivial gather per fine site.
+// Restriction would be a scatter; instead each aggregate is assigned to one
+// "thread block" (here: one outer loop iteration) and reduced locally —
+// exactly the shared-memory reduction structure of the GPU kernel.
+
+#include <memory>
+#include <vector>
+
+#include "fields/colorspinor.h"
+#include "lattice/blockmap.h"
+
+namespace qmg {
+
+template <typename T>
+class Transfer {
+ public:
+  using Field = ColorSpinorField<T>;
+
+  /// `map` defines the geometric aggregation; `nvec` null vectors become
+  /// the coarse color degrees of freedom.
+  Transfer(std::shared_ptr<const BlockMap> map, int fine_nspin,
+           int fine_ncolor, int nvec);
+
+  int nvec() const { return nvec_; }
+  int fine_nspin() const { return fine_nspin_; }
+  int fine_ncolor() const { return fine_ncolor_; }
+  static constexpr int coarse_nspin() { return 2; }
+  int coarse_ncolor() const { return nvec_; }
+
+  const BlockMap& map() const { return *map_; }
+  const GeometryPtr& coarse_geometry() const { return map_->coarse(); }
+
+  /// Chirality of a fine spin index: upper/lower half of the spin range.
+  int chirality(int spin) const { return spin / (fine_nspin_ / 2); }
+
+  /// Install null vectors (copies) and block-orthonormalize them.
+  void set_null_vectors(const std::vector<Field>& vecs);
+
+  const std::vector<Field>& null_vectors() const { return vecs_; }
+
+  /// fine = P coarse.
+  void prolongate(Field& fine, const Field& coarse) const;
+
+  /// coarse = P^dag fine.
+  void restrict_to_coarse(Field& coarse, const Field& fine) const;
+
+  /// A zero coarse-grid vector of the right shape.
+  Field create_coarse_vector() const {
+    return Field(map_->coarse(), coarse_nspin(), coarse_ncolor());
+  }
+
+  /// A zero fine-grid vector of the right shape.
+  Field create_fine_vector() const {
+    return Field(map_->fine(), fine_nspin_, fine_ncolor_);
+  }
+
+ private:
+  void block_orthonormalize();
+
+  std::shared_ptr<const BlockMap> map_;
+  int fine_nspin_;
+  int fine_ncolor_;
+  int nvec_;
+  std::vector<Field> vecs_;
+};
+
+}  // namespace qmg

@@ -1,0 +1,72 @@
+#include "parallel/autotune.h"
+
+#include <limits>
+#include <sstream>
+
+namespace qmg {
+
+TuneCache& TuneCache::instance() {
+  static TuneCache cache;
+  return cache;
+}
+
+bool TuneCache::lookup(const std::string& key,
+                       CoarseKernelConfig* config) const {
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) return false;
+  *config = it->second;
+  return true;
+}
+
+void TuneCache::store(const std::string& key,
+                      const CoarseKernelConfig& config) {
+  cache_[key] = config;
+}
+
+void TuneCache::clear() { cache_.clear(); }
+
+std::vector<CoarseKernelConfig> TuneCache::coarse_candidates(int block_dim) {
+  std::vector<CoarseKernelConfig> cands;
+  cands.push_back({Strategy::GridOnly, 1, 1, 1});
+  cands.push_back({Strategy::GridOnly, 1, 1, 2});
+  cands.push_back({Strategy::ColorSpin, 1, 1, 1});
+  cands.push_back({Strategy::ColorSpin, 1, 1, 2});
+  for (int ds : {3, 9}) cands.push_back({Strategy::StencilDir, ds, 1, 2});
+  for (int dot : {2, 4}) {
+    if (block_dim % dot == 0 || block_dim > dot)
+      cands.push_back({Strategy::DotProduct, 3, dot, 2});
+  }
+  return cands;
+}
+
+CoarseKernelConfig TuneCache::tune(
+    const std::string& key, int block_dim,
+    const std::function<double(const CoarseKernelConfig&)>& run) {
+  CoarseKernelConfig best;
+  if (lookup(key, &best)) return best;
+  double best_time = std::numeric_limits<double>::max();
+  for (const auto& cand : coarse_candidates(block_dim)) {
+    const double t = run(cand);
+    if (t < best_time) {
+      best_time = t;
+      best = cand;
+    }
+  }
+  store(key, best);
+  return best;
+}
+
+std::string coarse_tune_key(long volume, int block_dim) {
+  std::ostringstream os;
+  os << "coarse_apply/V=" << volume << "/N=" << block_dim;
+  return os.str();
+}
+
+std::string CoarseKernelConfig::to_string() const {
+  std::ostringstream os;
+  os << qmg::to_string(strategy) << " dir_split=" << dir_split
+     << " dot_split=" << dot_split << " ilp=" << ilp;
+  return os.str();
+}
+
+}  // namespace qmg

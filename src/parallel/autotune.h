@@ -1,0 +1,44 @@
+#pragma once
+// Kernel-policy autotuning (paper sections 4 and 6.5): the first time a
+// kernel shape is encountered, every candidate launch policy is timed and
+// the fastest is cached for all subsequent calls.  Keys combine kernel
+// name, problem volume and block size — the parameters that change the
+// optimal strategy (Fig. 2: large grids want coarse-grained threads, tiny
+// grids want the full fine-grained decomposition).
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "parallel/strategy.h"
+
+namespace qmg {
+
+class TuneCache {
+ public:
+  static TuneCache& instance();
+
+  bool lookup(const std::string& key, CoarseKernelConfig* config) const;
+  void store(const std::string& key, const CoarseKernelConfig& config);
+  void clear();
+  size_t size() const { return cache_.size(); }
+
+  /// Candidate launch policies explored for the coarse operator: the four
+  /// cumulative strategies with representative split factors.
+  static std::vector<CoarseKernelConfig> coarse_candidates(int block_dim);
+
+  /// Time each candidate with `run` (seconds) and return the fastest,
+  /// caching it under `key`.
+  CoarseKernelConfig tune(
+      const std::string& key, int block_dim,
+      const std::function<double(const CoarseKernelConfig&)>& run);
+
+ private:
+  std::map<std::string, CoarseKernelConfig> cache_;
+};
+
+/// Tune key helper.
+std::string coarse_tune_key(long volume, int block_dim);
+
+}  // namespace qmg

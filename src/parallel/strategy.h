@@ -1,0 +1,61 @@
+#pragma once
+// Fine-grained parallelization strategies for the coarse-grid operator
+// (paper section 6).  Each strategy CUMULATIVELY exposes more parallelism:
+//
+//   GridOnly    — one thread per lattice site (section 6.1, the baseline
+//                 used by all pre-existing QUDA kernels).
+//   ColorSpin   — + one thread per output color-spin row (section 6.2,
+//                 Listing 3; y thread dimension).
+//   StencilDir  — + split over stencil direction with a shared-memory
+//                 reduction (section 6.3; z thread dimension).
+//   DotProduct  — + split the row dot product itself across threads with a
+//                 warp-shuffle cascading reduction (section 6.4, Listing 4).
+//
+// On the GPU these map to thread dimensions; here the same decompositions
+// are realized as loop structures whose partial-sum shapes exactly mirror
+// the GPU reductions, so every strategy computes the same result up to
+// floating-point reassociation (verified by tests), and the thread counts
+// feed the device performance model that regenerates Fig. 2.
+
+#include <string>
+
+namespace qmg {
+
+enum class Strategy : int {
+  GridOnly = 0,
+  ColorSpin = 1,
+  StencilDir = 2,
+  DotProduct = 3,
+};
+
+inline const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::GridOnly: return "baseline (grid only)";
+    case Strategy::ColorSpin: return "color-spin";
+    case Strategy::StencilDir: return "stencil direction";
+    default: return "dot product";
+  }
+}
+
+/// Launch-policy knobs for the coarse-operator kernel; what the autotuner
+/// optimizes (paper sections 4 and 6.5).
+struct CoarseKernelConfig {
+  Strategy strategy = Strategy::ColorSpin;
+  int dir_split = 4;  // stencil-direction chunks (z threads), 1..9
+  int dot_split = 2;  // dot-product partitions (warp split), power of two
+  int ilp = 2;        // independent accumulators per thread (Listing 5)
+
+  /// Simulated CUDA threads this config launches for a given problem:
+  /// volume x rows x dir x dot (cumulative per strategy).
+  long threads(long volume, int block_rows) const {
+    long t = volume;
+    if (strategy >= Strategy::ColorSpin) t *= block_rows;
+    if (strategy >= Strategy::StencilDir) t *= dir_split;
+    if (strategy >= Strategy::DotProduct) t *= dot_split;
+    return t;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace qmg

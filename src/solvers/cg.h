@@ -1,0 +1,101 @@
+#pragma once
+// Conjugate Gradients (Hestenes-Stiefel) for Hermitian positive-definite
+// operators, and CGNR (CG on the normal equations M^dag M x = M^dag b) for
+// the non-Hermitian Dirac operator — the classical pre-BiCGStab baseline
+// discussed in paper section 3.3.
+
+#include "fields/blas.h"
+#include "solvers/solver.h"
+#include "util/timer.h"
+
+namespace qmg {
+
+template <typename T>
+class CgSolver {
+ public:
+  CgSolver(const LinearOperator<T>& op, SolverParams params)
+      : op_(op), params_(params) {}
+
+  SolverResult solve(ColorSpinorField<T>& x, const ColorSpinorField<T>& b) {
+    Timer timer;
+    SolverResult res;
+    auto r = op_.create_vector();
+    auto p = op_.create_vector();
+    auto ap = op_.create_vector();
+
+    op_.apply(r, x);
+    ++res.matvecs;
+    blas::xpay(b, T(-1), r);
+    blas::copy(p, r);
+
+    const double b2 = blas::norm2(b);
+    if (b2 == 0.0) {
+      blas::zero(x);
+      res.converged = true;
+      res.seconds = timer.seconds();
+      return res;
+    }
+
+    double r2 = blas::norm2(r);
+    const double target = params_.tol * params_.tol * b2;
+
+    while (res.iterations < params_.max_iter && r2 > target) {
+      op_.apply(ap, p);
+      ++res.matvecs;
+      const double pap = blas::rdot(p, ap);
+      if (pap <= 0.0) break;  // loss of positive-definiteness
+      const T alpha = static_cast<T>(r2 / pap);
+      blas::axpy(alpha, p, x);
+      blas::axpy(-alpha, ap, r);
+      const double r2_new = blas::norm2(r);
+      const T beta = static_cast<T>(r2_new / r2);
+      blas::xpay(r, beta, p);
+      r2 = r2_new;
+      ++res.iterations;
+      if (params_.record_history)
+        res.residual_history.push_back(std::sqrt(r2 / b2));
+    }
+    res.final_rel_residual = std::sqrt(r2 / b2);
+    res.converged = r2 <= target;
+    res.seconds = timer.seconds();
+    return res;
+  }
+
+ private:
+  const LinearOperator<T>& op_;
+  SolverParams params_;
+};
+
+/// CGNR: minimizes |b - Mx| by CG on M^dag M x = M^dag b.
+template <typename T>
+class CgnrSolver {
+ public:
+  CgnrSolver(const LinearOperator<T>& op, SolverParams params)
+      : op_(op), params_(params) {}
+
+  SolverResult solve(ColorSpinorField<T>& x, const ColorSpinorField<T>& b) {
+    NormalOperator<T> normal(op_);
+    auto rhs = op_.create_vector();
+    op_.apply_dagger(rhs, b);
+    // Scale the tolerance: CG sees |M^dag r|, we want |r|/|b|.  Use the
+    // same relative tolerance on the normal system; callers requiring a
+    // strict true-residual bound should check the returned residual.
+    CgSolver<T> cg(normal, params_);
+    SolverResult res = cg.solve(x, rhs);
+    // Report the true relative residual.
+    auto r = op_.create_vector();
+    op_.apply(r, x);
+    ++res.matvecs;
+    blas::xpay(b, T(-1), r);
+    const double b2 = blas::norm2(b);
+    res.final_rel_residual = b2 > 0 ? std::sqrt(blas::norm2(r) / b2) : 0.0;
+    res.converged = res.final_rel_residual <= params_.tol * 10;
+    return res;
+  }
+
+ private:
+  const LinearOperator<T>& op_;
+  SolverParams params_;
+};
+
+}  // namespace qmg

@@ -1,0 +1,69 @@
+#pragma once
+// Abstract linear operator interface.  Solvers are written against this, so
+// the same Krylov code runs on the fine Wilson-Clover operator, the even-odd
+// Schur complements, and every coarse-grid operator — mirroring QUDA's
+// architecture- and level-agnostic solver layer.
+
+#include "fields/colorspinor.h"
+
+namespace qmg {
+
+template <typename T>
+class LinearOperator {
+ public:
+  using Field = ColorSpinorField<T>;
+
+  virtual ~LinearOperator() = default;
+
+  /// out = M in.
+  virtual void apply(Field& out, const Field& in) const = 0;
+
+  /// out = M^dagger in.  Default uses gamma5-Hermiticity when available;
+  /// operators without it must override.
+  virtual void apply_dagger(Field& out, const Field& in) const = 0;
+
+  /// A zero vector of the shape this operator acts on.
+  virtual Field create_vector() const = 0;
+
+  /// Floating-point operations per apply() — feeds the performance models.
+  virtual double flops_per_apply() const = 0;
+
+  /// Number of apply() calls so far (mutable counter for workload tracing).
+  long apply_count() const { return apply_count_; }
+  void reset_apply_count() const { apply_count_ = 0; }
+
+  /// Record one operator application.  Public so that wrapper operators
+  /// (e.g. the even-odd Schur complements, whose apply() costs one
+  /// application of the underlying operator) can forward their counts to the
+  /// operator they wrap, keeping per-level workload traces accurate.
+  void count_apply() const { ++apply_count_; }
+
+ private:
+  mutable long apply_count_ = 0;
+};
+
+/// M^dagger M — for CG on the normal equations (CGNR).
+template <typename T>
+class NormalOperator : public LinearOperator<T> {
+ public:
+  using Field = typename LinearOperator<T>::Field;
+
+  explicit NormalOperator(const LinearOperator<T>& m)
+      : m_(m), tmp_(m.create_vector()) {}
+
+  void apply(Field& out, const Field& in) const override {
+    m_.apply(tmp_, in);
+    m_.apply_dagger(out, tmp_);
+  }
+  void apply_dagger(Field& out, const Field& in) const override {
+    apply(out, in);  // M^dag M is Hermitian
+  }
+  Field create_vector() const override { return m_.create_vector(); }
+  double flops_per_apply() const override { return 2 * m_.flops_per_apply(); }
+
+ private:
+  const LinearOperator<T>& m_;
+  mutable Field tmp_;
+};
+
+}  // namespace qmg

@@ -1,0 +1,92 @@
+#pragma once
+// Minimal Residual iteration.  Used as the MG smoother (paper section 7.1:
+// "four pre and post applications of minimal residual"), with relaxation
+// factor omega.  Also usable as a standalone (weak) solver.
+
+#include "fields/blas.h"
+#include "solvers/solver.h"
+#include "util/timer.h"
+
+namespace qmg {
+
+template <typename T>
+class MrSolver {
+ public:
+  MrSolver(const LinearOperator<T>& op, SolverParams params)
+      : op_(op), params_(params) {}
+
+  /// Solve M x = b starting from the current x.  When params.tol == 0 runs
+  /// exactly params.max_iter iterations (smoother mode).
+  SolverResult solve(ColorSpinorField<T>& x, const ColorSpinorField<T>& b) {
+    Timer timer;
+    SolverResult res;
+    auto r = op_.create_vector();
+    auto mr = op_.create_vector();
+
+    // r = b - M x.
+    op_.apply(r, x);
+    ++res.matvecs;
+    blas::xpay(b, T(-1), r);
+
+    const double b2 = blas::norm2(b);
+    if (b2 == 0.0) {
+      blas::zero(x);
+      res.converged = true;
+      res.seconds = timer.seconds();
+      return res;
+    }
+
+    const T omega = static_cast<T>(params_.omega);
+    double r2 = blas::norm2(r);
+    while (res.iterations < params_.max_iter) {
+      if (params_.tol > 0 && std::sqrt(r2 / b2) < params_.tol) break;
+      op_.apply(mr, r);
+      ++res.matvecs;
+      const double mr2 = blas::norm2(mr);
+      if (mr2 == 0.0) break;
+      const complexd alpha_d = blas::cdot(mr, r);
+      const Complex<T> alpha(static_cast<T>(alpha_d.re / mr2),
+                             static_cast<T>(alpha_d.im / mr2));
+      blas::caxpy(alpha * omega, r, x);
+      blas::caxpy(-(alpha * omega), mr, r);
+      r2 = blas::norm2(r);
+      ++res.iterations;
+      if (params_.record_history)
+        res.residual_history.push_back(std::sqrt(r2 / b2));
+    }
+    res.final_rel_residual = std::sqrt(r2 / b2);
+    res.converged = params_.tol > 0 ? res.final_rel_residual < params_.tol
+                                    : true;
+    res.seconds = timer.seconds();
+    return res;
+  }
+
+ private:
+  const LinearOperator<T>& op_;
+  SolverParams params_;
+};
+
+/// MR iterations packaged as a Preconditioner (the MG smoother).
+template <typename T>
+class MrPreconditioner : public Preconditioner<T> {
+ public:
+  using Field = typename Preconditioner<T>::Field;
+
+  MrPreconditioner(const LinearOperator<T>& op, int iters, double omega)
+      : op_(op) {
+    params_.tol = 0;  // fixed iteration count
+    params_.max_iter = iters;
+    params_.omega = omega;
+  }
+
+  void operator()(Field& out, const Field& in) override {
+    blas::zero(out);
+    MrSolver<T>(op_, params_).solve(out, in);
+  }
+
+ private:
+  const LinearOperator<T>& op_;
+  SolverParams params_;
+};
+
+}  // namespace qmg

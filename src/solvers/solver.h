@@ -1,0 +1,54 @@
+#pragma once
+// Common solver parameter and result types.
+
+#include <string>
+#include <vector>
+
+#include "solvers/linear_operator.h"
+
+namespace qmg {
+
+struct SolverParams {
+  double tol = 1e-8;          // target relative residual |r|/|b|
+  int max_iter = 1000;        // iteration cap
+  int restart = 10;           // Krylov subspace size (GCR)
+  double omega = 0.85;        // MR relaxation factor
+  double reliable_delta = 0;  // residual-drop factor triggering a reliable
+                              // update (0 = disabled)
+  bool record_history = false;
+  std::string name;           // label used in verbose logging
+};
+
+struct SolverResult {
+  int iterations = 0;
+  bool converged = false;
+  double final_rel_residual = 0.0;
+  long matvecs = 0;
+  /// Global synchronization points (fused dot-product batches).  In a
+  /// distributed run each costs one allreduce; communication-avoiding
+  /// solvers exist to minimize this count (section 9).
+  long reductions = 0;
+  double seconds = 0.0;
+  std::vector<double> residual_history;  // |r|/|b| per iteration if recorded
+};
+
+/// Abstract preconditioner: out ~= M^{-1} in.  MG plugs in here.
+template <typename T>
+class Preconditioner {
+ public:
+  using Field = ColorSpinorField<T>;
+  virtual ~Preconditioner() = default;
+  virtual void operator()(Field& out, const Field& in) = 0;
+};
+
+/// Identity preconditioner (turns preconditioned solvers into plain ones).
+template <typename T>
+class IdentityPreconditioner : public Preconditioner<T> {
+ public:
+  using Field = typename Preconditioner<T>::Field;
+  void operator()(Field& out, const Field& in) override {
+    for (long i = 0; i < in.size(); ++i) out.data()[i] = in.data()[i];
+  }
+};
+
+}  // namespace qmg

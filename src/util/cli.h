@@ -1,0 +1,62 @@
+#pragma once
+// Tiny --key=value command-line parser used by the examples and benches so
+// every harness accepts the same style of overrides (lattice size, mass,
+// node counts, ...).
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qmg {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(arg);
+        continue;
+      }
+      arg = arg.substr(2);
+      auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_[arg] = "1";  // bare flag => boolean true
+      } else {
+        kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return kv_.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& def) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : it->second;
+  }
+
+  long get_int(const std::string& key, long def) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+
+  double get_double(const std::string& key, double def) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool get_bool(const std::string& key, bool def) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return def;
+    return it->second != "0" && it->second != "false";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace qmg

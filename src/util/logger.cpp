@@ -1,0 +1,27 @@
+#include "util/logger.h"
+
+namespace qmg {
+
+namespace {
+LogLevel g_level = LogLevel::Summary;
+}
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void vlogf(LogLevel level, const char* fmt, va_list args) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::vfprintf(stdout, fmt, args);
+  std::fflush(stdout);
+}
+}  // namespace detail
+
+void logf(LogLevel level, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  detail::vlogf(level, fmt, args);
+  va_end(args);
+}
+
+}  // namespace qmg

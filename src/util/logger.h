@@ -1,0 +1,42 @@
+#pragma once
+// Minimal leveled logger.  Verbosity is a process-global setting, mirroring
+// QUDA's QUDA_VERBOSITY environment control.
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace qmg {
+
+enum class LogLevel { Silent = 0, Summary = 1, Verbose = 2, Debug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// printf-style logging gated on the global level.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+inline void log_summary(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+inline void log_verbose(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+namespace detail {
+void vlogf(LogLevel level, const char* fmt, va_list args);
+}
+
+inline void log_summary(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  detail::vlogf(LogLevel::Summary, fmt, args);
+  va_end(args);
+}
+
+inline void log_verbose(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  detail::vlogf(LogLevel::Verbose, fmt, args);
+  va_end(args);
+}
+
+}  // namespace qmg

@@ -1,0 +1,96 @@
+#pragma once
+// Random number generation for qmg.
+//
+// Two generators are provided:
+//  - Xoshiro256StarStar: a fast sequential PRNG used for driver-level choices
+//    (e.g. random initial guesses) where traversal order is fixed.
+//  - SiteRng: a counter-based (Philox-style, here splitmix-hash based)
+//    stateless generator keyed by (seed, site, slot).  Field fills use this
+//    so the generated field is identical regardless of the order in which
+//    sites are visited or how loops are parallelized — the same guarantee
+//    QUDA needs for its GPU-side curand fills.
+
+#include <cstdint>
+#include <cmath>
+
+namespace qmg {
+
+/// SplitMix64 step: the standard 64-bit finalizing hash / stream generator.
+inline constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Xoshiro256StarStar {
+ public:
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Standard normal via Box-Muller (one value per call; no caching so the
+  /// stream is stateless with respect to consumer call patterns).
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+/// Stateless counter-based generator: every (seed, site, slot) triple maps to
+/// an independent uniform/normal stream position.  Used for reproducible
+/// lattice-wide field fills independent of traversal order.
+class SiteRng {
+ public:
+  explicit SiteRng(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t bits(std::uint64_t site, std::uint64_t slot) const {
+    std::uint64_t s = seed_ ^ (site * 0x9e3779b97f4a7c15ULL) ^
+                      (slot * 0xc2b2ae3d27d4eb4fULL);
+    // Two rounds of splitmix for avalanche across the combined key.
+    (void)splitmix64(s);
+    return splitmix64(s);
+  }
+
+  double uniform(std::uint64_t site, std::uint64_t slot) const {
+    return static_cast<double>(bits(site, slot) >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal from two independent uniforms (Box-Muller).
+  double normal(std::uint64_t site, std::uint64_t slot) const {
+    double u1 = uniform(site, 2 * slot);
+    double u2 = uniform(site, 2 * slot + 1);
+    if (u1 <= 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace qmg

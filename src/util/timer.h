@@ -1,0 +1,65 @@
+#pragma once
+// Wall-clock timing utilities and a lightweight accumulating profiler.
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace qmg {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() { start(); }
+  void start() { t0_ = clock::now(); }
+  /// Seconds elapsed since the last start().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - t0_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point t0_;
+};
+
+/// Named accumulator: total seconds and call counts per region.  Not
+/// thread-safe by design — profiling regions are coarse (solver phases).
+class Profiler {
+ public:
+  struct Entry {
+    double seconds = 0.0;
+    long calls = 0;
+  };
+
+  void add(const std::string& name, double seconds) {
+    auto& e = entries_[name];
+    e.seconds += seconds;
+    e.calls += 1;
+  }
+
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+  double total(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0.0 : it->second.seconds;
+  }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII region timer feeding a Profiler.
+class ScopedTimer {
+ public:
+  ScopedTimer(Profiler& prof, std::string name)
+      : prof_(prof), name_(std::move(name)) {}
+  ~ScopedTimer() { prof_.add(name_, timer_.seconds()); }
+
+ private:
+  Profiler& prof_;
+  std::string name_;
+  Timer timer_;
+};
+
+}  // namespace qmg

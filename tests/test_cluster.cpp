@@ -1,0 +1,271 @@
+// Tests of the cluster (Titan) simulation: job partitioning, halo and
+// reduction cost structure, solver-trace shapes (strong-scaling behaviour,
+// coarsest-level growth of Fig. 4), and the power model.
+
+#include <gtest/gtest.h>
+
+#include "cluster/power.h"
+#include "cluster/solver_model.h"
+#include "core/ensembles.h"
+
+namespace qmg {
+namespace {
+
+ClusterModel titan() {
+  return ClusterModel(NodeSpec::titan_xk7(), NetworkSpec::titan_gemini());
+}
+
+TEST(Partition, SplitsExactlyOverNodes) {
+  for (const int nodes : {1, 2, 4, 8, 16, 64, 128, 256, 512}) {
+    const auto p = JobPartition::make(Coord{64, 64, 64, 128}, nodes);
+    EXPECT_EQ(p.nodes(), nodes);
+    long total = 1;
+    const Coord local = p.local_dims();
+    for (int mu = 0; mu < kNDim; ++mu) {
+      EXPECT_EQ(local[mu] * p.grid[mu], 64 + 64 * (mu == 3));
+      total *= local[mu];
+    }
+    EXPECT_EQ(total * nodes, 64L * 64 * 64 * 128);
+  }
+}
+
+TEST(Partition, HandlesNonPowerOfTwoNodeCounts) {
+  // The paper's small partitions: 20, 24, 48 nodes.
+  const auto p20 = JobPartition::make(Coord{40, 40, 40, 256}, 20);
+  EXPECT_EQ(p20.nodes(), 20);
+  const auto p24 = JobPartition::make(Coord{48, 48, 48, 96}, 24);
+  EXPECT_EQ(p24.nodes(), 24);
+  const auto p48 = JobPartition::make(Coord{48, 48, 48, 96}, 48);
+  EXPECT_EQ(p48.nodes(), 48);
+}
+
+TEST(Partition, PaperCoarsestLimitIs16SitesPerNode) {
+  // Section 7.1: on Iso64 at 512 nodes the coarsest lattice (8^3 x 16) has
+  // 2^4 sites per node — the minimum the implementation handles.
+  const auto fine = JobPartition::make(Coord{64, 64, 64, 128}, 512);
+  const auto coarsest = fine.coarsened(Coord{8, 8, 8, 16});
+  EXPECT_EQ(coarsest.local_volume(), 16);
+}
+
+TEST(ClusterModel, AllreduceGrowsLogarithmically) {
+  const auto m = titan();
+  // Within one cabinet (<= 96 nodes) the cost is purely log2(N) staged.
+  EXPECT_NEAR(m.allreduce_seconds(64) / m.allreduce_seconds(16), 6.0 / 4.0,
+              0.01);
+  // Across cabinets the same log ratio holds on top of the placement
+  // penalty.
+  EXPECT_NEAR(m.allreduce_seconds(512) / m.allreduce_seconds(128), 9.0 / 7.0,
+              0.01);
+  // Leaving the cabinet costs extra (the section 7.2 placement effect).
+  EXPECT_GT(m.allreduce_seconds(128) / m.allreduce_seconds(64), 7.0 / 6.0);
+}
+
+TEST(ClusterModel, HaloOnlyForSplitDimensions) {
+  const auto m = titan();
+  JobPartition p;
+  p.global = {16, 16, 16, 16};
+  p.grid = {1, 1, 1, 1};
+  EXPECT_EQ(m.halo_seconds(p, 12, SimPrecision::Single, 0.0, false), 0.0);
+  p.grid = {2, 1, 1, 1};
+  EXPECT_GT(m.halo_seconds(p, 12, SimPrecision::Single, 0.0, false), 0.0);
+}
+
+TEST(ClusterModel, FineGridOverlapHidesExchange) {
+  const auto m = titan();
+  auto p = JobPartition::make(Coord{32, 32, 32, 64}, 8);
+  const double compute = 1e-3;  // plenty of work to hide behind
+  const double overlapped =
+      m.halo_seconds(p, 12, SimPrecision::Half, compute, true);
+  const double exposed =
+      m.halo_seconds(p, 12, SimPrecision::Half, 0.0, false);
+  EXPECT_LT(overlapped, exposed);
+}
+
+TEST(ClusterModel, StrongScalingEfficiencyDecays) {
+  // Per-node dslash time should shrink sublinearly as nodes grow (halo and
+  // occupancy costs) — the classic strong-scaling wall of Fig. 3.
+  const auto m = titan();
+  const Coord global{64, 64, 64, 128};
+  double prev_time = 1e9;
+  double prev_eff = 2.0;
+  // Stay within the multi-cabinet regime so the placement penalty (a
+  // one-time cliff at ~96 nodes) does not mask the smooth decay.
+  for (const int nodes : {128, 256, 512, 1024}) {
+    const auto p = JobPartition::make(global, nodes);
+    const double t = m.wilson_seconds(p, SimPrecision::Half);
+    const double eff = prev_time / t / 2.0;  // step speedup / ideal 2x
+    if (prev_time < 1e9) {
+      EXPECT_LT(t, prev_time) << nodes;   // still scales...
+      EXPECT_LT(eff, prev_eff + 0.05) << nodes;  // ...but efficiency decays
+    }
+    prev_time = t;
+    prev_eff = eff;
+  }
+}
+
+MgTrace three_level_trace(const Coord& fine_dims, const Coord& mid_dims,
+                          const Coord& bottom_dims, double outer_iters) {
+  // A 3-level trace with per-outer workload counts representative of the
+  // measured K-cycle runs (the Table 3 bench measures these for real).
+  MgTrace trace;
+  trace.outer_iterations = outer_iters;
+  MgLevelTrace fine;
+  fine.global_dims = fine_dims;
+  fine.fine = true;
+  fine.dof = 12;
+  fine.matvecs_per_outer = 10;  // 4 pre+post MR smoothing + residuals
+  fine.reductions_per_outer = 12;
+  fine.blas_per_outer = 30;
+  fine.transfers_per_outer = 1;
+  fine.nvec_next = 24;
+  MgLevelTrace mid;
+  mid.global_dims = mid_dims;
+  mid.fine = false;
+  mid.dof = 2 * 24;
+  mid.block_dim = 48;
+  mid.matvecs_per_outer = 45;
+  mid.reductions_per_outer = 100;
+  mid.blas_per_outer = 150;
+  mid.transfers_per_outer = 8;
+  mid.nvec_next = 32;
+  MgLevelTrace bottom;
+  bottom.global_dims = bottom_dims;
+  bottom.fine = false;
+  bottom.dof = 2 * 32;
+  bottom.block_dim = 64;
+  bottom.matvecs_per_outer = 150;
+  bottom.reductions_per_outer = 330;
+  bottom.blas_per_outer = 500;
+  trace.levels = {fine, mid, bottom};
+  return trace;
+}
+
+MgTrace iso64_like_trace(double outer_iters) {
+  return three_level_trace({64, 64, 64, 128}, {16, 16, 16, 32},
+                           {8, 8, 8, 16}, outer_iters);
+}
+
+JobPartition iso64_partition(int nodes) {
+  return JobPartition::make(Coord{64, 64, 64, 128}, nodes,
+                            Coord{8, 8, 8, 16});
+}
+
+JobPartition iso48_partition(int nodes) {
+  return JobPartition::make(Coord{48, 48, 48, 96}, nodes,
+                            Coord{4, 4, 4, 12});
+}
+
+TEST(SolverModel, CoarsestLevelFractionGrowsWithNodes) {
+  // Fig. 4: the coarsest level consumes an ever larger share as the node
+  // count grows (log N allreduce vs shrinking local stencil work).
+  const auto m = titan();
+  const auto trace = iso64_like_trace(17);
+  double prev_frac = 0;
+  for (const int nodes : {64, 128, 256, 512}) {
+    const auto p = iso64_partition(nodes);
+    const auto bd = trace.solve_breakdown(m, p);
+    const double frac = bd.level_seconds[2] / bd.total;
+    EXPECT_GT(frac, prev_frac) << nodes;
+    prev_frac = frac;
+  }
+  EXPECT_GT(prev_frac, 0.2);  // sizable at 512 nodes
+}
+
+TEST(SolverModel, MgBeatsBicgstabAtPaperScale) {
+  // Table 3's headline: with measured-plausible iteration counts (~2800 vs
+  // ~17), MG wins by 4-11x at every Iso64 partition.
+  const auto m = titan();
+  const auto mg = iso64_like_trace(17);
+  BicgstabTrace bicg;
+  bicg.iterations = 2800;
+  for (const int nodes : {64, 128, 256, 512}) {
+    const auto p = iso64_partition(nodes);
+    const double t_mg = mg.solve_seconds(m, p);
+    const double t_bicg = bicg.solve_seconds(m, p);
+    const double speedup = t_bicg / t_mg;
+    EXPECT_GT(speedup, 2.5) << nodes;
+    EXPECT_LT(speedup, 15.0) << nodes;
+  }
+}
+
+MgTrace iso48_like_trace(double outer_iters) {
+  return three_level_trace({48, 48, 48, 96}, {12, 12, 12, 24},
+                           {4, 4, 4, 12}, outer_iters);
+}
+
+TEST(SolverModel, MgUtilizationBelowBicgstab) {
+  // Section 7.2: MG sustains 3-5x fewer GFLOPS, hence lower utilization.
+  const auto m = titan();
+  const auto p = iso48_partition(48);
+  const auto mg_bd = iso48_like_trace(17).solve_breakdown(m, p);
+  BicgstabTrace bicg;
+  bicg.iterations = 3500;
+  const double u_bicg = bicg.utilization(m, p);
+  EXPECT_LT(mg_bd.utilization, u_bicg);
+}
+
+TEST(Power, MgDrawsLessPower) {
+  // Section 7.2: ~72 W (MG) vs ~83 W (BiCGStab) on Iso48/48 nodes.
+  const PowerModel power;
+  const auto m = titan();
+  const auto p = iso48_partition(48);
+  BicgstabTrace bicg;
+  bicg.iterations = 3500;
+  const double w_bicg = power.node_watts(bicg.utilization(m, p));
+  const double w_mg =
+      power.node_watts(iso48_like_trace(17).solve_breakdown(m, p).utilization);
+  EXPECT_GT(w_bicg, w_mg);
+  EXPECT_NEAR(w_bicg, 83.0, 10.0);
+  EXPECT_NEAR(w_mg, 72.0, 10.0);
+  // ~15% less power for MG.
+  EXPECT_NEAR(1.0 - w_mg / w_bicg, 0.14, 0.09);
+}
+
+TEST(Ensembles, Table1ParametersMatchPaper) {
+  const auto table = EnsembleSpec::table1();
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_EQ(table[0].label, "Aniso40");
+  EXPECT_EQ(table[0].ls, 40);
+  EXPECT_EQ(table[0].lt, 256);
+  EXPECT_NEAR(table[0].mq, -0.0860, 1e-10);
+  EXPECT_EQ(table[1].label, "Iso48");
+  EXPECT_NEAR(table[1].mq, -0.2416, 1e-10);
+  EXPECT_EQ(table[2].label, "Iso64");
+  EXPECT_EQ(table[2].node_counts,
+            (std::vector<int>{64, 128, 256, 512}));
+}
+
+TEST(Ensembles, Table2BlockingsMatchPaper) {
+  const auto aniso = EnsembleSpec::aniso40();
+  EXPECT_EQ(aniso.block1_for_nodes(20), (Coord{5, 5, 2, 8}));
+  EXPECT_EQ(aniso.block1_for_nodes(32), (Coord{5, 5, 5, 8}));
+  EXPECT_EQ(aniso.block2, (Coord{2, 2, 2, 4}));
+  const auto iso48 = EnsembleSpec::iso48();
+  EXPECT_EQ(iso48.block1_for_nodes(24), (Coord{4, 4, 4, 4}));
+  EXPECT_EQ(iso48.block2, (Coord{3, 3, 3, 2}));
+  const auto iso64 = EnsembleSpec::iso64();
+  EXPECT_EQ(iso64.block2, (Coord{2, 2, 2, 2}));
+  // Blockings must tile the production lattices exactly.
+  for (const auto& e : EnsembleSpec::table1()) {
+    for (const int nodes : e.node_counts) {
+      const Coord b1 = e.block1_for_nodes(nodes);
+      Coord level2{};
+      for (int mu = 0; mu < kNDim; ++mu) {
+        ASSERT_EQ(e.dims()[mu] % b1[mu], 0) << e.label;
+        level2[mu] = e.dims()[mu] / b1[mu];
+        ASSERT_EQ(level2[mu] % e.block2[mu], 0) << e.label;
+      }
+    }
+  }
+}
+
+TEST(Ensembles, StrategiesAre24and32Combinations) {
+  const auto strategies = table3_strategies();
+  ASSERT_EQ(strategies.size(), 3u);
+  EXPECT_EQ(strategies[0].label(), "24/24");
+  EXPECT_EQ(strategies[1].label(), "24/32");
+  EXPECT_EQ(strategies[2].label(), "32/32");
+}
+
+}  // namespace
+}  // namespace qmg

@@ -1,0 +1,287 @@
+// Tests for the virtual multi-rank domain decomposition substrate:
+// rank-grid arithmetic, local/global index bijections, halo-exchange
+// correctness, and — the load-bearing property — bit-exact agreement of the
+// distributed Wilson-Clover and coarse-operator applies with their
+// single-process counterparts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "comm/decomposition.h"
+#include "comm/dist_blas.h"
+#include "comm/dist_coarse.h"
+#include "comm/dist_spinor.h"
+#include "comm/dist_wilson.h"
+#include "dirac/clover.h"
+#include "fields/blas.h"
+#include "gauge/ensemble.h"
+#include "mg/galerkin.h"
+#include "mg/nullspace.h"
+#include "mg/stencil.h"
+#include "mg/transfer.h"
+
+namespace qmg {
+namespace {
+
+TEST(RankGrid, FactorPrefersLargestDims) {
+  const auto grid = RankGrid::factor({8, 8, 8, 32}, 8);
+  // 32 halves three times before any 8 would.
+  EXPECT_EQ(grid.dims()[3], 8);
+  EXPECT_EQ(grid.nranks(), 8);
+}
+
+TEST(RankGrid, CoordsRankRoundTrip) {
+  const RankGrid grid(Coord{2, 1, 2, 4});
+  for (int r = 0; r < grid.nranks(); ++r)
+    EXPECT_EQ(grid.rank_of(grid.coords(r)), r);
+}
+
+TEST(RankGrid, NeighborsArePeriodicInverses) {
+  const RankGrid grid(Coord{2, 2, 1, 2});
+  for (int r = 0; r < grid.nranks(); ++r)
+    for (int mu = 0; mu < kNDim; ++mu) {
+      EXPECT_EQ(grid.neighbor(grid.neighbor(r, mu, 0), mu, 1), r);
+      if (grid.dims()[mu] == 1) EXPECT_EQ(grid.neighbor(r, mu, 0), r);
+    }
+}
+
+TEST(RankGrid, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(RankGrid::factor({8, 8, 8, 8}, 3), std::invalid_argument);
+}
+
+TEST(Decomposition, GlobalIndexIsBijective) {
+  auto geom = make_geometry(Coord{4, 4, 4, 8});
+  const auto dec = make_decomposition(geom, 4);
+  std::set<long> seen;
+  for (int r = 0; r < dec->nranks(); ++r)
+    for (long i = 0; i < dec->local_volume(); ++i)
+      seen.insert(dec->global_index(r, i));
+  EXPECT_EQ(static_cast<long>(seen.size()), geom->volume());
+}
+
+TEST(Decomposition, InteriorNeighborsStayLocal) {
+  auto geom = make_geometry(Coord{4, 4, 4, 8});
+  const auto dec = make_decomposition(geom, 2);
+  const auto& local = *dec->local();
+  for (long i = 0; i < local.volume(); ++i) {
+    const Coord x = local.coords(i);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      if (x[mu] + 1 < local.dim(mu))
+        EXPECT_FALSE(dec->is_ghost(dec->neighbor_fwd(i, mu)));
+      else
+        EXPECT_TRUE(dec->is_ghost(dec->neighbor_fwd(i, mu)));
+      if (x[mu] > 0)
+        EXPECT_FALSE(dec->is_ghost(dec->neighbor_bwd(i, mu)));
+      else
+        EXPECT_TRUE(dec->is_ghost(dec->neighbor_bwd(i, mu)));
+    }
+  }
+}
+
+TEST(Decomposition, RejectsUnitLocalExtent) {
+  auto geom = make_geometry(Coord{2, 2, 2, 4});
+  EXPECT_THROW(DomainDecomposition(geom, RankGrid({2, 1, 1, 1})),
+               std::invalid_argument);
+}
+
+TEST(DistSpinor, ScatterGatherRoundTrip) {
+  auto geom = make_geometry(Coord{4, 4, 4, 8});
+  const auto dec = make_decomposition(geom, 4);
+  ColorSpinorField<double> global(geom, 4, 3);
+  global.gaussian(3);
+
+  DistributedSpinor<double> dist(dec, 4, 3);
+  dist.scatter(global);
+  ColorSpinorField<double> back(geom, 4, 3);
+  dist.gather(back);
+  for (long k = 0; k < global.size(); ++k) {
+    EXPECT_EQ(back.data()[k].re, global.data()[k].re);
+    EXPECT_EQ(back.data()[k].im, global.data()[k].im);
+  }
+}
+
+TEST(DistSpinor, HaloExchangeDeliversNeighborSites) {
+  auto geom = make_geometry(Coord{4, 4, 4, 8});
+  const auto dec = make_decomposition(geom, 4);
+  ColorSpinorField<double> global(geom, 4, 3);
+  global.gaussian(5);
+
+  DistributedSpinor<double> dist(dec, 4, 3);
+  dist.scatter(global);
+  dist.exchange_halos();
+
+  // Every ghost-referencing neighbor must hold exactly the global field's
+  // value at the wrapped global coordinate.
+  for (int r = 0; r < dec->nranks(); ++r) {
+    for (long i = 0; i < dec->local_volume(); ++i) {
+      const long gi = dec->global_index(r, i);
+      for (int mu = 0; mu < kNDim; ++mu) {
+        const long lf = dec->neighbor_fwd(i, mu);
+        const long gf = geom->neighbor_fwd(gi, mu);
+        const Complex<double>* got = dist.site_or_ghost(r, lf);
+        const Complex<double>* expect = global.site_data(gf);
+        for (int k = 0; k < 12; ++k) {
+          ASSERT_EQ(got[k].re, expect[k].re)
+              << "rank " << r << " site " << i << " mu " << mu;
+          ASSERT_EQ(got[k].im, expect[k].im);
+        }
+        const long lb = dec->neighbor_bwd(i, mu);
+        const long gb = geom->neighbor_bwd(gi, mu);
+        const Complex<double>* got_b = dist.site_or_ghost(r, lb);
+        const Complex<double>* expect_b = global.site_data(gb);
+        for (int k = 0; k < 12; ++k) {
+          ASSERT_EQ(got_b[k].re, expect_b[k].re);
+          ASSERT_EQ(got_b[k].im, expect_b[k].im);
+        }
+      }
+    }
+  }
+}
+
+TEST(DistSpinor, ExchangeStatsCountMessagesAndBytes) {
+  auto geom = make_geometry(Coord{4, 4, 4, 8});
+  const auto dec = make_decomposition(geom, 4);  // grid 1x1x2x2 or similar
+  DistributedSpinor<double> dist(dec, 4, 3);
+  CommStats stats;
+  dist.exchange_halos(&stats);
+
+  EXPECT_EQ(stats.pack_kernels, dec->nranks());
+  // Two messages per partitioned dimension per rank, none for self-wraps.
+  long expect_msgs = 0, expect_bytes = 0;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    if (dec->self_comm(mu)) continue;
+    expect_msgs += 2L * dec->nranks();
+    expect_bytes += 2L * dec->nranks() * dec->face_sites(mu) * 12 *
+                    static_cast<long>(sizeof(Complex<double>));
+  }
+  EXPECT_EQ(stats.messages, expect_msgs);
+  EXPECT_EQ(stats.message_bytes, expect_bytes);
+  EXPECT_EQ(stats.host_device_copies, 2 * dec->nranks());
+}
+
+class DistWilsonRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistWilsonRanks, ApplyIsBitIdenticalToSingleProcess) {
+  const int nranks = GetParam();
+  auto geom = make_geometry(Coord{4, 4, 4, 8});
+  const auto gauge = disordered_gauge<double>(geom, 0.5, 17);
+  const auto clover = build_clover_with_inverse(gauge, 1.0, 0.05);
+  const WilsonParams<double> params{0.05, 1.0, 1.0};
+  const WilsonCloverOp<double> op(gauge, params, &clover);
+
+  ColorSpinorField<double> x(geom, 4, 3);
+  x.gaussian(23);
+  auto y_ref = op.create_vector();
+  op.apply(y_ref, x);
+
+  const auto dec = make_decomposition(geom, nranks);
+  const DistributedWilsonOp<double> dist_op(gauge, params, &clover, dec);
+  auto dx = dist_op.create_vector();
+  dx.scatter(x);
+  auto dy = dist_op.create_vector();
+  dist_op.apply(dy, dx);
+  ColorSpinorField<double> y(geom, 4, 3);
+  dy.gather(y);
+
+  for (long k = 0; k < y.size(); ++k) {
+    ASSERT_EQ(y.data()[k].re, y_ref.data()[k].re) << "element " << k;
+    ASSERT_EQ(y.data()[k].im, y_ref.data()[k].im) << "element " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistWilsonRanks,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(DistWilson, AnisotropicApplyMatches) {
+  auto geom = make_geometry(Coord{4, 4, 4, 8});
+  const auto gauge = disordered_gauge<double>(geom, 0.4, 29);
+  const WilsonParams<double> params{0.3, 0.0, 1.5};  // anisotropy 1.5
+  const WilsonCloverOp<double> op(gauge, params, nullptr);
+
+  ColorSpinorField<double> x(geom, 4, 3);
+  x.gaussian(31);
+  auto y_ref = op.create_vector();
+  op.apply(y_ref, x);
+
+  const auto dec = make_decomposition(geom, 4);
+  const DistributedWilsonOp<double> dist_op(gauge, params, nullptr, dec);
+  auto dx = dist_op.create_vector();
+  dx.scatter(x);
+  auto dy = dist_op.create_vector();
+  dist_op.apply(dy, dx);
+  ColorSpinorField<double> y(geom, 4, 3);
+  dy.gather(y);
+  for (long k = 0; k < y.size(); ++k) {
+    ASSERT_EQ(y.data()[k].re, y_ref.data()[k].re);
+    ASSERT_EQ(y.data()[k].im, y_ref.data()[k].im);
+  }
+}
+
+class DistCoarseRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistCoarseRanks, ApplyIsBitIdenticalToSingleProcess) {
+  const int nranks = GetParam();
+  auto geom = make_geometry(Coord{8, 8, 8, 8});
+  const auto gauge = disordered_gauge<double>(geom, 0.4, 41);
+  const auto clover = build_clover_with_inverse(gauge, 1.0, 0.1);
+  const WilsonCloverOp<double> op(gauge, {0.1, 1.0, 1.0}, &clover);
+
+  NullSpaceParams ns;
+  ns.nvec = 6;
+  ns.iters = 10;
+  auto vecs = generate_null_vectors(op, ns);
+  auto map = std::make_shared<const BlockMap>(geom, Coord{2, 2, 2, 2});
+  Transfer<double> transfer(map, 4, 3, 6);
+  transfer.set_null_vectors(vecs);
+  const WilsonStencilView<double> view(op);
+  const CoarseDirac<double> coarse(build_coarse_operator(view, transfer));
+
+  auto x = coarse.create_vector();
+  x.gaussian(47);
+  auto y_ref = coarse.create_vector();
+  const CoarseKernelConfig config{Strategy::DotProduct, 3, 2, 2};
+  coarse.apply_with_config(y_ref, x, config);
+
+  const auto dec = make_decomposition(map->coarse(), nranks);
+  const DistributedCoarseOp<double> dist_op(coarse, dec);
+  auto dx = dist_op.create_vector();
+  dx.scatter(x);
+  auto dy = dist_op.create_vector();
+  dist_op.apply(dy, dx, config);
+  auto y = coarse.create_vector();
+  dy.gather(y);
+
+  for (long k = 0; k < y.size(); ++k) {
+    ASSERT_EQ(y.data()[k].re, y_ref.data()[k].re) << "element " << k;
+    ASSERT_EQ(y.data()[k].im, y_ref.data()[k].im) << "element " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistCoarseRanks,
+                         ::testing::Values(1, 2, 4));
+
+TEST(DistBlas, ReductionsMatchGlobalToReassociationTolerance) {
+  auto geom = make_geometry(Coord{4, 4, 4, 8});
+  const auto dec = make_decomposition(geom, 4);
+  ColorSpinorField<double> a(geom, 4, 3), b(geom, 4, 3);
+  a.gaussian(51);
+  b.gaussian(52);
+
+  DistributedSpinor<double> da(dec, 4, 3), db(dec, 4, 3);
+  da.scatter(a);
+  db.scatter(b);
+
+  CommStats stats;
+  EXPECT_NEAR(dist::norm2(da, &stats), blas::norm2(a),
+              1e-12 * blas::norm2(a));
+  const complexd d_ref = blas::cdot(a, b);
+  const complexd d = dist::cdot(da, db, &stats);
+  EXPECT_NEAR(d.re, d_ref.re, 1e-10 * std::abs(d_ref.re) + 1e-12);
+  EXPECT_NEAR(d.im, d_ref.im, 1e-10 * std::abs(d_ref.im) + 1e-12);
+  EXPECT_EQ(stats.allreduces, 2);
+}
+
+}  // namespace
+}  // namespace qmg

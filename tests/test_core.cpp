@@ -1,0 +1,127 @@
+// Tests of the public API facade (QmgContext) and the small utilities
+// (CLI parsing, timers/profiler, logger).
+
+#include <gtest/gtest.h>
+
+#include "core/qmg.h"
+#include "util/cli.h"
+#include "util/logger.h"
+#include "util/timer.h"
+
+namespace qmg {
+namespace {
+
+ContextOptions small_options() {
+  ContextOptions o;
+  o.dims = {4, 4, 4, 4};
+  o.mass = 0.05;
+  o.roughness = 0.4;
+  return o;
+}
+
+TEST(Context, BuildsConsistentOperators) {
+  QmgContext ctx(small_options());
+  EXPECT_EQ(ctx.geometry()->volume(), 256);
+  // Double and single operators agree to single precision.
+  auto x = ctx.create_vector();
+  x.gaussian(1);
+  auto y_d = ctx.create_vector();
+  ctx.op().apply(y_d, x);
+  auto x_f = convert<float>(x);
+  auto y_f = ctx.op_single().create_vector();
+  ctx.op_single().apply(y_f, x_f);
+  const auto y_fd = convert<double>(y_f);
+  double max_rel = 0;
+  for (long i = 0; i < y_d.size(); ++i) {
+    const double d = std::sqrt(norm2(y_d.data()[i] - y_fd.data()[i]));
+    max_rel = std::max(max_rel, d);
+  }
+  EXPECT_LT(max_rel, 1e-4);
+}
+
+TEST(Context, MgSolveRequiresSetup) {
+  QmgContext ctx(small_options());
+  auto b = ctx.create_vector();
+  b.gaussian(2);
+  auto x = ctx.create_vector();
+  EXPECT_THROW(ctx.solve_mg(x, b, 1e-6), std::runtime_error);
+}
+
+TEST(Context, MgAndBicgstabAgree) {
+  QmgContext ctx(small_options());
+  MgConfig mg;
+  MgLevelConfig level;
+  level.block = {2, 2, 2, 2};
+  level.nvec = 6;
+  level.null_iters = 40;
+  mg.levels = {level};
+  ctx.setup_multigrid(mg);
+  ASSERT_TRUE(ctx.has_multigrid());
+
+  auto b = ctx.create_vector();
+  b.point_source(3, 1, 2);
+  auto x_mg = ctx.create_vector();
+  auto x_bicg = ctx.create_vector();
+  const auto rm = ctx.solve_mg(x_mg, b, 1e-9);
+  const auto rb = ctx.solve_bicgstab(x_bicg, b, 1e-9);
+  ASSERT_TRUE(rm.converged);
+  ASSERT_TRUE(rb.converged);
+  blas::axpy(-1.0, x_mg, x_bicg);
+  EXPECT_LT(std::sqrt(blas::norm2(x_bicg) / blas::norm2(x_mg)), 1e-6);
+}
+
+TEST(Context, SolverErrorEstimateIsSane) {
+  QmgContext ctx(small_options());
+  auto b = ctx.create_vector();
+  b.gaussian(3);
+  auto x = ctx.create_vector();
+  const auto r = ctx.solve_bicgstab(x, b, 1e-6);
+  ASSERT_TRUE(r.converged);
+  const double err = ctx.solver_error(x, b);
+  // Error should be within a couple orders of magnitude of the residual
+  // (the error/residual ratio of Table 3 is O(10)-O(100)).
+  EXPECT_GT(err, 0.0);
+  EXPECT_LT(err, 1e-3);
+}
+
+TEST(Cli, ParsesFlagsAndDefaults) {
+  const char* argv[] = {"prog", "--l=8", "--mass=-0.05", "--verbose",
+                        "--name=abc", "positional"};
+  const CliArgs args(6, argv);
+  EXPECT_EQ(args.get_int("l", 4), 8);
+  EXPECT_DOUBLE_EQ(args.get_double("mass", 0.0), -0.05);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("quiet", false));
+  EXPECT_EQ(args.get("name", ""), "abc");
+  EXPECT_EQ(args.get_int("missing", 42), 42);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(Profiler, AccumulatesNamedRegions) {
+  Profiler prof;
+  {
+    ScopedTimer t(prof, "region");
+  }
+  {
+    ScopedTimer t(prof, "region");
+  }
+  EXPECT_EQ(prof.entries().at("region").calls, 2);
+  EXPECT_GE(prof.total("region"), 0.0);
+  EXPECT_EQ(prof.total("absent"), 0.0);
+  prof.clear();
+  EXPECT_TRUE(prof.entries().empty());
+}
+
+TEST(Logger, LevelGatesOutput) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::Silent);
+  logf(LogLevel::Summary, "should not appear\n");
+  set_log_level(LogLevel::Verbose);
+  EXPECT_EQ(static_cast<int>(log_level()),
+            static_cast<int>(LogLevel::Verbose));
+  set_log_level(old);
+}
+
+}  // namespace
+}  // namespace qmg

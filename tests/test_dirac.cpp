@@ -1,0 +1,342 @@
+// Tests of the Dirac-operator layer: gamma algebra, Wilson/Wilson-Clover
+// properties (gamma5-Hermiticity, free-field spectrum), clover Hermiticity,
+// even-odd Schur-complement equivalence, and gauge-compression consistency.
+
+#include <gtest/gtest.h>
+
+#include "dirac/clover.h"
+#include "dirac/gamma.h"
+#include "dirac/wilson.h"
+#include "fields/blas.h"
+#include "gauge/ensemble.h"
+#include "mg/stencil.h"
+#include "solvers/bicgstab.h"
+
+namespace qmg {
+namespace {
+
+GeometryPtr geom44() { return make_geometry(Coord{4, 4, 4, 4}); }
+
+TEST(Gamma, CliffordAlgebra) {
+  const auto& a = GammaAlgebra::instance();
+  for (int mu = 0; mu < 4; ++mu) {
+    // Hermiticity.
+    EXPECT_LT(max_abs_deviation(adjoint(a.gamma(mu)), a.gamma(mu)), 1e-14);
+    for (int nu = 0; nu < 4; ++nu) {
+      const SpinMatrix anti =
+          a.gamma(mu) * a.gamma(nu) + a.gamma(nu) * a.gamma(mu);
+      const SpinMatrix expect =
+          mu == nu ? 2.0 * SpinMatrix::identity() : SpinMatrix{};
+      EXPECT_LT(max_abs_deviation(anti, expect), 1e-14)
+          << "mu=" << mu << " nu=" << nu;
+    }
+  }
+}
+
+TEST(Gamma, Gamma5IsChiral) {
+  const auto& a = GammaAlgebra::instance();
+  const SpinMatrix& g5 = a.gamma5();
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) {
+      const double expect = r == c ? (r < 2 ? 1.0 : -1.0) : 0.0;
+      EXPECT_NEAR(g5(r, c).re, expect, 1e-14);
+      EXPECT_NEAR(g5(r, c).im, 0.0, 1e-14);
+    }
+  // gamma5 anticommutes with every gamma_mu.
+  for (int mu = 0; mu < 4; ++mu) {
+    const SpinMatrix anti = g5 * a.gamma(mu) + a.gamma(mu) * g5;
+    EXPECT_LT(max_abs_deviation(anti, SpinMatrix{}), 1e-14);
+  }
+}
+
+TEST(Gamma, ProjectorsAreComplementary) {
+  const auto& a = GammaAlgebra::instance();
+  for (int mu = 0; mu < 4; ++mu) {
+    // (1-gamma)(1+gamma) = 0 and (1-gamma)+(1+gamma) = 2.
+    const SpinMatrix prod = a.projector(mu, 0) * a.projector(mu, 1);
+    EXPECT_LT(max_abs_deviation(prod, SpinMatrix{}), 1e-14);
+    const SpinMatrix sum = a.projector(mu, 0) + a.projector(mu, 1);
+    EXPECT_LT(max_abs_deviation(sum, 2.0 * SpinMatrix::identity()), 1e-14);
+    // Half projectors are idempotent: ((1+-gamma)/2)^2 = (1+-gamma)/2.
+    for (int dir = 0; dir < 2; ++dir) {
+      const SpinMatrix half = 0.5 * a.projector(mu, dir);
+      EXPECT_LT(max_abs_deviation(half * half, half), 1e-14);
+    }
+  }
+}
+
+TEST(Gamma, SigmaBlockDiagonal) {
+  const auto& a = GammaAlgebra::instance();
+  for (int mu = 0; mu < 4; ++mu)
+    for (int nu = 0; nu < 4; ++nu) {
+      if (mu == nu) continue;
+      const SpinMatrix& s = a.sigma(mu, nu);
+      // Chirality off-blocks vanish.
+      for (int r = 0; r < 2; ++r)
+        for (int c = 2; c < 4; ++c) {
+          EXPECT_LT(norm2(s(r, c)), 1e-28);
+          EXPECT_LT(norm2(s(c, r)), 1e-28);
+        }
+      // Anti-Hermitian.
+      EXPECT_LT(max_abs_deviation(adjoint(s), -1.0 * s), 1e-14);
+    }
+}
+
+class WilsonOpTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WilsonOpTest, Gamma5Hermiticity) {
+  // <x, gamma5 M gamma5 y> == <M^dag x, y> == conj(<y, ... >): check
+  // <x, gamma5 M gamma5 y> == conj(<y, gamma5 M gamma5 x>) ... directly:
+  // gamma5-Hermiticity means <u, M v> = <gamma5 M gamma5 u, v>.
+  auto geom = geom44();
+  const auto gauge = disordered_gauge<double>(geom, GetParam(), 11);
+  const auto clover = build_clover(gauge, 1.2);
+  WilsonCloverOp<double> op(gauge, {.mass = -0.1, .csw = 1.2}, &clover);
+
+  ColorSpinorField<double> u(geom, 4, 3), v(geom, 4, 3);
+  u.gaussian(1);
+  v.gaussian(2);
+  auto mv = op.create_vector();
+  op.apply(mv, v);
+  const complexd lhs = blas::cdot(u, mv);
+
+  auto t = op.create_vector();
+  apply_gamma5(t, u);
+  auto mt = op.create_vector();
+  op.apply(mt, t);
+  apply_gamma5(mt, mt);
+  const complexd rhs = conj(blas::cdot(v, mt));
+  EXPECT_NEAR(lhs.re, rhs.re, 1e-8);
+  EXPECT_NEAR(lhs.im, rhs.im, 1e-8);
+}
+
+TEST_P(WilsonOpTest, DaggerIsAdjoint) {
+  auto geom = geom44();
+  const auto gauge = disordered_gauge<double>(geom, GetParam(), 13);
+  const auto clover = build_clover(gauge, 1.0);
+  WilsonCloverOp<double> op(gauge, {.mass = 0.05, .csw = 1.0}, &clover);
+
+  ColorSpinorField<double> u(geom, 4, 3), v(geom, 4, 3);
+  u.gaussian(3);
+  v.gaussian(4);
+  auto mv = op.create_vector();
+  auto mdag_u = op.create_vector();
+  op.apply(mv, v);
+  op.apply_dagger(mdag_u, u);
+  const complexd a = blas::cdot(u, mv);
+  const complexd b = blas::cdot(mdag_u, v);
+  EXPECT_NEAR(a.re, b.re, 1e-8);
+  EXPECT_NEAR(a.im, b.im, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Disorder, WilsonOpTest,
+                         ::testing::Values(0.0, 0.2, 0.5, 1.0));
+
+TEST(WilsonOp, FreeFieldConstantModeEigenvalue) {
+  // On the free field, a spinor constant in space is an eigenvector of M
+  // with eigenvalue m (the hopping term telescopes to the Laplacian's zero
+  // mode): M 1 = (4 + m) - 1/2 * (2 per direction summed with projectors
+  // (1-g)+(1+g)=2) = (4+m) - 4 = m.
+  auto geom = geom44();
+  const auto gauge = unit_gauge<double>(geom);
+  const double mass = 0.3;
+  WilsonCloverOp<double> op(gauge, {.mass = mass});
+  auto x = op.create_vector();
+  for (long i = 0; i < x.nsites(); ++i)
+    for (int s = 0; s < 4; ++s)
+      for (int c = 0; c < 3; ++c) x(i, s, c) = complexd(1.0, 0.5);
+  auto mx = op.create_vector();
+  op.apply(mx, x);
+  for (long i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(mx.data()[i].re, mass * x.data()[i].re, 1e-10);
+    EXPECT_NEAR(mx.data()[i].im, mass * x.data()[i].im, 1e-10);
+  }
+}
+
+TEST(WilsonOp, CompressedGaugeMatchesFull) {
+  auto geom = geom44();
+  const auto gauge = disordered_gauge<double>(geom, 0.4, 17);
+  WilsonCloverOp<double> full(gauge, {.mass = 0.1});
+  WilsonCloverOp<double> r12(gauge, {.mass = 0.1}, nullptr, Reconstruct::R12);
+  WilsonCloverOp<double> r8(gauge, {.mass = 0.1}, nullptr, Reconstruct::R8);
+
+  ColorSpinorField<double> x(geom, 4, 3);
+  x.gaussian(5);
+  auto y_full = full.create_vector();
+  auto y_12 = full.create_vector();
+  auto y_8 = full.create_vector();
+  full.apply(y_full, x);
+  r12.apply(y_12, x);
+  r8.apply(y_8, x);
+
+  blas::axpy(-1.0, y_full, y_12);
+  blas::axpy(-1.0, y_full, y_8);
+  EXPECT_LT(std::sqrt(blas::norm2(y_12) / blas::norm2(y_full)), 1e-12);
+  EXPECT_LT(std::sqrt(blas::norm2(y_8) / blas::norm2(y_full)), 1e-6);
+}
+
+TEST(WilsonOp, AnisotropyScalesTemporalHops) {
+  auto geom = geom44();
+  const auto gauge = unit_gauge<double>(geom);
+  WilsonCloverOp<double> iso(gauge, {.mass = 0.0, .csw = 0.0,
+                                     .anisotropy = 1.0});
+  WilsonCloverOp<double> aniso(gauge, {.mass = 0.0, .csw = 0.0,
+                                       .anisotropy = 3.0});
+  // A point source: the anisotropic operator's temporal-neighbor output
+  // must be 3x the isotropic one's.
+  auto x = iso.create_vector();
+  x.point_source(0, 0, 0);
+  auto yi = iso.create_vector();
+  auto ya = iso.create_vector();
+  iso.apply(yi, x);
+  aniso.apply(ya, x);
+  const long tn = geom->neighbor_fwd(0, 3);
+  double norm_i = 0, norm_a = 0;
+  for (int s = 0; s < 4; ++s)
+    for (int c = 0; c < 3; ++c) {
+      norm_i += norm2(yi(tn, s, c));
+      norm_a += norm2(ya(tn, s, c));
+    }
+  EXPECT_NEAR(norm_a, 9.0 * norm_i, 1e-10 * norm_a);
+  // Spatial neighbors unaffected.
+  const long xn = geom->neighbor_fwd(0, 0);
+  double sx_i = 0, sx_a = 0;
+  for (int s = 0; s < 4; ++s)
+    for (int c = 0; c < 3; ++c) {
+      sx_i += norm2(yi(xn, s, c));
+      sx_a += norm2(ya(xn, s, c));
+    }
+  EXPECT_NEAR(sx_i, sx_a, 1e-12);
+}
+
+TEST(Clover, BlocksAreHermitianAndTraceless) {
+  auto geom = geom44();
+  const auto gauge = disordered_gauge<double>(geom, 0.5, 23);
+  const auto clover = build_clover(gauge, 1.5);
+  for (long x = 0; x < geom->volume(); x += 13)
+    for (int ch = 0; ch < 2; ++ch) {
+      const auto& b = clover.block(x, ch);
+      EXPECT_LT(max_abs_deviation(adjoint(b), b), 1e-12);
+    }
+}
+
+TEST(Clover, VanishesOnFreeField) {
+  auto geom = geom44();
+  const auto gauge = unit_gauge<double>(geom);
+  const auto clover = build_clover(gauge, 1.5);
+  for (long x = 0; x < geom->volume(); x += 7)
+    for (int ch = 0; ch < 2; ++ch)
+      EXPECT_LT(norm2(clover.block(x, ch)), 1e-24);
+}
+
+TEST(Clover, InverseBlocksInvert) {
+  auto geom = geom44();
+  const auto gauge = disordered_gauge<double>(geom, 0.5, 29);
+  auto clover = build_clover(gauge, 1.3);
+  const double shift = 4.0 + 0.05;
+  clover.compute_inverse(shift);
+  for (long x = 0; x < geom->volume(); x += 17)
+    for (int ch = 0; ch < 2; ++ch) {
+      auto shifted = clover.block(x, ch);
+      for (int d = 0; d < 6; ++d) shifted(d, d) += complexd(shift, 0);
+      const auto prod = shifted * clover.inverse_block(x, ch);
+      EXPECT_LT(
+          max_abs_deviation(prod, CloverField<double>::Block::identity()),
+          1e-10);
+    }
+}
+
+TEST(Schur, MatchesFullSystemSolution) {
+  // Solving the Schur system and reconstructing must equal the full-system
+  // solution: M x = b.
+  auto geom = geom44();
+  const auto gauge = disordered_gauge<double>(geom, 0.3, 31);
+  const auto clover = build_clover_with_inverse(gauge, 1.0, 0.2);
+  WilsonCloverOp<double> op(gauge, {.mass = 0.2, .csw = 1.0}, &clover);
+  SchurWilsonOp<double> schur(op);
+
+  ColorSpinorField<double> b(geom, 4, 3);
+  b.gaussian(41);
+
+  // Full-system solve.
+  SolverParams params;
+  params.tol = 1e-10;
+  params.max_iter = 2000;
+  auto x_full = op.create_vector();
+  const auto res_full = BiCgStabSolver<double>(op, params).solve(x_full, b);
+  ASSERT_TRUE(res_full.converged);
+
+  // Schur solve + reconstruction.
+  auto b_hat = schur.create_vector();
+  schur.prepare(b_hat, b);
+  auto x_even = schur.create_vector();
+  const auto res_schur =
+      BiCgStabSolver<double>(schur, params).solve(x_even, b_hat);
+  ASSERT_TRUE(res_schur.converged);
+  auto x_rec = op.create_vector();
+  schur.reconstruct(x_rec, x_even, b);
+
+  blas::axpy(-1.0, x_full, x_rec);
+  EXPECT_LT(std::sqrt(blas::norm2(x_rec) / blas::norm2(x_full)), 1e-7);
+  // Red-black preconditioning must reduce the iteration count.
+  EXPECT_LT(res_schur.iterations, res_full.iterations);
+}
+
+TEST(Schur, Gamma5Hermiticity) {
+  auto geom = geom44();
+  const auto gauge = disordered_gauge<double>(geom, 0.4, 37);
+  const auto clover = build_clover_with_inverse(gauge, 1.0, 0.1);
+  WilsonCloverOp<double> op(gauge, {.mass = 0.1, .csw = 1.0}, &clover);
+  SchurWilsonOp<double> schur(op);
+
+  auto u = schur.create_vector();
+  auto v = schur.create_vector();
+  u.gaussian(6);
+  v.gaussian(7);
+  auto sv = schur.create_vector();
+  auto sdag_u = schur.create_vector();
+  schur.apply(sv, v);
+  schur.apply_dagger(sdag_u, u);
+  const complexd a = blas::cdot(u, sv);
+  const complexd b = blas::cdot(sdag_u, v);
+  EXPECT_NEAR(a.re, b.re, 1e-8);
+  EXPECT_NEAR(a.im, b.im, 1e-8);
+}
+
+TEST(StencilView, ReproducesOperatorApply) {
+  // Assembling out(x) from the stencil view's blocks must equal apply().
+  auto geom = make_geometry(Coord{4, 4, 2, 2});
+  const auto gauge = disordered_gauge<double>(geom, 0.4, 43);
+  const auto clover = build_clover(gauge, 0.9);
+  WilsonCloverOp<double> op(gauge, {.mass = 0.15, .csw = 0.9}, &clover);
+  const WilsonStencilView<double> view(op);
+
+  ColorSpinorField<double> x(geom, 4, 3);
+  x.gaussian(8);
+  auto y = op.create_vector();
+  op.apply(y, x);
+
+  for (long site = 0; site < geom->volume(); site += 5) {
+    std::vector<complexd> acc(12);
+    auto add = [&](const SmallMatrix<double>& m, long from) {
+      std::vector<complexd> in(12), out(12);
+      for (int s = 0; s < 4; ++s)
+        for (int c = 0; c < 3; ++c) in[3 * s + c] = x(from, s, c);
+      m.multiply(in.data(), out.data());
+      for (int k = 0; k < 12; ++k) acc[k] += out[k];
+    };
+    add(view.diag_matrix(site), site);
+    for (int mu = 0; mu < 4; ++mu) {
+      add(view.hop_matrix(site, mu, 0), geom->neighbor_fwd(site, mu));
+      add(view.hop_matrix(site, mu, 1), geom->neighbor_bwd(site, mu));
+    }
+    for (int s = 0; s < 4; ++s)
+      for (int c = 0; c < 3; ++c) {
+        EXPECT_NEAR(acc[3 * s + c].re, y(site, s, c).re, 1e-10);
+        EXPECT_NEAR(acc[3 * s + c].im, y(site, s, c).im, 1e-10);
+      }
+  }
+}
+
+}  // namespace
+}  // namespace qmg

@@ -1,0 +1,154 @@
+// Tests for the section 9 "future work" features implemented as extensions:
+// the multiple-right-hand-side coarse apply and the communication-avoiding
+// (s-step) GMRES coarsest-grid solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dirac/clover.h"
+#include "fields/blas.h"
+#include "gauge/ensemble.h"
+#include "mg/galerkin.h"
+#include "mg/mrhs.h"
+#include "mg/nullspace.h"
+#include "mg/stencil.h"
+#include "mg/transfer.h"
+#include "solvers/ca_gmres.h"
+#include "solvers/gcr.h"
+
+namespace qmg {
+namespace {
+
+/// A small real coarse operator for the extension tests.
+struct CoarseFixture {
+  GeometryPtr geom = make_geometry(Coord{4, 4, 4, 8});
+  GaugeField<double> gauge = disordered_gauge<double>(geom, 0.4, 13);
+  CloverField<double> clover = build_clover_with_inverse(gauge, 1.0, 0.1);
+  WilsonCloverOp<double> op{gauge, {0.1, 1.0, 1.0}, &clover};
+  std::shared_ptr<const BlockMap> map =
+      std::make_shared<const BlockMap>(geom, Coord{2, 2, 2, 2});
+  Transfer<double> transfer{map, 4, 3, 6};
+  CoarseDirac<double> coarse = [&] {
+    NullSpaceParams ns;
+    ns.nvec = 6;
+    ns.iters = 10;
+    transfer.set_null_vectors(generate_null_vectors(op, ns));
+    const WilsonStencilView<double> view(op);
+    return CoarseDirac<double>(build_coarse_operator(view, transfer));
+  }();
+};
+
+CoarseFixture& fixture() {
+  static CoarseFixture f;
+  return f;
+}
+
+class MrhsCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(MrhsCounts, MatchesSingleRhsAppliesBitExactly) {
+  auto& f = fixture();
+  const int nrhs = GetParam();
+  const CoarseKernelConfig config{Strategy::ColorSpin, 1, 1, 2};
+
+  std::vector<ColorSpinorField<double>> in, out, ref;
+  for (int k = 0; k < nrhs; ++k) {
+    in.push_back(f.coarse.create_vector());
+    in.back().gaussian(100 + k);
+    out.push_back(f.coarse.create_vector());
+    ref.push_back(f.coarse.create_vector());
+    f.coarse.apply_with_config(ref.back(), in.back(), config);
+  }
+
+  const MultiRhsCoarseOp<double> mrhs(f.coarse);
+  mrhs.apply(out, in, config);
+  for (int k = 0; k < nrhs; ++k)
+    for (long i = 0; i < out[k].size(); ++i) {
+      ASSERT_EQ(out[k].data()[i].re, ref[k].data()[i].re)
+          << "rhs " << k << " element " << i;
+      ASSERT_EQ(out[k].data()[i].im, ref[k].data()[i].im);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RhsCounts, MrhsCounts, ::testing::Values(1, 2, 12));
+
+TEST(Mrhs, ArithmeticIntensityGrowsWithRhsCount) {
+  auto& f = fixture();
+  const MultiRhsCoarseOp<double> mrhs(f.coarse);
+  const double i1 = mrhs.arithmetic_intensity(1);
+  const double i12 = mrhs.arithmetic_intensity(12);
+  EXPECT_GT(i12, 3 * i1);  // link amortization: paper section 9's point
+}
+
+TEST(Mrhs, SizeMismatchThrows) {
+  auto& f = fixture();
+  const MultiRhsCoarseOp<double> mrhs(f.coarse);
+  std::vector<ColorSpinorField<double>> in(2, f.coarse.create_vector());
+  std::vector<ColorSpinorField<double>> out(1, f.coarse.create_vector());
+  EXPECT_THROW(mrhs.apply(out, in), std::invalid_argument);
+}
+
+class CaGmresBasisDepth : public ::testing::TestWithParam<int> {};
+
+TEST_P(CaGmresBasisDepth, ConvergesOnCoarseOperator) {
+  auto& f = fixture();
+  auto b = f.coarse.create_vector();
+  b.gaussian(7);
+
+  SolverParams params;
+  params.tol = 1e-8;
+  params.max_iter = 2000;
+  auto x = f.coarse.create_vector();
+  CaGmresSolver<double> solver(f.coarse, params, GetParam());
+  const auto res = solver.solve(x, b);
+  ASSERT_TRUE(res.converged);
+
+  auto r = f.coarse.create_vector();
+  f.coarse.apply(r, x);
+  blas::xpay(b, -1.0, r);
+  EXPECT_LT(std::sqrt(blas::norm2(r) / blas::norm2(b)), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(BasisDepths, CaGmresBasisDepth,
+                         ::testing::Values(2, 4, 6));
+
+TEST(CaGmres, MatchesGcrSolution) {
+  auto& f = fixture();
+  auto b = f.coarse.create_vector();
+  b.gaussian(9);
+
+  SolverParams params;
+  params.tol = 1e-10;
+  params.max_iter = 4000;
+  params.restart = 10;
+  auto x_gcr = f.coarse.create_vector();
+  GcrSolver<double>(f.coarse, params).solve(x_gcr, b);
+  auto x_ca = f.coarse.create_vector();
+  CaGmresSolver<double>(f.coarse, params, 4).solve(x_ca, b);
+
+  auto diff = x_gcr;
+  blas::axpy(-1.0, x_ca, diff);
+  EXPECT_LT(std::sqrt(blas::norm2(diff) / blas::norm2(x_gcr)), 1e-7);
+}
+
+TEST(CaGmres, FewerReductionsThanGcrAtEqualTolerance) {
+  auto& f = fixture();
+  auto b = f.coarse.create_vector();
+  b.gaussian(11);
+
+  SolverParams params;
+  params.tol = 1e-6;
+  params.max_iter = 2000;
+  params.restart = 10;
+  auto x = f.coarse.create_vector();
+  const auto r_gcr = GcrSolver<double>(f.coarse, params).solve(x, b);
+  blas::zero(x);
+  const auto r_ca = CaGmresSolver<double>(f.coarse, params, 4).solve(x, b);
+  ASSERT_TRUE(r_gcr.converged);
+  ASSERT_TRUE(r_ca.converged);
+  // The communication-avoiding point: far fewer synchronizations.
+  EXPECT_LT(r_ca.reductions, r_gcr.reductions / 2);
+}
+
+}  // namespace
+}  // namespace qmg

@@ -1,0 +1,218 @@
+// Tests for field containers: color-spinor fields and orderings, BLAS
+// identities, parity extraction, half-precision storage, gauge fields and
+// compression, clover storage, and the location/transfer abstraction.
+
+#include <gtest/gtest.h>
+
+#include "fields/blas.h"
+#include "fields/colorspinor.h"
+#include "fields/gaugefield.h"
+#include "fields/halffield.h"
+#include "gauge/ensemble.h"
+
+namespace qmg {
+namespace {
+
+GeometryPtr small_geom() { return make_geometry(Coord{4, 4, 4, 4}); }
+
+TEST(ColorSpinor, ShapeAndZeroInit) {
+  ColorSpinorField<double> f(small_geom(), 4, 3);
+  EXPECT_EQ(f.nsites(), 256);
+  EXPECT_EQ(f.site_dof(), 12);
+  EXPECT_EQ(f.size(), 256 * 12);
+  for (long i = 0; i < f.size(); ++i) EXPECT_EQ(norm2(f.data()[i]), 0.0);
+}
+
+TEST(ColorSpinor, GaussianFillIsReproducible) {
+  auto geom = small_geom();
+  ColorSpinorField<double> a(geom, 4, 3), b(geom, 4, 3);
+  a.gaussian(11);
+  b.gaussian(11);
+  for (long i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+  ColorSpinorField<double> c(geom, 4, 3);
+  c.gaussian(12);
+  EXPECT_NE(blas::cdot(a, c).re, blas::norm2(a));
+}
+
+TEST(ColorSpinor, ReorderRoundTripPreservesValues) {
+  auto geom = small_geom();
+  ColorSpinorField<double> f(geom, 4, 3);
+  f.gaussian(5);
+  ColorSpinorField<double> orig = f;
+  f.reorder(FieldOrder::DofMajor);
+  EXPECT_EQ(f.order(), FieldOrder::DofMajor);
+  // Accessor must see identical logical values in either order.
+  for (long i = 0; i < f.nsites(); ++i)
+    for (int s = 0; s < 4; ++s)
+      for (int c = 0; c < 3; ++c) EXPECT_EQ(f(i, s, c), orig(i, s, c));
+  f.reorder(FieldOrder::SiteMajor);
+  for (long i = 0; i < f.size(); ++i) EXPECT_EQ(f.data()[i], orig.data()[i]);
+}
+
+TEST(ColorSpinor, ParityExtractInsertRoundTrip) {
+  auto geom = small_geom();
+  ColorSpinorField<double> full(geom, 4, 3);
+  full.gaussian(21);
+  ColorSpinorField<double> even(geom, 4, 3, Subset::Even);
+  ColorSpinorField<double> odd(geom, 4, 3, Subset::Odd);
+  extract_parity(even, full, 0);
+  extract_parity(odd, full, 1);
+  EXPECT_NEAR(blas::norm2(even) + blas::norm2(odd), blas::norm2(full), 1e-9);
+
+  ColorSpinorField<double> back(geom, 4, 3);
+  insert_parity(back, even, 0);
+  insert_parity(back, odd, 1);
+  for (long i = 0; i < full.size(); ++i)
+    EXPECT_EQ(back.data()[i], full.data()[i]);
+}
+
+TEST(ColorSpinor, PrecisionConversionRoundTrip) {
+  ColorSpinorField<double> d(small_geom(), 4, 3);
+  d.gaussian(31);
+  const auto f = convert<float>(d);
+  const auto d2 = convert<double>(f);
+  for (long i = 0; i < d.size(); ++i) {
+    EXPECT_NEAR(d2.data()[i].re, d.data()[i].re, 1e-6);
+    EXPECT_NEAR(d2.data()[i].im, d.data()[i].im, 1e-6);
+  }
+}
+
+TEST(Blas, AxpyAndNorms) {
+  auto geom = small_geom();
+  ColorSpinorField<double> x(geom, 4, 3), y(geom, 4, 3);
+  x.gaussian(1);
+  y.gaussian(2);
+  const double x2 = blas::norm2(x);
+  const double y2 = blas::norm2(y);
+  const complexd xy = blas::cdot(x, y);
+  // |y + a x|^2 = |y|^2 + 2a Re<x,y> + a^2 |x|^2.
+  const double a = 0.37;
+  auto y2copy = y;
+  blas::axpy(a, x, y2copy);
+  EXPECT_NEAR(blas::norm2(y2copy), y2 + 2 * a * xy.re + a * a * x2,
+              1e-9 * (y2 + x2));
+}
+
+TEST(Blas, CdotConjugateSymmetry) {
+  auto geom = small_geom();
+  ColorSpinorField<double> x(geom, 4, 3), y(geom, 4, 3);
+  x.gaussian(3);
+  y.gaussian(4);
+  const complexd xy = blas::cdot(x, y);
+  const complexd yx = blas::cdot(y, x);
+  EXPECT_NEAR(xy.re, yx.re, 1e-10);
+  EXPECT_NEAR(xy.im, -yx.im, 1e-10);
+}
+
+TEST(Blas, ScaleAndZero) {
+  ColorSpinorField<double> x(small_geom(), 4, 3);
+  x.gaussian(5);
+  const double x2 = blas::norm2(x);
+  blas::scale(2.0, x);
+  EXPECT_NEAR(blas::norm2(x), 4 * x2, 1e-9 * x2);
+  blas::zero(x);
+  EXPECT_EQ(blas::norm2(x), 0.0);
+}
+
+TEST(Blas, DeviceAndHostPathsAgree) {
+  // The simulated-kernel (Device) path and the OpenMP (Host) path must
+  // produce identical results — Listing 1's single-code-path guarantee.
+  auto geom = small_geom();
+  ColorSpinorField<double> x_h(geom, 4, 3), y_h(geom, 4, 3);
+  x_h.gaussian(6);
+  y_h.gaussian(7);
+  auto x_d = x_h;
+  auto y_d = y_h;
+  x_d.to(Location::Device);
+  y_d.to(Location::Device);
+  blas::axpy(1.5, x_h, y_h);
+  blas::axpy(1.5, x_d, y_d);
+  for (long i = 0; i < y_h.size(); ++i)
+    EXPECT_EQ(y_h.data()[i], y_d.data()[i]);
+}
+
+TEST(Location, TransferLedgerCountsBytes) {
+  transfer_ledger().reset();
+  ColorSpinorField<float> x(small_geom(), 4, 3);
+  const auto bytes = x.size() * sizeof(Complex<float>);
+  x.to(Location::Device);
+  x.to(Location::Device);  // no-op
+  x.to(Location::Host);
+  EXPECT_EQ(transfer_ledger().h2d_bytes(), bytes);
+  EXPECT_EQ(transfer_ledger().d2h_bytes(), bytes);
+  EXPECT_EQ(transfer_ledger().transfers(), 2u);
+}
+
+TEST(Half, RoundTripErrorIsBounded) {
+  auto geom = small_geom();
+  ColorSpinorField<float> x(geom, 4, 3);
+  x.gaussian(8);
+  auto y = x;
+  quantize_half(y);
+  // Per-site relative error bounded by the 16-bit fixed-point resolution:
+  // |err| <= max_site / 32767 per component (~3e-5 relative).
+  for (long i = 0; i < x.nsites(); ++i) {
+    float max_abs = 0;
+    for (int s = 0; s < 4; ++s)
+      for (int c = 0; c < 3; ++c)
+        max_abs = std::max({max_abs, std::fabs(x(i, s, c).re),
+                            std::fabs(x(i, s, c).im)});
+    for (int s = 0; s < 4; ++s)
+      for (int c = 0; c < 3; ++c) {
+        EXPECT_NEAR(y(i, s, c).re, x(i, s, c).re, max_abs / 32000.0);
+        EXPECT_NEAR(y(i, s, c).im, x(i, s, c).im, max_abs / 32000.0);
+      }
+  }
+}
+
+TEST(Half, BytesPerSiteMatchesFormat) {
+  HalfSpinorField h(small_geom(), 4, 3);
+  EXPECT_EQ(h.bytes_per_site(), 12 * 2 * 2 + 4u);
+}
+
+TEST(Gauge, UnitFieldPlaquetteIsOne) {
+  const auto gauge = unit_gauge<double>(small_geom());
+  EXPECT_NEAR(average_plaquette(gauge), 1.0, 1e-12);
+}
+
+TEST(Gauge, RandomFieldPlaquetteNearZero) {
+  const auto gauge = random_gauge<double>(small_geom(), 17);
+  EXPECT_LT(std::abs(average_plaquette(gauge)), 0.2);
+}
+
+TEST(Gauge, DisorderInterpolatesPlaquette) {
+  auto geom = small_geom();
+  const double p_weak =
+      average_plaquette(disordered_gauge<double>(geom, 0.1, 3));
+  const double p_strong =
+      average_plaquette(disordered_gauge<double>(geom, 0.6, 3));
+  EXPECT_GT(p_weak, p_strong);
+  EXPECT_GT(p_weak, 0.8);
+  EXPECT_LT(p_strong, 0.9);
+}
+
+TEST(Gauge, CompressedAccessorsMatchFull) {
+  const auto gauge = disordered_gauge<double>(small_geom(), 0.4, 19);
+  const CompressedGaugeField<double> c12(gauge, Reconstruct::R12);
+  const CompressedGaugeField<double> c8(gauge, Reconstruct::R8);
+  for (int mu = 0; mu < kNDim; ++mu)
+    for (long s = 0; s < gauge.geometry()->volume(); s += 7) {
+      EXPECT_LT(max_abs_deviation(c12.link(mu, s), gauge.link(mu, s)), 1e-12);
+      EXPECT_LT(max_abs_deviation(c8.link(mu, s), gauge.link(mu, s)), 1e-8);
+    }
+}
+
+TEST(Gauge, SaveLoadRoundTrip) {
+  const auto gauge = disordered_gauge<double>(small_geom(), 0.3, 23);
+  const std::string path = ::testing::TempDir() + "/qmg_gauge_test.bin";
+  save_gauge(gauge, path);
+  const auto loaded = load_gauge(path);
+  EXPECT_EQ(loaded.geometry()->dims(), gauge.geometry()->dims());
+  for (int mu = 0; mu < kNDim; ++mu)
+    for (long s = 0; s < gauge.geometry()->volume(); s += 11)
+      EXPECT_LT(max_abs_deviation(loaded.link(mu, s), gauge.link(mu, s)), 0.0 + 1e-15);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qmg

@@ -1,0 +1,154 @@
+// Tests of the SIMT device performance model: the qualitative shape
+// criteria of paper Fig. 2 and section 6.5 must hold.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/kernels.h"
+
+namespace qmg {
+namespace {
+
+double coarse_gflops(int l, int nc, const CoarseKernelConfig& cfg) {
+  const long v = static_cast<long>(l) * l * l * l;
+  return estimate_gflops(DeviceSpec::tesla_k20x(),
+                         coarse_op_work(v, 2 * nc, cfg));
+}
+
+const CoarseKernelConfig kBaseline{Strategy::GridOnly, 1, 1, 1};
+const CoarseKernelConfig kColorSpin{Strategy::ColorSpin, 1, 1, 2};
+const CoarseKernelConfig kStencilDir{Strategy::StencilDir, 3, 1, 2};
+const CoarseKernelConfig kDotProduct{Strategy::DotProduct, 3, 4, 2};
+
+TEST(DeviceModel, SaturatedCoarseOpNear140GFlops) {
+  // Section 6.5: ~140 GFLOPS is ~80% of achievable STREAM at AI ~ 1.
+  for (int nc : {24, 32}) {
+    const double gf = coarse_gflops(10, nc, kColorSpin);
+    EXPECT_GT(gf, 120.0) << nc;
+    EXPECT_LT(gf, 160.0) << nc;
+  }
+}
+
+double best_gflops(int l, int nc, Strategy s) {
+  const long v = static_cast<long>(l) * l * l * l;
+  return best_coarse_gflops(DeviceSpec::tesla_k20x(), v, 2 * nc, s);
+}
+
+TEST(DeviceModel, CumulativeStrategiesMonotoneOnSmallestGrid) {
+  // On the 2^4 grid every extra source of parallelism must strictly help.
+  for (int nc : {24, 32}) {
+    const double base = best_gflops(2, nc, Strategy::GridOnly);
+    const double cs = best_gflops(2, nc, Strategy::ColorSpin);
+    const double sd = best_gflops(2, nc, Strategy::StencilDir);
+    const double dp = best_gflops(2, nc, Strategy::DotProduct);
+    EXPECT_LT(base, cs) << nc;
+    EXPECT_LT(cs, sd) << nc;
+    EXPECT_LT(sd, dp) << nc;
+  }
+}
+
+TEST(DeviceModel, CumulativeSeriesNeverDegrade) {
+  // Each strategy's config space is a superset of the previous one's, so
+  // the tuned series are monotone non-decreasing at every lattice size.
+  for (int nc : {24, 32})
+    for (int l : {10, 8, 6, 4, 2}) {
+      const double base = best_gflops(l, nc, Strategy::GridOnly);
+      const double cs = best_gflops(l, nc, Strategy::ColorSpin);
+      const double sd = best_gflops(l, nc, Strategy::StencilDir);
+      const double dp = best_gflops(l, nc, Strategy::DotProduct);
+      EXPECT_LE(base, cs) << nc << " " << l;
+      EXPECT_LE(cs, sd) << nc << " " << l;
+      EXPECT_LE(sd, dp) << nc << " " << l;
+    }
+}
+
+TEST(DeviceModel, BaselineCollapsesOnSmallestGrid) {
+  // Section 6.5: the 16-site grid leaves the GPU essentially idle under
+  // grid-only parallelism (~0.45 GFLOPS) while full fine-graining recovers
+  // two orders of magnitude (the paper quotes ~100x at Nc = 32).
+  const double base = best_gflops(2, 32, Strategy::GridOnly);
+  const double dp = best_gflops(2, 32, Strategy::DotProduct);
+  EXPECT_LT(base, 1.5);
+  EXPECT_GT(dp, 20.0);
+  EXPECT_GT(dp / base, 50.0);
+  EXPECT_LT(dp / base, 500.0);
+}
+
+TEST(DeviceModel, StencilSplitDetrimentalOnLargeGrids) {
+  // Section 6.3: "On larger grids it was found to be detrimental to
+  // parallelize the stencil direction."
+  const double cs = coarse_gflops(10, 24, kColorSpin);
+  const double sd = coarse_gflops(10, 24, kStencilDir);
+  EXPECT_GT(cs, sd);
+}
+
+TEST(DeviceModel, ThreadCountsMatchPaper) {
+  // "on the 2^4 lattice with 32 colors, the fine-grained parallelization
+  // results in 32768-way parallelism, instead of the naive 16-way".
+  const CoarseKernelConfig full{Strategy::DotProduct, 8, 4, 2};
+  EXPECT_EQ(full.threads(16, 64), 32768);
+  EXPECT_EQ(kBaseline.threads(16, 64), 16);
+}
+
+TEST(DeviceModel, WilsonCloverNear400GFlops) {
+  // Section 6.5: the fine-grid Wilson-Clover operator sustains ~400 GFLOPS
+  // (half precision, reconstruct-8) on an equivalently sized grid.
+  const long v = 10000;
+  const double gf = estimate_gflops(
+      DeviceSpec::tesla_k20x(), wilson_work(v, SimPrecision::Half, 8));
+  EXPECT_GT(gf, 300.0);
+  EXPECT_LT(gf, 520.0);
+}
+
+TEST(DeviceModel, LowerLatencyArchitecturesNeedFewerThreads) {
+  // Maxwell/Pascal (6-cycle dependent latency) should outperform Kepler at
+  // equal thread deficit (section 6.4's motivation for ILP on Kepler).
+  const auto work = coarse_op_work(256, 48, kColorSpin);
+  const double kepler =
+      estimate_gflops(DeviceSpec::tesla_k20x(), work) /
+      (DeviceSpec::tesla_k20x().achievable_bw() *
+       DeviceSpec::tesla_k20x().stencil_bw_efficiency);
+  const double maxwell =
+      estimate_gflops(DeviceSpec::maxwell_m40(), work) /
+      (DeviceSpec::maxwell_m40().achievable_bw() *
+       DeviceSpec::maxwell_m40().stencil_bw_efficiency);
+  EXPECT_GT(maxwell, kepler);
+}
+
+TEST(DeviceModel, IlpRaisesSmallGridThroughput) {
+  // Listing 5: ILP substitutes for missing thread parallelism.
+  CoarseKernelConfig ilp1 = kColorSpin;
+  ilp1.ilp = 1;
+  CoarseKernelConfig ilp2 = kColorSpin;
+  ilp2.ilp = 2;
+  EXPECT_GT(coarse_gflops(2, 24, ilp2), coarse_gflops(2, 24, ilp1));
+}
+
+TEST(DeviceModel, EstimateSecondsConsistent) {
+  const auto work = coarse_op_work(10000, 48, kColorSpin);
+  const double gf = estimate_gflops(DeviceSpec::tesla_k20x(), work);
+  const double secs = estimate_seconds(DeviceSpec::tesla_k20x(), work);
+  EXPECT_NEAR(secs, work.flops / (gf * 1e9), 1e-12);
+  // Launch-latency floor for negligible work.
+  KernelWork tiny = work;
+  tiny.flops = 1;
+  tiny.flops_per_thread = 1;
+  EXPECT_GE(estimate_seconds(DeviceSpec::tesla_k20x(), tiny), 5e-6);
+}
+
+TEST(DeviceModel, PrintFig2Preview) {
+  // Not an assertion test: prints the modeled Fig. 2 series for inspection.
+  for (int nc : {24, 32}) {
+    printf("Nc=%d   L: baseline color-spin stencil-dir dot-product\n", nc);
+    for (int l : {10, 8, 6, 4, 2}) {
+      printf("  L=%2d  %8.2f %8.2f %8.2f %8.2f\n", l,
+             best_gflops(l, nc, Strategy::GridOnly),
+             best_gflops(l, nc, Strategy::ColorSpin),
+             best_gflops(l, nc, Strategy::StencilDir),
+             best_gflops(l, nc, Strategy::DotProduct));
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace qmg

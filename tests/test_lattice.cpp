@@ -1,0 +1,144 @@
+// Tests for lattice geometry: index bijections (paper Listing 2), parity
+// checkerboarding, neighbor tables, and block aggregation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lattice/blockmap.h"
+#include "lattice/geometry.h"
+
+namespace qmg {
+namespace {
+
+class GeometryTest
+    : public ::testing::TestWithParam<Coord> {};
+
+TEST_P(GeometryTest, IndexCoordsBijection) {
+  const LatticeGeometry geom(GetParam());
+  for (long idx = 0; idx < geom.volume(); ++idx) {
+    const Coord x = geom.coords(idx);
+    for (int mu = 0; mu < kNDim; ++mu) {
+      ASSERT_GE(x[mu], 0);
+      ASSERT_LT(x[mu], geom.dim(mu));
+    }
+    ASSERT_EQ(geom.index(x), idx);
+  }
+}
+
+TEST_P(GeometryTest, ParityHalvesAreEqual) {
+  const LatticeGeometry geom(GetParam());
+  long even = 0, odd = 0;
+  for (long idx = 0; idx < geom.volume(); ++idx)
+    (geom.parity(idx) ? odd : even)++;
+  EXPECT_EQ(even, geom.volume() / 2);
+  EXPECT_EQ(odd, geom.volume() / 2);
+}
+
+TEST_P(GeometryTest, CheckerboardBijection) {
+  const LatticeGeometry geom(GetParam());
+  for (long idx = 0; idx < geom.volume(); ++idx) {
+    const int p = geom.parity(idx);
+    const long cb = geom.cb_index(idx);
+    ASSERT_GE(cb, 0);
+    ASSERT_LT(cb, geom.half_volume());
+    ASSERT_EQ(geom.full_index(p, cb), idx);
+  }
+}
+
+TEST_P(GeometryTest, NeighborsInverse) {
+  const LatticeGeometry geom(GetParam());
+  for (long idx = 0; idx < geom.volume(); ++idx)
+    for (int mu = 0; mu < kNDim; ++mu) {
+      ASSERT_EQ(geom.neighbor_bwd(geom.neighbor_fwd(idx, mu), mu), idx);
+      ASSERT_EQ(geom.neighbor_fwd(geom.neighbor_bwd(idx, mu), mu), idx);
+    }
+}
+
+TEST_P(GeometryTest, NeighborsFlipParity) {
+  const LatticeGeometry geom(GetParam());
+  // Odd extent in some direction breaks the bipartite property globally
+  // (wraparound connects same-parity sites); only check even-dim lattices.
+  for (int mu = 0; mu < kNDim; ++mu)
+    if (geom.dim(mu) % 2 != 0) GTEST_SKIP();
+  for (long idx = 0; idx < geom.volume(); ++idx)
+    for (int mu = 0; mu < kNDim; ++mu) {
+      ASSERT_NE(geom.parity(geom.neighbor_fwd(idx, mu)), geom.parity(idx));
+      ASSERT_NE(geom.parity(geom.neighbor_bwd(idx, mu)), geom.parity(idx));
+    }
+}
+
+TEST_P(GeometryTest, SurfaceSiteCounts) {
+  const LatticeGeometry geom(GetParam());
+  for (int mu = 0; mu < kNDim; ++mu)
+    EXPECT_EQ(geom.surface_sites(mu), geom.volume() / geom.dim(mu));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GeometryTest,
+                         ::testing::Values(Coord{4, 4, 4, 4},
+                                           Coord{2, 2, 2, 2},
+                                           Coord{4, 2, 6, 8},
+                                           Coord{8, 8, 8, 4},
+                                           Coord{2, 4, 2, 16}));
+
+TEST(Geometry, ListingTwoMappingOrder) {
+  // x[0] must be the fastest-varying coordinate, exactly as in Listing 2.
+  const LatticeGeometry geom(Coord{4, 4, 4, 4});
+  EXPECT_EQ(geom.coords(0), (Coord{0, 0, 0, 0}));
+  EXPECT_EQ(geom.coords(1), (Coord{1, 0, 0, 0}));
+  EXPECT_EQ(geom.coords(4), (Coord{0, 1, 0, 0}));
+  EXPECT_EQ(geom.coords(16), (Coord{0, 0, 1, 0}));
+  EXPECT_EQ(geom.coords(64), (Coord{0, 0, 0, 1}));
+}
+
+TEST(Geometry, RejectsOddVolume) {
+  EXPECT_THROW(LatticeGeometry(Coord{3, 3, 3, 3}), std::invalid_argument);
+}
+
+TEST(BlockMap, PartitionsLatticeExactly) {
+  auto fine = make_geometry(Coord{8, 8, 8, 8});
+  const BlockMap map(fine, Coord{4, 4, 4, 4});
+  EXPECT_EQ(map.coarse()->volume(), 16);
+  EXPECT_EQ(map.block_volume(), 256);
+
+  std::set<long> seen;
+  for (long c = 0; c < map.coarse()->volume(); ++c) {
+    const auto& sites = map.block_sites(c);
+    EXPECT_EQ(static_cast<long>(sites.size()), map.block_volume());
+    for (const long s : sites) {
+      EXPECT_EQ(map.coarse_site(s), c);
+      EXPECT_TRUE(seen.insert(s).second) << "site in two blocks";
+    }
+  }
+  EXPECT_EQ(static_cast<long>(seen.size()), fine->volume());
+}
+
+TEST(BlockMap, AnisotropicBlocking) {
+  // The paper's Aniso40 run uses non-hypercubic blockings like 5^2 x 2 x 8.
+  auto fine = make_geometry(Coord{10, 10, 4, 16});
+  const BlockMap map(fine, Coord{5, 5, 2, 8});
+  EXPECT_EQ(map.coarse()->volume(), 2 * 2 * 2 * 2);
+  EXPECT_EQ(map.block_volume(), 5 * 5 * 2 * 8);
+}
+
+TEST(BlockMap, RejectsNonDividingBlock) {
+  auto fine = make_geometry(Coord{8, 8, 8, 8});
+  EXPECT_THROW(BlockMap(fine, Coord{3, 4, 4, 4}), std::invalid_argument);
+}
+
+TEST(BlockMap, BlockSitesAreGeometricallyContiguous) {
+  auto fine = make_geometry(Coord{4, 4, 4, 4});
+  const BlockMap map(fine, Coord{2, 2, 2, 2});
+  for (long c = 0; c < map.coarse()->volume(); ++c) {
+    const Coord cx = map.coarse()->coords(c);
+    for (const long s : map.block_sites(c)) {
+      const Coord x = fine->coords(s);
+      for (int mu = 0; mu < kNDim; ++mu) {
+        EXPECT_EQ(x[mu] / 2, cx[mu]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qmg

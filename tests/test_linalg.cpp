@@ -1,0 +1,223 @@
+// Unit tests for the small linear-algebra layer: complex arithmetic,
+// fixed-size matrices, SU(3) generation / reunitarization / compression,
+// runtime matrices and LU inversion.
+
+#include <gtest/gtest.h>
+
+#include "linalg/complex.h"
+#include "linalg/matrix.h"
+#include "linalg/smallmat.h"
+#include "linalg/su3.h"
+#include "util/rng.h"
+
+namespace qmg {
+namespace {
+
+TEST(Complex, Arithmetic) {
+  const complexd a(1.0, 2.0), b(3.0, -4.0);
+  EXPECT_EQ(a + b, complexd(4.0, -2.0));
+  EXPECT_EQ(a - b, complexd(-2.0, 6.0));
+  EXPECT_EQ(a * b, complexd(11.0, 2.0));
+  EXPECT_EQ(conj(a), complexd(1.0, -2.0));
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+}
+
+TEST(Complex, ConjMulMatchesManual) {
+  const complexd a(0.3, -0.7), b(-1.2, 0.4);
+  const complexd expect = conj(a) * b;
+  const complexd got = conj_mul(a, b);
+  EXPECT_NEAR(got.re, expect.re, 1e-15);
+  EXPECT_NEAR(got.im, expect.im, 1e-15);
+}
+
+TEST(Complex, Division) {
+  const complexd a(1.0, 2.0), b(3.0, -4.0);
+  const complexd q = a / b;
+  const complexd back = q * b;
+  EXPECT_NEAR(back.re, a.re, 1e-14);
+  EXPECT_NEAR(back.im, a.im, 1e-14);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  const auto id = Matrix<double, 3, 3>::identity();
+  Matrix<double, 3, 3> a;
+  for (int i = 0; i < 9; ++i) a.e[i] = complexd(i * 0.5, -i * 0.25);
+  const auto prod = id * a;
+  EXPECT_NEAR(max_abs_deviation(prod, a), 0.0, 1e-15);
+}
+
+TEST(Matrix, AdjointProperties) {
+  SiteRng rng(7);
+  Matrix<double, 3, 3> a, b;
+  for (int i = 0; i < 9; ++i) {
+    a.e[i] = complexd(rng.normal(0, i), rng.normal(0, 20 + i));
+    b.e[i] = complexd(rng.normal(1, i), rng.normal(1, 20 + i));
+  }
+  // (AB)^dag = B^dag A^dag.
+  const auto lhs = adjoint(a * b);
+  const auto rhs = adjoint(b) * adjoint(a);
+  EXPECT_LT(max_abs_deviation(lhs, rhs), 1e-13);
+  // tr(AB) = tr(BA).
+  const auto t1 = trace(a * b);
+  const auto t2 = trace(b * a);
+  EXPECT_NEAR(t1.re, t2.re, 1e-12);
+  EXPECT_NEAR(t1.im, t2.im, 1e-12);
+}
+
+TEST(Su3, RandomIsUnitaryWithUnitDeterminant) {
+  SiteRng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Su3<double> u = random_su3<double>(rng, trial, 0);
+    EXPECT_LT(unitarity_violation(u), 1e-12) << "trial " << trial;
+    const complexd d = det3(u);
+    EXPECT_NEAR(d.re, 1.0, 1e-12);
+    EXPECT_NEAR(d.im, 0.0, 1e-12);
+  }
+}
+
+TEST(Su3, NearIdentityControlsDistance) {
+  SiteRng rng(43);
+  const Su3<double> weak =
+      random_su3_near_identity<double>(rng, 0, 0, 0.01);
+  const Su3<double> strong =
+      random_su3_near_identity<double>(rng, 0, 0, 0.5);
+  const double d_weak = std::sqrt(norm2(weak - Su3<double>::identity()));
+  const double d_strong = std::sqrt(norm2(strong - Su3<double>::identity()));
+  EXPECT_LT(d_weak, d_strong);
+  EXPECT_LT(unitarity_violation(weak), 1e-12);
+  EXPECT_LT(unitarity_violation(strong), 1e-12);
+}
+
+TEST(Su3, Reconstruct12RoundTrip) {
+  SiteRng rng(44);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Su3<double> u = random_su3<double>(rng, trial, 0);
+    const Su3<double> v = reconstruct12(compress12(u));
+    EXPECT_LT(max_abs_deviation(u, v), 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(Su3, Reconstruct8RoundTrip) {
+  SiteRng rng(45);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Su3<double> u = random_su3<double>(rng, trial, 0);
+    const Su3<double> v = reconstruct8(compress8(u));
+    EXPECT_LT(max_abs_deviation(u, v), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(SmallMatrix, MultiplyMatchesFixedMatrix) {
+  SiteRng rng(46);
+  Matrix<double, 3, 3> a{}, b{};
+  SmallMatrix<double> sa(3, 3), sb(3, 3);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) {
+      const complexd va(rng.normal(r, c), rng.normal(r, 10 + c));
+      const complexd vb(rng.normal(r + 5, c), rng.normal(r + 5, 10 + c));
+      a(r, c) = va;
+      b(r, c) = vb;
+      sa(r, c) = va;
+      sb(r, c) = vb;
+    }
+  const auto ab = a * b;
+  const auto sab = sa * sb;
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(sab(r, c).re, ab(r, c).re, 1e-13);
+      EXPECT_NEAR(sab(r, c).im, ab(r, c).im, 1e-13);
+    }
+}
+
+class LuInverseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuInverseTest, InverseTimesMatrixIsIdentity) {
+  const int n = GetParam();
+  SiteRng rng(100 + n);
+  SmallMatrix<double> a(n, n);
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c)
+      a(r, c) = complexd(rng.normal(r, c), rng.normal(r, 100 + c));
+  // Diagonal dominance to guarantee non-singularity.
+  for (int r = 0; r < n; ++r) a(r, r) += complexd(2.0 * n, 0);
+
+  const LuFactor<double> lu(a);
+  ASSERT_FALSE(lu.singular());
+  const SmallMatrix<double> inv = lu.inverse();
+  const SmallMatrix<double> prod = a * inv;
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c) {
+      const double expect = r == c ? 1.0 : 0.0;
+      EXPECT_NEAR(prod(r, c).re, expect, 1e-10) << n;
+      EXPECT_NEAR(prod(r, c).im, 0.0, 1e-10) << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuInverseTest,
+                         ::testing::Values(1, 2, 3, 6, 12, 24, 48));
+
+TEST(LuFactor, SolveMatchesMultiply) {
+  const int n = 8;
+  SiteRng rng(200);
+  SmallMatrix<double> a(n, n);
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c)
+      a(r, c) = complexd(rng.normal(r, c), rng.normal(r, 50 + c));
+  for (int r = 0; r < n; ++r) a(r, r) += complexd(10.0, 0);
+
+  std::vector<complexd> x(n), b(n);
+  for (int i = 0; i < n; ++i)
+    x[i] = complexd(rng.normal(300, i), rng.normal(301, i));
+  a.multiply(x.data(), b.data());
+
+  const LuFactor<double> lu(a);
+  lu.solve(b.data());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(b[i].re, x[i].re, 1e-10);
+    EXPECT_NEAR(b[i].im, x[i].im, 1e-10);
+  }
+}
+
+TEST(LuFactor, DetectsSingularMatrix) {
+  SmallMatrix<double> a(3, 3);  // all zeros
+  const LuFactor<double> lu(a);
+  EXPECT_TRUE(lu.singular());
+}
+
+TEST(Rng, SiteRngIsDeterministicAndOrderIndependent) {
+  const SiteRng rng(7);
+  const double a = rng.normal(123, 4);
+  const double b = rng.normal(77, 0);
+  EXPECT_EQ(a, rng.normal(123, 4));
+  EXPECT_EQ(b, rng.normal(77, 0));
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, XoshiroUniformInRange) {
+  Xoshiro256StarStar rng(1);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  const SiteRng rng(99);
+  double mean = 0, var = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) mean += rng.normal(i, 0);
+  mean /= n;
+  for (int i = 0; i < n; ++i) {
+    const double d = rng.normal(i, 0) - mean;
+    var += d * d;
+  }
+  var /= n;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace qmg

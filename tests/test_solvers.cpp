@@ -1,0 +1,234 @@
+// Solver tests: convergence of CG/CGNR/BiCGStab/GCR/MR on the Wilson-Clover
+// system, mixed-precision reliable updates, and preconditioned GCR.
+
+#include <gtest/gtest.h>
+
+#include "dirac/clover.h"
+#include "dirac/wilson.h"
+#include "fields/blas.h"
+#include "gauge/ensemble.h"
+#include "solvers/bicgstab.h"
+#include "solvers/cg.h"
+#include "solvers/gcr.h"
+#include "solvers/mixed.h"
+#include "solvers/mr.h"
+
+namespace qmg {
+namespace {
+
+struct Problem {
+  GeometryPtr geom;
+  GaugeField<double> gauge;
+  CloverField<double> clover;
+  std::unique_ptr<WilsonCloverOp<double>> op;
+  ColorSpinorField<double> b;
+
+  Problem(double roughness, double mass, double csw = 1.0)
+      : geom(make_geometry(Coord{4, 4, 4, 4})),
+        gauge(disordered_gauge<double>(geom, roughness, 57)),
+        clover(build_clover_with_inverse(gauge, csw, mass)),
+        b(geom, 4, 3) {
+    op = std::make_unique<WilsonCloverOp<double>>(
+        gauge, WilsonParams<double>{.mass = mass, .csw = csw}, &clover);
+    b.gaussian(91);
+  }
+
+  double true_residual(const ColorSpinorField<double>& x) const {
+    auto r = op->create_vector();
+    op->apply(r, x);
+    blas::xpay(b, -1.0, r);
+    return std::sqrt(blas::norm2(r) / blas::norm2(b));
+  }
+};
+
+TEST(BiCgStab, ConvergesToTolerance) {
+  Problem prob(0.3, 0.2);
+  SolverParams params;
+  params.tol = 1e-9;
+  params.max_iter = 2000;
+  auto x = prob.op->create_vector();
+  const auto res = BiCgStabSolver<double>(*prob.op, params).solve(x, prob.b);
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(prob.true_residual(x), 5e-9);
+  EXPECT_GT(res.iterations, 0);
+}
+
+TEST(BiCgStab, ReliableUpdatesKeepTrueResidualHonest) {
+  Problem prob(0.4, 0.1);
+  SolverParams params;
+  params.tol = 1e-10;
+  params.max_iter = 4000;
+  params.reliable_delta = 0.1;
+  auto x = prob.op->create_vector();
+  const auto res = BiCgStabSolver<double>(*prob.op, params).solve(x, prob.b);
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(prob.true_residual(x), 5e-10);
+}
+
+TEST(Cgnr, ConvergesOnNonHermitianSystem) {
+  Problem prob(0.3, 0.2);
+  SolverParams params;
+  params.tol = 1e-8;
+  params.max_iter = 4000;
+  auto x = prob.op->create_vector();
+  const auto res = CgnrSolver<double>(*prob.op, params).solve(x, prob.b);
+  EXPECT_LT(prob.true_residual(x), 1e-6);
+  EXPECT_GT(res.iterations, 0);
+}
+
+TEST(Cg, ConvergesOnNormalOperator) {
+  Problem prob(0.3, 0.3);
+  NormalOperator<double> normal(*prob.op);
+  auto rhs = prob.op->create_vector();
+  prob.op->apply_dagger(rhs, prob.b);
+  SolverParams params;
+  params.tol = 1e-9;
+  params.max_iter = 4000;
+  auto x = prob.op->create_vector();
+  const auto res = CgSolver<double>(normal, params).solve(x, rhs);
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(prob.true_residual(x), 1e-7);
+}
+
+TEST(Gcr, ConvergesUnpreconditioned) {
+  Problem prob(0.3, 0.2);
+  SolverParams params;
+  params.tol = 1e-8;
+  params.max_iter = 2000;
+  params.restart = 10;
+  auto x = prob.op->create_vector();
+  const auto res = GcrSolver<double>(*prob.op, params).solve(x, prob.b);
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(prob.true_residual(x), 5e-8);
+}
+
+TEST(Gcr, MrPreconditioningReducesIterations) {
+  Problem prob(0.4, 0.05);
+  SolverParams params;
+  params.tol = 1e-8;
+  params.max_iter = 3000;
+  params.restart = 10;
+
+  auto x_plain = prob.op->create_vector();
+  const auto res_plain =
+      GcrSolver<double>(*prob.op, params).solve(x_plain, prob.b);
+
+  MrPreconditioner<double> smoother(*prob.op, 4, 0.85);
+  auto x_prec = prob.op->create_vector();
+  const auto res_prec =
+      GcrSolver<double>(*prob.op, params, &smoother).solve(x_prec, prob.b);
+
+  ASSERT_TRUE(res_plain.converged);
+  ASSERT_TRUE(res_prec.converged);
+  EXPECT_LT(res_prec.iterations, res_plain.iterations);
+  EXPECT_LT(prob.true_residual(x_prec), 5e-8);
+}
+
+TEST(Mr, SmootherReducesResidual) {
+  Problem prob(0.4, 0.3);
+  SolverParams params;
+  params.tol = 0;  // fixed iterations (smoother mode)
+  params.max_iter = 8;
+  params.omega = 0.85;
+  auto x = prob.op->create_vector();
+  const auto res = MrSolver<double>(*prob.op, params).solve(x, prob.b);
+  EXPECT_EQ(res.iterations, 8);
+  EXPECT_LT(res.final_rel_residual, 1.0);
+  EXPECT_LT(prob.true_residual(x), 1.0);
+}
+
+TEST(Mr, ToleranceModeStops) {
+  Problem prob(0.2, 0.5);  // heavy mass: well conditioned
+  SolverParams params;
+  params.tol = 1e-5;
+  params.max_iter = 500;
+  auto x = prob.op->create_vector();
+  const auto res = MrSolver<double>(*prob.op, params).solve(x, prob.b);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.final_rel_residual, 1e-5);
+}
+
+TEST(MixedPrecision, BiCgStabReachesDoublePrecisionTolerance) {
+  Problem prob(0.3, 0.2);
+  const auto gauge_f = convert_gauge<float>(prob.gauge);
+  const auto clover_f = convert_clover<float>(prob.clover);
+  WilsonCloverOp<float> op_f(
+      gauge_f, WilsonParams<float>{.mass = 0.2f, .csw = 1.0f}, &clover_f);
+
+  SolverParams params;
+  params.tol = 1e-10;
+  params.max_iter = 4000;
+  params.reliable_delta = 1e-2;
+  MixedPrecisionBiCgStab solver(*prob.op, op_f, params,
+                                InnerPrecision::Single);
+  auto x = prob.op->create_vector();
+  const auto res = solver.solve(x, prob.b);
+  ASSERT_TRUE(res.converged);
+  // The final tolerance is far below single precision epsilon — only
+  // reachable because of the double-precision reliable updates.
+  EXPECT_LT(prob.true_residual(x), 5e-10);
+}
+
+TEST(MixedPrecision, HalfInnerStorageStillConverges) {
+  Problem prob(0.3, 0.3);
+  const auto gauge_f = convert_gauge<float>(prob.gauge);
+  const auto clover_f = convert_clover<float>(prob.clover);
+  WilsonCloverOp<float> op_f(
+      gauge_f, WilsonParams<float>{.mass = 0.3f, .csw = 1.0f}, &clover_f);
+
+  SolverParams params;
+  params.tol = 1e-8;
+  params.max_iter = 4000;
+  params.reliable_delta = 3e-2;
+  MixedPrecisionBiCgStab solver(*prob.op, op_f, params, InnerPrecision::Half);
+  auto x = prob.op->create_vector();
+  const auto res = solver.solve(x, prob.b);
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(prob.true_residual(x), 5e-8);
+}
+
+TEST(Solvers, CriticalSlowingDownWithMass) {
+  // BiCGStab iteration count must grow as the mass approaches the critical
+  // point — the motivating pathology of the paper (section 3.3).
+  SolverParams params;
+  params.tol = 1e-8;
+  params.max_iter = 10000;
+  int prev_iters = 0;
+  for (const double mass : {0.5, 0.1, -0.05}) {
+    Problem prob(0.5, mass);
+    auto x = prob.op->create_vector();
+    const auto res = BiCgStabSolver<double>(*prob.op, params).solve(x, prob.b);
+    ASSERT_TRUE(res.converged) << "mass " << mass;
+    EXPECT_GT(res.iterations, prev_iters) << "mass " << mass;
+    prev_iters = res.iterations;
+  }
+}
+
+TEST(Solvers, ZeroRhsGivesZeroSolution) {
+  Problem prob(0.3, 0.2);
+  auto b0 = prob.op->create_vector();
+  auto x = prob.op->create_vector();
+  x.gaussian(1);
+  SolverParams params;
+  params.tol = 1e-8;
+  params.max_iter = 100;
+  const auto res = BiCgStabSolver<double>(*prob.op, params).solve(x, b0);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(blas::norm2(x), 0.0);
+}
+
+TEST(Solvers, HistoryRecordingWorks) {
+  Problem prob(0.3, 0.3);
+  SolverParams params;
+  params.tol = 1e-6;
+  params.max_iter = 2000;
+  params.record_history = true;
+  auto x = prob.op->create_vector();
+  const auto res = BiCgStabSolver<double>(*prob.op, params).solve(x, prob.b);
+  ASSERT_TRUE(res.converged);
+  ASSERT_FALSE(res.residual_history.empty());
+  EXPECT_LT(res.residual_history.back(), 1e-5);
+}
+
+}  // namespace
+}  // namespace qmg
