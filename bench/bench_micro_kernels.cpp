@@ -1,20 +1,56 @@
 // Microbenchmarks (google-benchmark) of the computational kernels:
 // Wilson/Wilson-Clover dslash, coarse-operator strategies, field BLAS,
 // transfer operators, half-precision conversion, clover construction and
-// block orthonormalization.
+// block orthonormalization — plus a thread-scaling sweep of the dispatch
+// layer's Threaded backend (1..hardware_concurrency workers; run with
+//   --benchmark_filter='ThreadScaling|SerialBaseline'
+//   --benchmark_out=BENCH_dispatch.json --benchmark_out_format=json
+// to regenerate the committed multicore-speedup trajectory).
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
 
 #include "bench/common.h"
 #include "fields/halffield.h"
 #include "mg/galerkin.h"
 #include "mg/nullspace.h"
 #include "mg/stencil.h"
+#include "parallel/dispatch.h"
 
 namespace qmg {
 namespace {
 
 constexpr Coord kDims{6, 6, 6, 6};
+
+/// Thread counts for the scaling sweep: powers of two through
+/// hardware_concurrency (always at least {1, 2, 4, 8} so the committed
+/// trajectory is comparable across hosts; oversubscribed points measure
+/// dispatch overhead honestly).
+void thread_sweep(benchmark::internal::Benchmark* b) {
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  const int top = std::max(hw, 8);
+  for (int t = 1; t <= top; t *= 2) b->Arg(t);
+}
+
+/// Scoped Threaded-backend configuration for one benchmark run.
+struct ThreadedScope {
+  explicit ThreadedScope(int threads)
+      : saved(default_policy()),
+        saved_threads(ThreadPool::instance().num_threads()) {
+    ThreadPool::instance().resize(threads);
+    LaunchPolicy p;
+    p.backend = Backend::Threaded;
+    p.grain = 1;
+    set_default_policy(p);
+  }
+  ~ThreadedScope() {
+    set_default_policy(saved);
+    ThreadPool::instance().resize(saved_threads);
+  }
+  LaunchPolicy saved;
+  int saved_threads;
+};
 
 struct Setup {
   GeometryPtr geom = make_geometry(kDims);
@@ -198,6 +234,103 @@ void BM_GalerkinConstruction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GalerkinConstruction);
+
+// --- dispatch-layer thread scaling ------------------------------------------
+
+void BM_CoarseOpSerialBaseline(benchmark::State& state) {
+  auto& c = coarse_setup();
+  LaunchPolicy serial;
+  serial.backend = Backend::Serial;
+  auto x = c.coarse->create_vector();
+  x.gaussian(1);
+  auto y = c.coarse->create_vector();
+  const CoarseKernelConfig cfg{Strategy::GridOnly, 1, 1, 2};
+  for (auto _ : state) {
+    c.coarse->apply_with_config(y, x, cfg, serial);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      c.coarse->flops_per_apply(),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_CoarseOpSerialBaseline);
+
+void BM_CoarseOpThreadScaling(benchmark::State& state) {
+  auto& c = coarse_setup();
+  const ThreadedScope scope(static_cast<int>(state.range(0)));
+  auto x = c.coarse->create_vector();
+  x.gaussian(1);
+  auto y = c.coarse->create_vector();
+  const CoarseKernelConfig cfg{Strategy::GridOnly, 1, 1, 2};
+  for (auto _ : state) {
+    c.coarse->apply_with_config(y, x, cfg, default_policy());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["GFLOPS"] = benchmark::Counter(
+      c.coarse->flops_per_apply(),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_CoarseOpThreadScaling)->Apply(thread_sweep)->UseRealTime()->MeasureProcessCPUTime();
+
+void BM_WilsonDslashThreadScaling(benchmark::State& state) {
+  auto& s = setup();
+  const ThreadedScope scope(static_cast<int>(state.range(0)));
+  auto x = s.op.create_vector();
+  x.gaussian(1);
+  auto y = s.op.create_vector();
+  for (auto _ : state) {
+    s.op.apply(y, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_WilsonDslashThreadScaling)->Apply(thread_sweep)->UseRealTime()->MeasureProcessCPUTime();
+
+void BM_BlasAxpyThreadScaling(benchmark::State& state) {
+  auto& s = setup();
+  const ThreadedScope scope(static_cast<int>(state.range(0)));
+  ColorSpinorField<double> x(s.geom, 4, 3), y(s.geom, 4, 3);
+  x.gaussian(1);
+  y.gaussian(2);
+  for (auto _ : state) {
+    blas::axpy(1.0001, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.SetBytesProcessed(state.iterations() * x.size() * 3 * 16);
+}
+BENCHMARK(BM_BlasAxpyThreadScaling)->Apply(thread_sweep)->UseRealTime()->MeasureProcessCPUTime();
+
+void BM_BlasCdotThreadScaling(benchmark::State& state) {
+  auto& s = setup();
+  const ThreadedScope scope(static_cast<int>(state.range(0)));
+  ColorSpinorField<double> x(s.geom, 4, 3), y(s.geom, 4, 3);
+  x.gaussian(3);
+  y.gaussian(4);
+  for (auto _ : state) {
+    auto d = blas::cdot(x, y);
+    benchmark::DoNotOptimize(d);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_BlasCdotThreadScaling)->Apply(thread_sweep)->UseRealTime()->MeasureProcessCPUTime();
+
+void BM_RestrictThreadScaling(benchmark::State& state) {
+  auto& c = coarse_setup();
+  const ThreadedScope scope(static_cast<int>(state.range(0)));
+  auto fine_v = c.transfer->create_fine_vector();
+  fine_v.gaussian(3);
+  auto coarse_v = c.transfer->create_coarse_vector();
+  for (auto _ : state) {
+    c.transfer->restrict_to_coarse(coarse_v, fine_v);
+    benchmark::DoNotOptimize(coarse_v.data());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RestrictThreadScaling)->Apply(thread_sweep)->UseRealTime()->MeasureProcessCPUTime();
 
 void BM_CoarseDiagInverse(benchmark::State& state) {
   auto& c = coarse_setup();

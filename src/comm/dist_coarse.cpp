@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "mg/coarse_row.h"
+#include "parallel/dispatch.h"
 
 namespace qmg {
 
@@ -43,8 +44,7 @@ void DistributedCoarseOp<T>::apply(DistributedSpinor<T>& out,
 
   for (int r = 0; r < dec_->nranks(); ++r) {
     ColorSpinorField<T>& dst_field = out.local(r);
-#pragma omp parallel for
-    for (long site = 0; site < v; ++site) {
+    parallel_for(v, [&](long site) {
       const Complex<T>* mats[9];
       const Complex<T>* xin[9];
       mats[0] = diag_data(r, site);
@@ -58,7 +58,7 @@ void DistributedCoarseOp<T>::apply(DistributedSpinor<T>& out,
       Complex<T>* dst = dst_field.site_data(site);
       for (int row = 0; row < n_; ++row)
         dst[row] = coarse_row(mats, xin, row, n_, config);
-    }
+    });
   }
 }
 

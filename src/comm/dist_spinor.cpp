@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "parallel/dispatch.h"
+
 namespace qmg {
 
 template <typename T>
@@ -35,19 +37,17 @@ void DistributedSpinor<T>::exchange_halos(CommStats* stats) {
   const int dof = site_dof();
   const size_t site_bytes = sizeof(Complex<T>) * dof;
 
-  // 1) Pack: one pass over all faces of all dimensions per rank, into one
-  // contiguous buffer laid out exactly like the ghost region.
+  // 1) Pack: one dispatch launch over every ghost slot of every face of
+  // every exchange dimension per rank (the "single packing kernel"), into
+  // one contiguous buffer laid out exactly like the ghost region.
   for (int r = 0; r < nranks(); ++r) {
     Complex<T>* buf = send_[r].data();
     const auto& loc = locals_[r];
-    for (int mu = 0; mu < kNDim; ++mu)
-      for (int dir = 0; dir < 2; ++dir) {
-        const auto& sites = dec_->send_sites(mu, dir);
-        Complex<T>* face = buf + static_cast<size_t>(
-                                     dec_->ghost_offset(mu, dir)) * dof;
-        for (size_t k = 0; k < sites.size(); ++k)
-          std::memcpy(face + k * dof, loc.site_data(sites[k]), site_bytes);
-      }
+    parallel_for(static_cast<long>(pack_src_.size()), [&](long slot) {
+      std::memcpy(buf + static_cast<size_t>(slot) * dof,
+                  loc.site_data(pack_src_[static_cast<size_t>(slot)]),
+                  site_bytes);
+    });
     if (stats) {
       // One packing kernel + one device-to-host copy of the whole buffer
       // (section 6.5's "single packing kernel ... followed by a single
@@ -62,7 +62,11 @@ void DistributedSpinor<T>::exchange_halos(CommStats* stats) {
   // 2) Messages: each rank's face (mu, dir=0) — its x_mu == 0 sites — is
   // what its backward neighbor reads through fwd ghosts, and vice versa.
   for (int r = 0; r < nranks(); ++r) {
-    for (int mu = 0; mu < kNDim; ++mu) {
+    // Ghost delivery ("unpack"): each dimension writes a disjoint ghost
+    // region (ghost_offset-separated), so dimensions are one dispatch item
+    // each.
+    parallel_for(static_cast<long>(kNDim), [&](long mu_idx) {
+      const int mu = static_cast<int>(mu_idx);
       const size_t face_bytes =
           static_cast<size_t>(dec_->face_sites(mu)) * site_bytes;
       const int fwd = dec_->grid().neighbor(r, mu, 0);
@@ -79,12 +83,17 @@ void DistributedSpinor<T>::exchange_halos(CommStats* stats) {
                   send_[r].data() +
                       static_cast<size_t>(dec_->ghost_offset(mu, 1)) * dof,
                   face_bytes);
-      if (stats && !dec_->self_comm(mu)) {
-        stats->messages += 2;
-        stats->message_bytes += 2 * static_cast<long>(face_bytes);
-      }
-    }
+    });
     if (stats) {
+      // Message accounting stays outside the dispatch region (CommStats is
+      // not atomic).
+      for (int mu = 0; mu < kNDim; ++mu) {
+        if (dec_->self_comm(mu)) continue;
+        stats->messages += 2;
+        stats->message_bytes +=
+            2 * static_cast<long>(dec_->face_sites(mu)) *
+            static_cast<long>(site_bytes);
+      }
       // One host-to-device copy of the assembled ghost buffer.
       ++stats->host_device_copies;
       stats->host_device_bytes +=

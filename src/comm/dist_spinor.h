@@ -50,6 +50,17 @@ class DistributedSpinor {
     send_.assign(dec_->nranks(),
                  std::vector<Complex<T>>(
                      static_cast<size_t>(dec_->total_ghost_sites()) * dof));
+    // Flat ghost-slot -> source-site map so the halo pack runs as one
+    // dispatch launch over all faces of all dimensions (the paper's "single
+    // packing kernel", section 6.5).
+    pack_src_.assign(static_cast<size_t>(dec_->total_ghost_sites()), 0);
+    for (int mu = 0; mu < kNDim; ++mu)
+      for (int dir = 0; dir < 2; ++dir) {
+        const auto& sites = dec_->send_sites(mu, dir);
+        const long offset = dec_->ghost_offset(mu, dir);
+        for (size_t k = 0; k < sites.size(); ++k)
+          pack_src_[static_cast<size_t>(offset) + k] = sites[k];
+      }
   }
 
   const DecompositionPtr& decomposition() const { return dec_; }
@@ -86,6 +97,7 @@ class DistributedSpinor {
   std::vector<ColorSpinorField<T>> locals_;
   std::vector<std::vector<Complex<T>>> ghosts_;  // per rank, all faces
   std::vector<std::vector<Complex<T>>> send_;    // per rank, packed faces
+  std::vector<long> pack_src_;  // ghost slot -> local source site
 };
 
 }  // namespace qmg

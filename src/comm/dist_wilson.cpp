@@ -2,6 +2,7 @@
 
 #include "dirac/gamma.h"
 #include "dirac/hop.h"
+#include "parallel/dispatch.h"
 
 namespace qmg {
 
@@ -64,8 +65,7 @@ void DistributedWilsonOp<T>::apply(DistributedSpinor<T>& out,
   for (int r = 0; r < dec_->nranks(); ++r) {
     const GaugeField<T>& gauge = local_gauge_[r];
     ColorSpinorField<T>& dst_field = out.local(r);
-#pragma omp parallel for
-    for (long i = 0; i < v; ++i) {
+    parallel_for(v, [&](long i) {
       Complex<T> accum[12] = {};
       for (int mu = 0; mu < kNDim; ++mu) {
         const T coef = (mu == 3 ? params_.anisotropy : T(1)) * T(0.5);
@@ -96,7 +96,7 @@ void DistributedWilsonOp<T>::apply(DistributedSpinor<T>& out,
         }
       }
       for (int k = 0; k < 12; ++k) dst[k] = diag[k] - accum[k];
-    }
+    });
   }
 }
 
@@ -108,8 +108,7 @@ void DistributedWilsonOp<T>::apply_rank_local(
   const T shift = T(4) + params_.mass;
   const GaugeField<T>& gauge = local_gauge_[rank];
 
-#pragma omp parallel for
-  for (long i = 0; i < v; ++i) {
+  parallel_for(v, [&](long i) {
     Complex<T> accum[12] = {};
     for (int mu = 0; mu < kNDim; ++mu) {
       const T coef = (mu == 3 ? params_.anisotropy : T(1)) * T(0.5);
@@ -140,7 +139,7 @@ void DistributedWilsonOp<T>::apply_rank_local(
       }
     }
     for (int k = 0; k < 12; ++k) dst[k] = diag[k] - accum[k];
-  }
+  });
 }
 
 template class DistributedWilsonOp<double>;

@@ -5,8 +5,22 @@
 
 namespace qmg {
 
+namespace {
+
+/// Apply the context's execution-layer defaults before any field or
+/// operator member is constructed (they already launch through dispatch).
+const ContextOptions& apply_dispatch_options(const ContextOptions& options) {
+  ThreadPool::instance().resize(options.threads);
+  LaunchPolicy policy = default_policy();
+  policy.backend = options.backend;
+  set_default_policy(policy);
+  return options;
+}
+
+}  // namespace
+
 QmgContext::QmgContext(const ContextOptions& options)
-    : options_(options),
+    : options_(apply_dispatch_options(options)),
       geom_(make_geometry(options.dims)),
       gauge_d_(disordered_gauge<double>(geom_, options.roughness,
                                         options.seed)),

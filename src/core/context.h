@@ -15,6 +15,7 @@
 #include "dirac/wilson.h"
 #include "gauge/ensemble.h"
 #include "mg/multigrid.h"
+#include "parallel/dispatch.h"
 #include "solvers/mixed.h"
 
 namespace qmg {
@@ -27,6 +28,12 @@ struct ContextOptions {
   double roughness = 0.55;  // synthetic ensemble disorder
   std::uint64_t seed = 7;
   Reconstruct reconstruct = Reconstruct::Full18;  // fine-op gauge compression
+  // Execution-layer defaults, applied process-wide at context construction
+  // (parallel/dispatch.h): which backend untuned kernels launch on, and the
+  // pool size (0 = hardware concurrency).  Individually tuned kernels may
+  // override the backend per shape via the TuneCache.
+  Backend backend = Backend::Threaded;
+  int threads = 0;
 };
 
 class QmgContext {

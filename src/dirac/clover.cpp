@@ -1,6 +1,7 @@
 #include "dirac/clover.h"
 
 #include "dirac/gamma.h"
+#include "parallel/dispatch.h"
 
 namespace qmg {
 
@@ -42,8 +43,7 @@ CloverField<T> build_clover(const GaugeField<T>& gauge, T csw) {
   CloverField<T> clover(gauge.geometry());
   if (csw == T(0)) return clover;
 
-#pragma omp parallel for
-  for (long x = 0; x < geom.volume(); ++x) {
+  parallel_for(geom.volume(), [&](long x) {
     for (int mu = 0; mu < kNDim; ++mu)
       for (int nu = mu + 1; nu < kNDim; ++nu) {
         const Su3<T> q = clover_leaves(gauge, geom, x, mu, nu);
@@ -68,7 +68,7 @@ CloverField<T> build_clover(const GaugeField<T>& gauge, T csw) {
             }
         }
       }
-  }
+  });
   return clover;
 }
 

@@ -51,6 +51,7 @@ GammaAlgebra::GammaAlgebra() {
     for (int c = 0; c < 4; ++c) {
       const double expect =
           (r == c) ? (r < 2 ? 1.0 : -1.0) : 0.0;
+      (void)expect;  // only read by the assert, compiled out under NDEBUG
       assert(std::abs(gamma5_(r, c).re - expect) < 1e-14 &&
              std::abs(gamma5_(r, c).im) < 1e-14);
     }

@@ -4,6 +4,7 @@
 
 #include "dirac/gamma.h"
 #include "dirac/hop.h"
+#include "parallel/dispatch.h"
 
 namespace qmg {
 
@@ -19,8 +20,7 @@ void hopping_kernel(ColorSpinorField<T>& out, const ColorSpinorField<T>& in,
                     long n_out, SiteOf site_of, InIndexOf in_index_of,
                     T anisotropy) {
   const auto& algebra = GammaAlgebra::instance();
-#pragma omp parallel for
-  for (long i = 0; i < n_out; ++i) {
+  parallel_for(n_out, [&](long i) {
     const long x = site_of(i);
     Complex<T> accum[12] = {};
     for (int mu = 0; mu < kNDim; ++mu) {
@@ -37,7 +37,7 @@ void hopping_kernel(ColorSpinorField<T>& out, const ColorSpinorField<T>& in,
     }
     Complex<T>* dst = out.site_data(i);
     for (int k = 0; k < 12; ++k) dst[k] = accum[k];
-  }
+  });
 }
 
 /// Clover block application: out_site += A(block) * in_site per chirality.
@@ -129,8 +129,7 @@ void WilsonCloverOp<T>::apply_diag(Field& out, const Field& in,
   const long n = in.nsites();
   assert(parity >= 0 ? in.subset() != Subset::Full
                      : in.subset() == Subset::Full);
-#pragma omp parallel for
-  for (long i = 0; i < n; ++i) {
+  parallel_for(n, [&](long i) {
     const Complex<T>* src = in.site_data(i);
     Complex<T>* dst = out.site_data(i);
     for (int k = 0; k < 12; ++k) dst[k] = shift * src[k];
@@ -139,7 +138,7 @@ void WilsonCloverOp<T>::apply_diag(Field& out, const Field& in,
       clover_multiply_add<T>(clover_->block(full, 0), src, dst);
       clover_multiply_add<T>(clover_->block(full, 1), src + 6, dst + 6);
     }
-  }
+  });
 }
 
 template <typename T>
@@ -149,22 +148,20 @@ void WilsonCloverOp<T>::apply_diag_inverse(Field& out, const Field& in,
   const long n = in.nsites();
   if (clover_) {
     assert(clover_->has_inverse());
-#pragma omp parallel for
-    for (long i = 0; i < n; ++i) {
+    parallel_for(n, [&](long i) {
       const long full = parity >= 0 ? geom.full_index(parity, i) : i;
       const Complex<T>* src = in.site_data(i);
       Complex<T>* dst = out.site_data(i);
       block_multiply<T>(clover_->inverse_block(full, 0), src, dst);
       block_multiply<T>(clover_->inverse_block(full, 1), src + 6, dst + 6);
-    }
+    });
   } else {
     const T inv = T(1) / (T(4) + params_.mass);
-#pragma omp parallel for
-    for (long i = 0; i < n; ++i) {
+    parallel_for(n, [&](long i) {
       const Complex<T>* src = in.site_data(i);
       Complex<T>* dst = out.site_data(i);
       for (int k = 0; k < 12; ++k) dst[k] = inv * src[k];
-    }
+    });
   }
 }
 
@@ -175,8 +172,7 @@ void WilsonCloverOp<T>::apply(Field& out, const Field& in) const {
   // out = diag*in - hop*in.
   const auto& geom = *gauge_.geometry();
   const T shift = T(4) + params_.mass;
-#pragma omp parallel for
-  for (long i = 0; i < geom.volume(); ++i) {
+  parallel_for(geom.volume(), [&](long i) {
     const Complex<T>* src = in.site_data(i);
     Complex<T>* dst = out.site_data(i);
     Complex<T> diag[12];
@@ -186,7 +182,7 @@ void WilsonCloverOp<T>::apply(Field& out, const Field& in) const {
       clover_multiply_add<T>(clover_->block(i, 1), src + 6, diag + 6);
     }
     for (int k = 0; k < 12; ++k) dst[k] = diag[k] - dst[k];
-  }
+  });
 }
 
 template <typename T>

@@ -1,39 +1,40 @@
 #pragma once
 // Field BLAS, written in the single-code-path style of paper Listing 1:
 // each operation is a small per-element body ("__device__ __host__"
-// function), wrapped by two stubs — a "GPU kernel" stub that derives the
-// element index from a simulated thread id, and a CPU stub that loops (with
-// OpenMP) over the index range.  Dispatch follows the field's Location.
+// function) launched through the unified dispatch layer
+// (parallel/dispatch.h).  Dispatch follows the field's Location: Device
+// fields route through the SimtModel backend (simulated CUDA launch
+// order, recorded in SimtStats), Host fields through the process default
+// policy (Threaded unless retuned).
 
 #include <cassert>
 #include <cmath>
 
 #include "fields/colorspinor.h"
+#include "parallel/dispatch.h"
 
 namespace qmg {
 namespace blas {
 
 namespace detail {
 
-/// Run `body(i)` for i in [0, n) on the field's location.  The Device path
-/// mimics a kernel launch: iteration chunked into "thread blocks" whose
-/// indices reproduce blockIdx/blockDim/threadIdx arithmetic.
+/// Launch policy for a field's location.  Streaming BLAS bodies are cheap,
+/// so the Threaded path only engages above a grain worth waking the pool.
+inline LaunchPolicy policy_for(Location loc) {
+  if (loc == Location::Device) {
+    LaunchPolicy p;
+    p.backend = Backend::SimtModel;
+    return p;
+  }
+  LaunchPolicy p = default_policy();
+  if (p.grain < 1024) p.grain = 1024;
+  return p;
+}
+
+/// Run `body(i)` for i in [0, n) on the field's location.
 template <typename Body>
 void for_each(Location loc, long n, Body&& body) {
-  if (loc == Location::Device) {
-    constexpr long kBlockDim = 128;  // simulated CUDA block size
-    const long grid_dim = (n + kBlockDim - 1) / kBlockDim;
-    for (long block_idx = 0; block_idx < grid_dim; ++block_idx) {
-      for (long thread_idx = 0; thread_idx < kBlockDim; ++thread_idx) {
-        const long i = block_idx * kBlockDim + thread_idx;
-        if (i >= n) break;
-        body(i);
-      }
-    }
-  } else {
-#pragma omp parallel for
-    for (long i = 0; i < n; ++i) body(i);
-  }
+  parallel_for(n, policy_for(loc), body);
 }
 
 }  // namespace detail
@@ -107,24 +108,20 @@ void scale(T a, ColorSpinorField<T>& x) {
 
 template <typename T>
 double norm2(const ColorSpinorField<T>& x) {
-  double sum = 0;
-#pragma omp parallel for reduction(+ : sum)
-  for (long i = 0; i < x.size(); ++i) sum += qmg::norm2(x.data()[i]);
-  return sum;
+  return parallel_reduce<double>(
+      x.size(), detail::policy_for(x.location()),
+      [&](long i) { return qmg::norm2(x.data()[i]); });
 }
 
 /// <x, y> = sum_i conj(x_i) y_i.
 template <typename T>
 complexd cdot(const ColorSpinorField<T>& x, const ColorSpinorField<T>& y) {
   assert(y.size() == x.size());
-  double re = 0, im = 0;
-#pragma omp parallel for reduction(+ : re, im)
-  for (long i = 0; i < x.size(); ++i) {
-    const auto d = conj_mul(x.data()[i], y.data()[i]);
-    re += d.re;
-    im += d.im;
-  }
-  return {re, im};
+  return parallel_reduce<complexd>(
+      x.size(), detail::policy_for(x.location()), [&](long i) {
+        const auto d = conj_mul(x.data()[i], y.data()[i]);
+        return complexd{d.re, d.im};
+      });
 }
 
 template <typename T>

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "dirac/gamma.h"
+#include "gpusim/kernels.h"
 #include "mg/coarse_row.h"
 #include "parallel/autotune.h"
 #include "util/timer.h"
@@ -31,13 +32,14 @@ double CoarseDirac<T>::flops_per_apply() const {
 
 template <typename T>
 void CoarseDirac<T>::apply_with_config(
-    Field& out, const Field& in, const CoarseKernelConfig& config) const {
+    Field& out, const Field& in, const CoarseKernelConfig& config,
+    const LaunchPolicy& policy) const {
   assert(in.subset() == Subset::Full);
   const long v = geom_->volume();
-#pragma omp parallel for
-  for (long site = 0; site < v; ++site) {
-    const Complex<T>* mats[9];
-    const Complex<T>* xin[9];
+  // Gather the 9 stencil blocks and their input-site pointers (Listing 2's
+  // per-thread indexing arithmetic).
+  auto site_inputs = [&](long site, const Complex<T>** mats,
+                         const Complex<T>** xin) {
     mats[0] = diag_data(site);
     xin[0] = in.site_data(site);
     for (int mu = 0; mu < kNDim; ++mu) {
@@ -46,10 +48,34 @@ void CoarseDirac<T>::apply_with_config(
       mats[2 + 2 * mu] = link_data(site, 2 * mu + 1);
       xin[2 + 2 * mu] = in.site_data(geom_->neighbor_bwd(site, mu));
     }
-    Complex<T>* dst = out.site_data(site);
-    for (int r = 0; r < n_; ++r)
-      dst[r] = coarse_row(mats, xin, r, n_, config);
+  };
+  if (config.strategy >= Strategy::ColorSpin) {
+    // One dispatch item per (site, output row): the y thread dimension of
+    // Listing 3.  Each item redoes the site indexing, exactly like the
+    // fine-grained GPU threads (the Amdahl overhead of section 6.5).
+    parallel_for(v * n_, policy, [&](long idx) {
+      const long site = idx / n_;
+      const int r = static_cast<int>(idx % n_);
+      const Complex<T>* mats[9];
+      const Complex<T>* xin[9];
+      site_inputs(site, mats, xin);
+      out.site_data(site)[r] = coarse_row(mats, xin, r, n_, config);
+    });
+  } else {
+    // Baseline: one dispatch item per site, rows serial within the item.
+    parallel_for(v, policy, [&](long site) {
+      const Complex<T>* mats[9];
+      const Complex<T>* xin[9];
+      site_inputs(site, mats, xin);
+      Complex<T>* dst = out.site_data(site);
+      for (int r = 0; r < n_; ++r)
+        dst[r] = coarse_row(mats, xin, r, n_, config);
+    });
   }
+  if (policy.backend == Backend::SimtModel)
+    SimtStats::instance().record_work(coarse_op_work(
+        v, n_, config,
+        sizeof(T) == 4 ? SimPrecision::Single : SimPrecision::Double));
 }
 
 template <typename T>
@@ -59,18 +85,18 @@ void CoarseDirac<T>::apply(Field& out, const Field& in) const {
     apply_with_config(out, in, config_);
     return;
   }
-  // Autotune on first use for this (volume, N) shape (section 6.5).
+  // Autotune on first use for this (volume, N) shape (section 6.5): a joint
+  // sweep over kernel decompositions AND execution backends, cached
+  // together under the shape key.
   auto& cache = TuneCache::instance();
   const std::string key = coarse_tune_key(geom_->volume(), n_);
-  CoarseKernelConfig best;
-  if (!cache.lookup(key, &best)) {
-    best = cache.tune(key, n_, [&](const CoarseKernelConfig& cand) {
-      Timer timer;
-      apply_with_config(out, in, cand);
-      return timer.seconds();
-    });
-  }
-  apply_with_config(out, in, best);
+  const auto [best, policy] = cache.tune_joint(
+      key, n_, [&](const CoarseKernelConfig& cand, const LaunchPolicy& lp) {
+        Timer timer;
+        apply_with_config(out, in, cand, lp);
+        return timer.seconds();
+      });
+  apply_with_config(out, in, best, policy);
 }
 
 template <typename T>
@@ -89,8 +115,7 @@ void CoarseDirac<T>::apply_hopping_parity(Field& out, const Field& in,
                                           int out_parity) const {
   assert(out.subset() == (out_parity ? Subset::Odd : Subset::Even));
   const long hv = geom_->half_volume();
-#pragma omp parallel for
-  for (long cb = 0; cb < hv; ++cb) {
+  parallel_for(hv, [&](long cb) {
     const long site = geom_->full_index(out_parity, cb);
     const Complex<T>* mats[8];
     const Complex<T>* xin[8];
@@ -110,15 +135,14 @@ void CoarseDirac<T>::apply_hopping_parity(Field& out, const Field& in,
       }
       dst[r] = acc;
     }
-  }
+  });
 }
 
 template <typename T>
 void CoarseDirac<T>::apply_diag(Field& out, const Field& in,
                                 int parity) const {
   const long n_sites = in.nsites();
-#pragma omp parallel for
-  for (long i = 0; i < n_sites; ++i) {
+  parallel_for(n_sites, [&](long i) {
     const long site = parity >= 0 ? geom_->full_index(parity, i) : i;
     const Complex<T>* d = diag_data(site);
     const Complex<T>* src = in.site_data(i);
@@ -129,15 +153,14 @@ void CoarseDirac<T>::apply_diag(Field& out, const Field& in,
       for (int c = 0; c < n_; ++c) acc += row[c] * src[c];
       dst[r] = acc;
     }
-  }
+  });
 }
 
 template <typename T>
 void CoarseDirac<T>::compute_diag_inverse() {
   const long v = geom_->volume();
   diag_inv_.assign(static_cast<size_t>(v) * n_ * n_, Complex<T>{});
-#pragma omp parallel for
-  for (long site = 0; site < v; ++site) {
+  parallel_for(v, [&](long site) {
     SmallMatrix<T> m(n_, n_);
     const Complex<T>* d = diag_data(site);
     for (int r = 0; r < n_; ++r)
@@ -147,7 +170,7 @@ void CoarseDirac<T>::compute_diag_inverse() {
     Complex<T>* dst = diag_inv_.data() + static_cast<size_t>(site) * n_ * n_;
     for (int r = 0; r < n_; ++r)
       for (int c = 0; c < n_; ++c) dst[static_cast<size_t>(r) * n_ + c] = inv(r, c);
-  }
+  });
 }
 
 template <typename T>
@@ -155,8 +178,7 @@ void CoarseDirac<T>::apply_diag_inverse(Field& out, const Field& in,
                                         int parity) const {
   assert(has_diag_inverse());
   const long n_sites = in.nsites();
-#pragma omp parallel for
-  for (long i = 0; i < n_sites; ++i) {
+  parallel_for(n_sites, [&](long i) {
     const long site = parity >= 0 ? geom_->full_index(parity, i) : i;
     const Complex<T>* d = diag_inv_data(site);
     const Complex<T>* src = in.site_data(i);
@@ -167,7 +189,7 @@ void CoarseDirac<T>::apply_diag_inverse(Field& out, const Field& in,
       for (int c = 0; c < n_; ++c) acc += row[c] * src[c];
       dst[r] = acc;
     }
-  }
+  });
 }
 
 // --- SchurCoarseOp ----------------------------------------------------------

@@ -19,6 +19,7 @@
 
 #include "lattice/geometry.h"
 #include "linalg/smallmat.h"
+#include "parallel/dispatch.h"
 #include "parallel/strategy.h"
 #include "solvers/linear_operator.h"
 
@@ -70,10 +71,15 @@ class CoarseDirac : public LinearOperator<T> {
   Field create_vector() const override;
   double flops_per_apply() const override;
 
-  /// Apply with an explicit kernel configuration (bypasses the autotuner);
-  /// used by the strategy-equivalence tests and the Fig. 2 bench.
+  /// Apply with an explicit kernel configuration and execution backend
+  /// (bypasses the autotuner); used by the strategy-equivalence tests and
+  /// the Fig. 2 bench.  The strategy selects the dispatch index space:
+  /// GridOnly launches one item per site, ColorSpin and finer launch one
+  /// item per (site, output row); the dir/dot splits shape the per-row
+  /// partial sums (mg/coarse_row.h).
   void apply_with_config(Field& out, const Field& in,
-                         const CoarseKernelConfig& config) const;
+                         const CoarseKernelConfig& config,
+                         const LaunchPolicy& policy = default_policy()) const;
 
   /// Hopping term restricted to parities: out (on out_parity sites, cb
   /// indexed) = sum of link matrices times in (opposite parity).

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "parallel/dispatch.h"
+
 namespace qmg {
 
 namespace {
@@ -24,8 +26,7 @@ std::vector<SiteV<T>> gather_prolongator_blocks(const Transfer<T>& t) {
   const int half = ns / 2;
   const int nvec = t.nvec();
   std::vector<SiteV<T>> v(vf);
-#pragma omp parallel for
-  for (long x = 0; x < vf; ++x) {
+  parallel_for(vf, [&](long x) {
     for (int ch = 0; ch < 2; ++ch) {
       v[x].block[ch].assign(static_cast<size_t>(half) * nc * nvec,
                             Complex<T>{});
@@ -35,7 +36,7 @@ std::vector<SiteV<T>> gather_prolongator_blocks(const Transfer<T>& t) {
             v[x].block[ch][(static_cast<size_t>(s) * nc + c) * nvec + k] =
                 t.null_vectors()[k](x, ch * half + s, c);
     }
-  }
+  });
   return v;
 }
 
@@ -99,9 +100,10 @@ CoarseDirac<T> build_coarse_operator(const StencilView<T>& fine,
   CoarseDirac<T> coarse(map.coarse(), nvec);
   const auto v_blocks = gather_prolongator_blocks(transfer);
 
+  // One dispatch item per coarse block: all writes target block b's own
+  // diagonal/link storage, so items never alias.
   const long n_coarse = map.coarse()->volume();
-#pragma omp parallel for
-  for (long b = 0; b < n_coarse; ++b) {
+  parallel_for(n_coarse, [&](long b) {
     for (const long x : map.block_sites(b)) {
       // Diagonal term stays on the coarse diagonal.
       accumulate_galerkin(coarse.diag_data(b), fine.diag_matrix(x),
@@ -120,7 +122,7 @@ CoarseDirac<T> build_coarse_operator(const StencilView<T>& fine,
                               v_blocks[x], v_blocks[y], half_dof, nvec);
         }
     }
-  }
+  });
   return coarse;
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "mg/coarse_row.h"
+#include "parallel/dispatch.h"
 
 namespace qmg {
 
@@ -18,8 +19,7 @@ void MultiRhsCoarseOp<T>::apply(std::vector<Field>& out,
   const int n = op_.block_dim();
   const long v = geom.volume();
 
-#pragma omp parallel for
-  for (long site = 0; site < v; ++site) {
+  parallel_for(v, [&](long site) {
     // Load the site's stencil blocks and neighbor indices once...
     const Complex<T>* mats[9];
     long nbr[9];
@@ -41,7 +41,7 @@ void MultiRhsCoarseOp<T>::apply(std::vector<Field>& out,
       for (int row = 0; row < n; ++row)
         dst[row] = coarse_row(mats, xin, row, n, config);
     }
-  }
+  });
 }
 
 template class MultiRhsCoarseOp<double>;

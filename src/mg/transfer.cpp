@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/dispatch.h"
+
 namespace qmg {
 
 template <typename T>
@@ -36,9 +38,10 @@ void Transfer<T>::block_orthonormalize() {
   const int half_spin = fine_nspin_ / 2;
 
   // Two passes of modified Gram-Schmidt per aggregate: numerically robust
-  // local QR (paper section 3.4, step 3).
-#pragma omp parallel for
-  for (long b = 0; b < n_blocks; ++b) {
+  // local QR (paper section 3.4, step 3).  One dispatch item per aggregate
+  // ("thread block"); aggregates are disjoint site sets, so items never
+  // alias.
+  parallel_for(n_blocks, [&](long b) {
     const auto& sites = map_->block_sites(b);
     for (int ch = 0; ch < 2; ++ch) {
       const int s0 = ch * half_spin;
@@ -71,7 +74,7 @@ void Transfer<T>::block_orthonormalize() {
             for (int c = 0; c < fine_ncolor_; ++c) vecs_[k](x, s, c) *= inv;
       }
     }
-  }
+  });
 }
 
 template <typename T>
@@ -80,9 +83,8 @@ void Transfer<T>::prolongate(Field& fine, const Field& coarse) const {
   assert(coarse.nspin() == 2 && coarse.ncolor() == nvec_);
   const long vf = map_->fine()->volume();
   const int half_spin = fine_nspin_ / 2;
-  // Gather: one independent "thread" per fine-grid (site, spin, color).
-#pragma omp parallel for
-  for (long x = 0; x < vf; ++x) {
+  // Gather: one independent dispatch item per fine-grid site.
+  parallel_for(vf, [&](long x) {
     const long b = map_->coarse_site(x);
     for (int s = 0; s < fine_nspin_; ++s) {
       const int ch = s / half_spin;
@@ -93,7 +95,7 @@ void Transfer<T>::prolongate(Field& fine, const Field& coarse) const {
         fine(x, s, c) = acc;
       }
     }
-  }
+  });
 }
 
 template <typename T>
@@ -102,10 +104,9 @@ void Transfer<T>::restrict_to_coarse(Field& coarse, const Field& fine) const {
   assert(coarse.nspin() == 2 && coarse.ncolor() == nvec_);
   const long n_blocks = map_->coarse()->volume();
   const int half_spin = fine_nspin_ / 2;
-  // One aggregate per "thread block"; local reduction replaces the scatter
+  // One aggregate per dispatch item; local reduction replaces the scatter
   // (no atomics needed), matching the GPU kernel of section 6.6.
-#pragma omp parallel for
-  for (long b = 0; b < n_blocks; ++b) {
+  parallel_for(n_blocks, [&](long b) {
     const auto& sites = map_->block_sites(b);
     for (int ch = 0; ch < 2; ++ch) {
       const int s0 = ch * half_spin;
@@ -118,7 +119,7 @@ void Transfer<T>::restrict_to_coarse(Field& coarse, const Field& fine) const {
         coarse(b, ch, k) = acc;
       }
     }
-  }
+  });
 }
 
 template class Transfer<double>;

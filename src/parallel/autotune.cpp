@@ -23,7 +23,23 @@ void TuneCache::store(const std::string& key,
   cache_[key] = config;
 }
 
-void TuneCache::clear() { cache_.clear(); }
+bool TuneCache::lookup_launch(const std::string& key,
+                              LaunchPolicy* policy) const {
+  const auto it = launch_cache_.find(key);
+  if (it == launch_cache_.end()) return false;
+  *policy = it->second;
+  return true;
+}
+
+void TuneCache::store_launch(const std::string& key,
+                             const LaunchPolicy& policy) {
+  launch_cache_[key] = policy;
+}
+
+void TuneCache::clear() {
+  cache_.clear();
+  launch_cache_.clear();
+}
 
 std::vector<CoarseKernelConfig> TuneCache::coarse_candidates(int block_dim) {
   std::vector<CoarseKernelConfig> cands;
@@ -37,6 +53,39 @@ std::vector<CoarseKernelConfig> TuneCache::coarse_candidates(int block_dim) {
       cands.push_back({Strategy::DotProduct, 3, dot, 2});
   }
   return cands;
+}
+
+std::vector<LaunchPolicy> TuneCache::launch_candidates() {
+  std::vector<LaunchPolicy> cands;
+  LaunchPolicy serial;
+  serial.backend = Backend::Serial;
+  cands.push_back(serial);
+  if (ThreadPool::instance().num_threads() > 1) {
+    for (long grain : {1L, 64L}) {
+      LaunchPolicy threaded;
+      threaded.backend = Backend::Threaded;
+      threaded.grain = grain;
+      cands.push_back(threaded);
+    }
+  }
+  return cands;
+}
+
+LaunchPolicy TuneCache::tune_launch(
+    const std::string& key,
+    const std::function<double(const LaunchPolicy&)>& run) {
+  LaunchPolicy best;
+  if (lookup_launch(key, &best)) return best;
+  double best_time = std::numeric_limits<double>::max();
+  for (const auto& cand : launch_candidates()) {
+    const double t = run(cand);
+    if (t < best_time) {
+      best_time = t;
+      best = cand;
+    }
+  }
+  store_launch(key, best);
+  return best;
 }
 
 CoarseKernelConfig TuneCache::tune(
@@ -56,9 +105,37 @@ CoarseKernelConfig TuneCache::tune(
   return best;
 }
 
+std::pair<CoarseKernelConfig, LaunchPolicy> TuneCache::tune_joint(
+    const std::string& key, int block_dim,
+    const std::function<double(const CoarseKernelConfig&,
+                               const LaunchPolicy&)>& run) {
+  CoarseKernelConfig best_config;
+  LaunchPolicy best_policy;
+  if (lookup(key, &best_config) && lookup_launch(key, &best_policy))
+    return {best_config, best_policy};
+  double best_time = std::numeric_limits<double>::max();
+  for (const auto& policy : launch_candidates()) {
+    for (const auto& config : coarse_candidates(block_dim)) {
+      const double t = run(config, policy);
+      if (t < best_time) {
+        best_time = t;
+        best_config = config;
+        best_policy = policy;
+      }
+    }
+  }
+  store(key, best_config);
+  store_launch(key, best_policy);
+  return {best_config, best_policy};
+}
+
 std::string coarse_tune_key(long volume, int block_dim) {
   std::ostringstream os;
-  os << "coarse_apply/V=" << volume << "/N=" << block_dim;
+  // The optimal decomposition AND backend depend on the pool size, and the
+  // explored launch candidates do too — a policy tuned at one pool size
+  // must not be replayed at another.
+  os << "coarse_apply/V=" << volume << "/N=" << block_dim
+     << "/T=" << ThreadPool::instance().num_threads();
   return os.str();
 }
 

@@ -9,8 +9,10 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "parallel/dispatch.h"
 #include "parallel/strategy.h"
 
 namespace qmg {
@@ -21,12 +23,24 @@ class TuneCache {
 
   bool lookup(const std::string& key, CoarseKernelConfig* config) const;
   void store(const std::string& key, const CoarseKernelConfig& config);
+
+  /// Execution-backend policies are cached alongside kernel decompositions:
+  /// the tuner picks (backend, grain) and (strategy, splits) together.
+  bool lookup_launch(const std::string& key, LaunchPolicy* policy) const;
+  void store_launch(const std::string& key, const LaunchPolicy& policy);
+
   void clear();
   size_t size() const { return cache_.size(); }
+  size_t launch_size() const { return launch_cache_.size(); }
 
   /// Candidate launch policies explored for the coarse operator: the four
   /// cumulative strategies with representative split factors.
   static std::vector<CoarseKernelConfig> coarse_candidates(int block_dim);
+
+  /// Candidate execution backends for a host kernel: Serial plus the
+  /// Threaded pool at representative grains.  (SimtModel is a modeling
+  /// backend, never selected by timing.)
+  static std::vector<LaunchPolicy> launch_candidates();
 
   /// Time each candidate with `run` (seconds) and return the fastest,
   /// caching it under `key`.
@@ -34,8 +48,24 @@ class TuneCache {
       const std::string& key, int block_dim,
       const std::function<double(const CoarseKernelConfig&)>& run);
 
+  /// Same, over execution backends: time each launch_candidates() entry
+  /// and cache the fastest under `key`.
+  LaunchPolicy tune_launch(
+      const std::string& key,
+      const std::function<double(const LaunchPolicy&)>& run);
+
+  /// Joint sweep over launch_candidates() x coarse_candidates(): times
+  /// every (config, policy) pair with `run`, caches both winners under
+  /// `key`, and returns them.  What CoarseDirac::apply uses on the first
+  /// encounter of a kernel shape.
+  std::pair<CoarseKernelConfig, LaunchPolicy> tune_joint(
+      const std::string& key, int block_dim,
+      const std::function<double(const CoarseKernelConfig&,
+                                 const LaunchPolicy&)>& run);
+
  private:
   std::map<std::string, CoarseKernelConfig> cache_;
+  std::map<std::string, LaunchPolicy> launch_cache_;
 };
 
 /// Tune key helper.

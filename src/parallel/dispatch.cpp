@@ -1,0 +1,17 @@
+#include "parallel/dispatch.h"
+
+namespace qmg {
+
+LaunchPolicy& default_policy() {
+  static LaunchPolicy policy;
+  return policy;
+}
+
+SimtStats::SimtStats() : device_(DeviceSpec::tesla_k20x()) {}
+
+SimtStats& SimtStats::instance() {
+  static SimtStats stats;
+  return stats;
+}
+
+}  // namespace qmg

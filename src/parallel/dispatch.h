@@ -1,0 +1,217 @@
+#pragma once
+// Unified kernel-dispatch execution layer.  Every hot loop in the library —
+// BLAS, Wilson/clover dslash, coarse operator, transfers, halo packing —
+// is expressed as a launch over a structured index space:
+//
+//   qmg::parallel_for(n, policy, body)       // body(i), i in [0, n)
+//   qmg::parallel_reduce<V>(n, policy, body) // sum of body(i), deterministic
+//
+// with the decomposition of that index space a pluggable LaunchPolicy
+// rather than hard-coded loop structure (the paper's central idea, applied
+// host-side).  Three backends:
+//
+//   Serial    — plain ascending loop; the reference numerics.
+//   Threaded  — persistent std::thread pool (parallel/thread_pool.h) with a
+//               static, work-stealing-free partition.  Reductions use a
+//               fixed chunk decomposition and a fixed pairwise combine
+//               tree, both independent of the thread count, so Threaded
+//               results are bit-identical to each other at any thread
+//               count and to Serial's chunked reduction.
+//   SimtModel — executes serially in simulated CUDA launch order
+//               (blockIdx/threadIdx arithmetic) and records each launch
+//               shape in SimtStats, which routes it through the
+//               gpusim::DeviceSpec performance model (Fig. 2 regeneration).
+//
+// parallel_reduce computes the same chunk decomposition under every
+// backend, so a reduction's value depends only on (n, body) — never on the
+// backend or thread count.
+
+#include <vector>
+
+#include "gpusim/device.h"
+#include "parallel/thread_pool.h"
+
+namespace qmg {
+
+enum class Backend : int { Serial = 0, Threaded = 1, SimtModel = 2 };
+
+inline const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::Serial: return "serial";
+    case Backend::Threaded: return "threaded";
+    default: return "simt-model";
+  }
+}
+
+/// How one kernel launch is decomposed.  What the launch autotuner
+/// (parallel/autotune.h) selects per kernel shape.
+struct LaunchPolicy {
+  Backend backend = Backend::Threaded;
+  /// Minimum items per worker before the Threaded backend engages; below
+  /// it the launch runs serially (thread wake-up would dominate).
+  long grain = 1;
+  /// Simulated CUDA block size for the SimtModel backend.
+  int sim_block_dim = 128;
+};
+
+/// Process-wide default policy used by kernels that are not individually
+/// tuned.  The Threaded default degrades to a serial loop when the pool
+/// has one thread, so it is always safe.
+LaunchPolicy& default_policy();
+inline void set_default_policy(const LaunchPolicy& p) { default_policy() = p; }
+
+/// Accounting for SimtModel launches: launch shapes, and modeled execution
+/// time for launches whose callers supply a gpusim::KernelWork.  Guarded by
+/// the pool's serial execution of SimtModel launches (no locking needed in
+/// the hot path as SimtModel never runs concurrently with itself).
+class SimtStats {
+ public:
+  static SimtStats& instance();
+
+  void set_device(const DeviceSpec& dev) { device_ = dev; }
+  const DeviceSpec& device() const { return device_; }
+
+  void record_launch(long threads) {
+    ++launches_;
+    threads_ += threads;
+  }
+  /// Attach modeled cost to the most recent launch.
+  void record_work(const KernelWork& work) {
+    modeled_seconds_ += estimate_seconds(device_, work);
+  }
+
+  long launches() const { return launches_; }
+  long threads() const { return threads_; }
+  double modeled_seconds() const { return modeled_seconds_; }
+  void reset() {
+    launches_ = 0;
+    threads_ = 0;
+    modeled_seconds_ = 0;
+  }
+
+ private:
+  SimtStats();
+  DeviceSpec device_;
+  long launches_ = 0;
+  long threads_ = 0;
+  double modeled_seconds_ = 0;
+};
+
+namespace detail {
+
+/// Fixed reduction chunk count: a pure function of n (never of the thread
+/// count or backend), so every backend reassociates partial sums the same
+/// way.  64 chunks comfortably over-decomposes any pool this library runs
+/// on while keeping the partial array cache-resident.
+inline long reduce_chunks(long n) {
+  constexpr long kChunks = 64;
+  return n < kChunks ? n : kChunks;
+}
+
+template <typename Body>
+void simt_for(long n, const LaunchPolicy& p, Body&& body) {
+  const long block_dim = p.sim_block_dim > 0 ? p.sim_block_dim : 128;
+  const long grid_dim = (n + block_dim - 1) / block_dim;
+  for (long block_idx = 0; block_idx < grid_dim; ++block_idx) {
+    for (long thread_idx = 0; thread_idx < block_dim; ++thread_idx) {
+      const long i = block_idx * block_dim + thread_idx;
+      if (i >= n) break;
+      body(i);
+    }
+  }
+  SimtStats::instance().record_launch(grid_dim * block_dim);
+}
+
+}  // namespace detail
+
+template <typename Body>
+void parallel_for(long n, const LaunchPolicy& policy, Body&& body) {
+  if (n <= 0) return;
+  switch (policy.backend) {
+    case Backend::SimtModel:
+      detail::simt_for(n, policy, body);
+      return;
+    case Backend::Threaded: {
+      ThreadPool& pool = ThreadPool::instance();
+      const int nt = pool.num_threads();
+      if (nt > 1 && !ThreadPool::in_parallel_region() &&
+          n >= nt * std::max<long>(1, policy.grain)) {
+        pool.run([&](int w) {
+          const long begin = n * w / nt;
+          const long end = n * (w + 1) / nt;
+          for (long i = begin; i < end; ++i) body(i);
+        });
+        return;
+      }
+      break;  // degenerate: fall through to serial
+    }
+    case Backend::Serial:
+      break;
+  }
+  for (long i = 0; i < n; ++i) body(i);
+}
+
+template <typename Body>
+void parallel_for(long n, Body&& body) {
+  parallel_for(n, default_policy(), body);
+}
+
+/// Deterministic sum-reduction of body(i) over [0, n).  V needs V{} (the
+/// additive identity) and operator+=.  The chunk decomposition and the
+/// pairwise combine tree depend only on n, so the result is identical
+/// under every backend and thread count.
+template <typename V, typename Body>
+V parallel_reduce(long n, const LaunchPolicy& policy, Body&& body) {
+  if (n <= 0) return V{};
+  const long nchunks = detail::reduce_chunks(n);
+  std::vector<V> partials(static_cast<size_t>(nchunks), V{});
+  auto chunk_sum = [&](long c) {
+    const long begin = n * c / nchunks;
+    const long end = n * (c + 1) / nchunks;
+    V acc{};
+    for (long i = begin; i < end; ++i) acc += body(i);
+    partials[static_cast<size_t>(c)] = acc;
+  };
+  switch (policy.backend) {
+    case Backend::SimtModel: {
+      // One simulated thread per chunk owner would under-report the launch;
+      // the simulated launch covers all n items (one thread per item, with
+      // the chunk partials standing in for the block-level tree).
+      for (long c = 0; c < nchunks; ++c) chunk_sum(c);
+      const long block_dim = policy.sim_block_dim > 0 ? policy.sim_block_dim : 128;
+      const long grid_dim = (n + block_dim - 1) / block_dim;
+      SimtStats::instance().record_launch(grid_dim * block_dim);
+      break;
+    }
+    case Backend::Threaded: {
+      ThreadPool& pool = ThreadPool::instance();
+      const int nt = pool.num_threads();
+      if (nt > 1 && !ThreadPool::in_parallel_region() &&
+          n >= nt * std::max<long>(1, policy.grain)) {
+        pool.run([&](int w) {
+          const long cb = nchunks * w / nt;
+          const long ce = nchunks * (w + 1) / nt;
+          for (long c = cb; c < ce; ++c) chunk_sum(c);
+        });
+      } else {
+        for (long c = 0; c < nchunks; ++c) chunk_sum(c);
+      }
+      break;
+    }
+    case Backend::Serial:
+      for (long c = 0; c < nchunks; ++c) chunk_sum(c);
+      break;
+  }
+  // Fixed pairwise combine tree (mirrors the GPU shared-memory reduction).
+  for (long span = 1; span < nchunks; span *= 2)
+    for (long i = 0; i + span < nchunks; i += 2 * span)
+      partials[static_cast<size_t>(i)] += partials[static_cast<size_t>(i + span)];
+  return partials[0];
+}
+
+template <typename V, typename Body>
+V parallel_reduce(long n, Body&& body) {
+  return parallel_reduce<V>(n, default_policy(), body);
+}
+
+}  // namespace qmg

@@ -1,0 +1,104 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+
+namespace qmg {
+
+namespace {
+thread_local bool t_in_parallel_region = false;
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  n_threads_ = std::max(1, static_cast<int>(hw));
+  start_workers();
+}
+
+ThreadPool::~ThreadPool() { stop_workers(); }
+
+bool ThreadPool::in_parallel_region() { return t_in_parallel_region; }
+
+void ThreadPool::start_workers() {
+  shutdown_ = false;
+  // Capture the generation at spawn time: a worker that read it only after
+  // starting up could miss a job launched between spawn and startup.
+  const long spawn_generation = generation_;
+  workers_.reserve(static_cast<size_t>(n_threads_ - 1));
+  for (int id = 1; id < n_threads_; ++id)
+    workers_.emplace_back(
+        [this, id, spawn_generation] { worker_loop(id, spawn_generation); });
+}
+
+void ThreadPool::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+void ThreadPool::resize(int n_threads) {
+  if (n_threads <= 0)
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  if (n_threads == n_threads_) return;
+  stop_workers();
+  n_threads_ = n_threads;
+  start_workers();
+}
+
+void ThreadPool::worker_loop(int id, long seen) {
+  for (;;) {
+    std::function<void(int)> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    t_in_parallel_region = true;
+    job(id);
+    t_in_parallel_region = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::run(const std::function<void(int)>& job) {
+  if (n_threads_ == 1 || t_in_parallel_region) {
+    // Degenerate pool or nested region: the caller does all the work.
+    const bool was_nested = t_in_parallel_region;
+    t_in_parallel_region = true;
+    job(0);
+    t_in_parallel_region = was_nested;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  t_in_parallel_region = true;
+  job(0);
+  t_in_parallel_region = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace qmg

@@ -1,0 +1,68 @@
+#pragma once
+// Persistent worker-thread pool backing the Threaded dispatch backend
+// (parallel/dispatch.h).  Deliberately minimal and deterministic:
+//
+//   - workers are created once and parked on a condition variable between
+//     parallel regions (no per-launch thread spawn cost);
+//   - work is assigned by static partition of the index/chunk space — no
+//     work stealing, so which worker computes which chunk is a pure
+//     function of (n, num_threads) and results are reproducible
+//     run-to-run;
+//   - the calling thread participates as worker 0, so a pool of size T
+//     holds T-1 OS threads.
+//
+// Nested parallel regions execute serially on the calling worker (the
+// dispatch layer checks in_parallel_region() and falls back), which keeps
+// inner BLAS calls inside an already-parallel solver region correct.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qmg {
+
+class ThreadPool {
+ public:
+  static ThreadPool& instance();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Workers participating in a region, including the caller.  Always >= 1.
+  int num_threads() const { return n_threads_; }
+
+  /// Re-shape the pool to `n_threads` total workers (caller included).
+  /// Must not be called from inside a parallel region.  n_threads <= 0
+  /// selects std::thread::hardware_concurrency().
+  void resize(int n_threads);
+
+  /// True while the calling thread is executing inside run() — used by the
+  /// dispatch layer to serialize nested parallel regions.
+  static bool in_parallel_region();
+
+  /// Execute job(worker_id) for worker_id in [0, num_threads()), blocking
+  /// until every worker finishes.  The caller runs worker 0.
+  void run(const std::function<void(int)>& job);
+
+ private:
+  ThreadPool();
+  ~ThreadPool();
+
+  void worker_loop(int id, long spawn_generation);
+  void stop_workers();
+  void start_workers();
+
+  std::vector<std::thread> workers_;
+  std::function<void(int)> job_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  long generation_ = 0;
+  int n_threads_ = 1;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace qmg

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace qmg {
@@ -22,8 +23,9 @@ class Timer {
   clock::time_point t0_;
 };
 
-/// Named accumulator: total seconds and call counts per region.  Not
-/// thread-safe by design — profiling regions are coarse (solver phases).
+/// Named accumulator: total seconds and call counts per region.
+/// Accumulation is mutex-guarded so regions timed on pool workers (the
+/// Threaded dispatch backend) keep the per-level Fig. 4 profile correct.
 class Profiler {
  public:
   struct Entry {
@@ -32,20 +34,30 @@ class Profiler {
   };
 
   void add(const std::string& name, double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto& e = entries_[name];
     e.seconds += seconds;
     e.calls += 1;
   }
 
+  /// Callers iterate the returned map without the lock; safe as long as no
+  /// region is concurrently being added, i.e. read between solves, which is
+  /// how every bench and test uses it.
   const std::map<std::string, Entry>& entries() const { return entries_; }
-  void clear() { entries_.clear(); }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+  }
 
   double total(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(name);
     return it == entries_.end() ? 0.0 : it->second.seconds;
   }
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
 };
 
