@@ -2,20 +2,35 @@
 // section 9).  Analysis workloads solve many systems against the same
 // operator (a propagator is 12); applying the coarse stencil to N vectors
 // per link load multiplies the arithmetic intensity by ~N until the vectors
-// dominate traffic.  This bench measures the realized per-rhs throughput
-// gain on this machine and prints the modeled intensity curve.
+// dominate traffic.  This bench sweeps nrhs through THREE paths:
+//
+//   single   — N independent single-rhs applies (no reuse at all);
+//   streamed — the pre-block-spinor path: rhs streamed serially inside one
+//              site work-item from separate fields (link reuse, no rhs
+//              parallelism or layout locality);
+//   batched  — the block-spinor path: rhs-contiguous BlockSpinor storage on
+//              the 2D (site x rhs) dispatch index space.
+//
+// and writes BENCH_mrhs.json (same schema/metadata style as
+// BENCH_dispatch.json) with the realized per-rhs throughput and the
+// modeled arithmetic-intensity curve.
 //
 // The coarse grid here is filled with synthetic link data: the measurement
 // concerns memory traffic only, and a synthetic fill allows a grid whose
 // link footprint exceeds the last-level cache (on a cache-resident grid the
 // single-rhs apply is already link-bound from cache and there is nothing to
-// amortize — the small-grid regime is shown as the first table).
+// amortize).
 //
-//   ./bench_ablation_mrhs [--nc=24] [--l=6]
+//   ./bench_ablation_mrhs [--nc=24] [--l=6] [--json=BENCH_mrhs.json]
 
 #include <cstdio>
+#include <ctime>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/common.h"
+#include "fields/blockspinor.h"
 #include "mg/mrhs.h"
 #include "util/rng.h"
 
@@ -45,12 +60,22 @@ CoarseDirac<double> synthetic_coarse(const GeometryPtr& geom, int nc,
   return coarse;
 }
 
+struct Row {
+  int nrhs = 0;
+  double single_us = 0;    // per-rhs, N independent applies
+  double streamed_us = 0;  // per-rhs, serial-rhs streaming path
+  double batched_us = 0;   // per-rhs, block-spinor 2D path
+  double batched_gflops = 0;
+  double intensity = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const int nc = static_cast<int>(args.get_int("nc", 24));
   const int l = static_cast<int>(args.get_int("l", 6));
+  const std::string json_path = args.get("json", "BENCH_mrhs.json");
 
   auto geom = make_geometry(Coord{l, l, l, l});
   const CoarseDirac<double> coarse = synthetic_coarse(geom, nc, 5);
@@ -60,11 +85,13 @@ int main(int argc, char** argv) {
   std::printf("=== Multi-RHS coarse apply: throughput vs right-hand-side "
               "count (coarse %ld sites, Nhat_c=%d, stencil ~%.0f MiB) ===\n",
               geom->volume(), nc, link_mib);
-  std::printf("%-6s %-12s %-14s %-14s %-12s\n", "N", "time/rhs(us)",
-              "GFLOPS", "speedup/rhs", "intensity");
+  std::printf("%-6s %-12s %-12s %-12s %-12s %-14s %-12s\n", "N",
+              "single(us)", "streamed(us)", "batched(us)", "speedup",
+              "GFLOPS", "intensity");
 
   const CoarseKernelConfig config{Strategy::ColorSpin, 1, 1, 2};
-  double t1 = 0;
+  const LaunchPolicy policy = default_policy();
+  std::vector<Row> rows;
   for (const int nrhs : {1, 2, 4, 8, 12, 16}) {
     std::vector<ColorSpinorField<double>> in, out;
     for (int k = 0; k < nrhs; ++k) {
@@ -72,16 +99,47 @@ int main(int argc, char** argv) {
       in.back().gaussian(k + 1);
       out.push_back(coarse.create_vector());
     }
-    // Warm up, then time enough repetitions for a stable number.
-    mrhs.apply(out, in, config);
+    const BlockSpinor<double> in_block = pack_block(in);
+    BlockSpinor<double> out_block = in_block.similar();
     const int reps = std::max(2, 64 / nrhs);
-    Timer timer;
-    for (int rep = 0; rep < reps; ++rep) mrhs.apply(out, in, config);
-    const double per_rhs = timer.seconds() / (reps * nrhs);
-    if (nrhs == 1) t1 = per_rhs;
-    std::printf("%-6d %-12.1f %-14.2f %-14.2f %-12.1f\n", nrhs,
-                per_rhs * 1e6, coarse.flops_per_apply() / per_rhs / 1e9,
-                t1 / per_rhs, mrhs.arithmetic_intensity(nrhs));
+
+    Row row;
+    row.nrhs = nrhs;
+    row.intensity = mrhs.arithmetic_intensity(nrhs);
+
+    // Baseline 1: N independent single-rhs applies.
+    coarse.apply_with_config(out[0], in[0], config, policy);
+    {
+      Timer timer;
+      for (int rep = 0; rep < reps; ++rep)
+        for (int k = 0; k < nrhs; ++k)
+          coarse.apply_with_config(out[static_cast<size_t>(k)],
+                                   in[static_cast<size_t>(k)], config, policy);
+      row.single_us = timer.seconds() / (reps * nrhs) * 1e6;
+    }
+    // Baseline 2: serial-rhs streaming inside the site item.
+    mrhs.apply_streamed(out, in, config);
+    {
+      Timer timer;
+      for (int rep = 0; rep < reps; ++rep) mrhs.apply_streamed(out, in, config);
+      row.streamed_us = timer.seconds() / (reps * nrhs) * 1e6;
+    }
+    // The batched block-spinor path on the 2D (site x rhs) index space
+    // (pack/unpack excluded: solvers keep data in block form end to end).
+    mrhs.apply(out_block, in_block, config, policy);
+    {
+      Timer timer;
+      for (int rep = 0; rep < reps; ++rep)
+        mrhs.apply(out_block, in_block, config, policy);
+      const double per_rhs = timer.seconds() / (reps * nrhs);
+      row.batched_us = per_rhs * 1e6;
+      row.batched_gflops = coarse.flops_per_apply() / per_rhs / 1e9;
+    }
+    rows.push_back(row);
+    std::printf("%-6d %-12.1f %-12.1f %-12.1f %-12.2f %-14.2f %-12.1f\n",
+                nrhs, row.single_us, row.streamed_us, row.batched_us,
+                row.single_us / row.batched_us, row.batched_gflops,
+                row.intensity);
   }
 
   std::printf("\npaper hook (9): 'For N right hand sides, we thus expose "
@@ -89,6 +147,56 @@ int main(int argc, char** argv) {
               "temporal locality of the problem, e.g., the same stencil "
               "operator is used for all systems' — the intensity column is "
               "that locality gain; the speedup column is what this machine "
-              "realizes of it.\n");
+              "realizes of it through the block-spinor path.\n");
+
+  // BENCH_mrhs.json, mirroring BENCH_dispatch.json's context + benchmarks
+  // schema so downstream tooling can ingest both.
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  char date[64];
+  const std::time_t now = std::time(nullptr);
+  std::strftime(date, sizeof(date), "%FT%T+00:00", std::gmtime(&now));
+  std::fprintf(f,
+               "{\n"
+               "  \"context\": {\n"
+               "    \"date\": \"%s\",\n"
+               "    \"executable\": \"./build/bench_ablation_mrhs\",\n"
+               "    \"num_cpus\": %u,\n"
+               "    \"coarse_volume\": %ld,\n"
+               "    \"coarse_ncolor\": %d,\n"
+               "    \"stencil_mib\": %.1f,\n"
+               "    \"kernel_config\": \"%s\",\n"
+               "    \"note\": \"per-rhs microseconds; single = N independent "
+               "applies, streamed = serial-rhs site loop, batched = "
+               "block-spinor (site x rhs) path\"\n"
+               "  },\n"
+               "  \"benchmarks\": [\n",
+               date, std::thread::hardware_concurrency(), geom->volume(), nc,
+               link_mib, config.to_string().c_str());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"name\": \"CoarseApply/nrhs=%d\",\n"
+                 "      \"nrhs\": %d,\n"
+                 "      \"single_us_per_rhs\": %.3f,\n"
+                 "      \"streamed_us_per_rhs\": %.3f,\n"
+                 "      \"batched_us_per_rhs\": %.3f,\n"
+                 "      \"batched_speedup_vs_single\": %.3f,\n"
+                 "      \"batched_speedup_vs_streamed\": %.3f,\n"
+                 "      \"batched_gflops\": %.3f,\n"
+                 "      \"arithmetic_intensity\": %.3f\n"
+                 "    }%s\n",
+                 r.nrhs, r.nrhs, r.single_us, r.streamed_us, r.batched_us,
+                 r.single_us / r.batched_us, r.streamed_us / r.batched_us,
+                 r.batched_gflops, r.intensity,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path.c_str());
   return 0;
 }

@@ -2,9 +2,14 @@
 // independent solves (one per source spin x color), with the first solve
 // discarded from timing because the autotuner runs during it.  Compares
 // MG-preconditioned GCR against mixed-precision BiCGStab, solve by solve,
-// exactly as Table 3's methodology prescribes.
+// exactly as Table 3's methodology prescribes — then runs the SAME 12
+// right-hand sides through the block solver (section 9's MRHS
+// reformulation): one masked block GCR whose operator applications, MG
+// cycles, transfers and coarse solves all advance the whole batch per
+// batched (site x rhs) kernel launch.
 //
 //   ./propagator [--l=6] [--lt=6] [--mass=-0.03] [--tol=1e-7]
+//                [--tune-cache=<file>]
 
 #include <cstdio>
 #include <vector>
@@ -41,6 +46,10 @@ int main(int argc, char** argv) {
   options.dims = {l, l, l, lt};
   options.mass = args.get_double("mass", -0.03);
   options.roughness = 0.5;
+  // Launch-policy persistence: with --tune-cache=<file>, the kernel and
+  // launch policies tuned by a previous run are restored up front (and
+  // saved back on exit), so no solve pays the first-call tuning sweep.
+  options.tune_cache_file = args.get("tune-cache", "");
   QmgContext ctx(options);
 
   MgConfig mg;
@@ -57,7 +66,7 @@ int main(int argc, char** argv) {
               "MG time(s)", "BiCG iters", "BiCG time(s)", "speedup");
 
   std::vector<double> mg_times, bicg_times, speedups;
-  std::vector<ColorSpinorField<double>> propagator;
+  std::vector<ColorSpinorField<double>> sources;
   for (int s = 0; s < 4; ++s)
     for (int c = 0; c < 3; ++c) {
       auto b = ctx.create_vector();
@@ -66,7 +75,7 @@ int main(int argc, char** argv) {
       const auto rm = ctx.solve_mg(x_mg, b, tol);
       auto x_bicg = ctx.create_vector();
       const auto rb = ctx.solve_bicgstab(x_bicg, b, tol);
-      propagator.push_back(std::move(x_mg));
+      sources.push_back(std::move(b));
 
       const int idx = 3 * s + c;
       std::printf("%d/%d   %-10d %-12.3f %-10d %-12.3f %.2f%s\n", s, c,
@@ -88,10 +97,41 @@ int main(int argc, char** argv) {
   std::printf("  speedup : %.2f (%.2f)  [ratio of correlated solves]\n",
               sp.mean, sp.stddev);
 
+  // The MRHS path (paper section 9): all 12 right-hand sides through ONE
+  // masked block-GCR solve.  Every stencil load is amortized over the
+  // batch; per-rhs convergence masking retires each system at its own
+  // iteration count.
+  std::vector<ColorSpinorField<double>> propagator;
+  for (size_t k = 0; k < sources.size(); ++k)
+    propagator.push_back(ctx.create_vector());
+  const auto block_res = ctx.solve_mg_block(propagator, sources, tol);
+
+  std::printf("\nblock solver (12 rhs at once, per-rhs masking):\n");
+  std::printf("  per-rhs iterations:");
+  for (const auto& r : block_res.rhs) std::printf(" %d", r.iterations);
+  std::printf("\n  all converged: %s, max |r|/|b| = %.2e\n",
+              block_res.all_converged() ? "yes" : "NO",
+              [&] {
+                double m = 0;
+                for (const auto& r : block_res.rhs)
+                  m = std::max(m, r.final_rel_residual);
+                return m;
+              }());
+  std::printf("  batched matvecs: %ld (each advances all 12 rhs)\n",
+              block_res.block_matvecs);
+  // Per-rhs comparison against the post-tuning scalar mean (solve 0 paid
+  // the scalar autotuner and is excluded).  The block solve still pays its
+  // own first-call sweep of the mrhs tuning keys, amortized over the batch
+  // — rerun with --tune-cache to measure fully warm.
+  std::printf("  block solve: %.3f s for 12 rhs (%.3f s/rhs) vs %.3f s/rhs "
+              "scalar MG (post-tuning mean) -> %.2fx per rhs\n",
+              block_res.seconds, block_res.seconds / 12.0, mg_s.mean,
+              mg_s.mean / (block_res.seconds / 12.0));
+
   // A physics sanity check on the result: the pion correlator (here just
   // |propagator|^2 summed per timeslice) must be positive and decaying.
   const auto& geom = *ctx.geometry();
-  std::printf("\npion correlator C(t):\n");
+  std::printf("\npion correlator C(t) from the block-solved propagator:\n");
   for (int t = 0; t < lt; ++t) {
     double corr = 0;
     for (long i = 0; i < geom.volume(); ++i) {

@@ -34,11 +34,17 @@ struct ContextOptions {
   // override the backend per shape via the TuneCache.
   Backend backend = Backend::Threaded;
   int threads = 0;
+  // Launch-policy persistence: when non-empty, the TuneCache (kernel
+  // configs + launch backends + rhs-blockings) is loaded from this file at
+  // context construction and saved back at destruction, so production runs
+  // skip the first-call tuning sweep.
+  std::string tune_cache_file;
 };
 
 class QmgContext {
  public:
   explicit QmgContext(const ContextOptions& options);
+  ~QmgContext();
 
   /// Build (or rebuild) the MG hierarchy; must be called before solve_mg.
   void setup_multigrid(const MgConfig& config);
@@ -61,6 +67,23 @@ class QmgContext {
                               int max_iter = 100000,
                               InnerPrecision inner = InnerPrecision::Half,
                               bool eo = true);
+
+  /// Solve M x[k] = b[k] for all k at once through the block solver: a
+  /// double-precision block GCR with per-rhs convergence masking, fed by
+  /// the batched (site x rhs) kernels end to end — outer Schur applies,
+  /// MG cycles, transfers and coarse solves all advance the whole batch
+  /// per operation (paper section 9; a propagator's 12 solves are the
+  /// canonical workload).  With `eo` the outer block GCR runs on the
+  /// even-odd Schur system exactly like solve_mg.
+  BlockSolverResult solve_mg_block(std::vector<ColorSpinorField<double>>& x,
+                                   const std::vector<ColorSpinorField<double>>& b,
+                                   double tol, int max_iter = 1000,
+                                   bool eo = true);
+
+  /// Persist / restore the process-wide TuneCache (kernel configs, launch
+  /// backends and rhs-blockings).  Returns false on I/O or format errors.
+  bool save_tune_cache(const std::string& path) const;
+  bool load_tune_cache(const std::string& path);
 
   /// Relative solver error |x - x*| / |x*| against a much tighter "exact"
   /// solve — the double-solve error estimate of section 7.1 (ref. [17]).

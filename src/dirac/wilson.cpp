@@ -1,6 +1,7 @@
 #include "dirac/wilson.h"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "dirac/gamma.h"
 #include "dirac/hop.h"
@@ -59,6 +60,91 @@ inline void block_multiply(const typename CloverField<T>::Block& a,
     for (int c = 0; c < 6; ++c) acc += a(r, c) * in[c];
     out[r] = acc;
   }
+}
+
+/// Batched hopping term over a site range and all rhs of a block spinor.
+/// Each (site, rhs) pair gathers its neighbor spinors into contiguous
+/// buffers and runs exactly the single-rhs hop accumulation, so per-rhs
+/// results are bit-identical to hopping_kernel; consecutive rhs of a site
+/// tile reuse the site's eight links from cache (the paper's section 9
+/// temporal-locality gain, host-side).
+template <typename T, typename Gauge, typename SiteOf, typename InIndexOf>
+void block_hopping_kernel(BlockSpinor<T>& out, const BlockSpinor<T>& in,
+                          const Gauge& gauge, const LatticeGeometry& geom,
+                          long n_out, SiteOf site_of, InIndexOf in_index_of,
+                          T anisotropy) {
+  const auto& algebra = GammaAlgebra::instance();
+  parallel_for_2d(n_out, in.nrhs(), default_policy(), [&](long i, long kk) {
+    const int k = static_cast<int>(kk);
+    const long x = site_of(i);
+    Complex<T> accum[12] = {};
+    Complex<T> nbr[12];
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const T coef = (mu == 3 ? anisotropy : T(1)) * T(0.5);
+      const long xf = geom.neighbor_fwd(x, mu);
+      in.gather_site_rhs(in_index_of(xf), k, nbr);
+      accumulate_hop(accum, gauge.link(mu, x), nbr, algebra.half_spin(mu, 0),
+                     coef);
+      const long xb = geom.neighbor_bwd(x, mu);
+      in.gather_site_rhs(in_index_of(xb), k, nbr);
+      accumulate_hop(accum, adjoint(gauge.link(mu, xb)), nbr,
+                     algebra.half_spin(mu, 1), coef);
+    }
+    out.scatter_site_rhs(i, k, accum);
+  });
+}
+
+/// Batched fused dslash out = (diag - hop) in, per (site, rhs): the
+/// arithmetic per element is identical to apply()'s two-pass form, so
+/// results are bit-identical per rhs.
+template <typename T, typename Gauge>
+void block_dslash_kernel(BlockSpinor<T>& out, const BlockSpinor<T>& in,
+                         const Gauge& gauge, const CloverField<T>* clover,
+                         const LatticeGeometry& geom, T shift, T anisotropy) {
+  const auto& algebra = GammaAlgebra::instance();
+  parallel_for_2d(geom.volume(), in.nrhs(), default_policy(),
+                  [&](long x, long kk) {
+    const int k = static_cast<int>(kk);
+    Complex<T> accum[12] = {};
+    Complex<T> nbr[12];
+    for (int mu = 0; mu < kNDim; ++mu) {
+      const T coef = (mu == 3 ? anisotropy : T(1)) * T(0.5);
+      const long xf = geom.neighbor_fwd(x, mu);
+      in.gather_site_rhs(xf, k, nbr);
+      accumulate_hop(accum, gauge.link(mu, x), nbr, algebra.half_spin(mu, 0),
+                     coef);
+      const long xb = geom.neighbor_bwd(x, mu);
+      in.gather_site_rhs(xb, k, nbr);
+      accumulate_hop(accum, adjoint(gauge.link(mu, xb)), nbr,
+                     algebra.half_spin(mu, 1), coef);
+    }
+    Complex<T> src[12];
+    in.gather_site_rhs(x, k, src);
+    Complex<T> diag[12];
+    for (int d = 0; d < 12; ++d) diag[d] = shift * src[d];
+    if (clover) {
+      clover_multiply_add<T>(clover->block(x, 0), src, diag);
+      clover_multiply_add<T>(clover->block(x, 1), src + 6, diag + 6);
+    }
+    for (int d = 0; d < 12; ++d) diag[d] = diag[d] - accum[d];
+    out.scatter_site_rhs(x, k, diag);
+  });
+}
+
+/// The Wilson kernels stream through fixed 12-element (4 spin x 3 color)
+/// site buffers, so the blocks must really be fine-grid shaped on this
+/// operator's lattice — a mismatched block (e.g. a coarse-shaped one fed
+/// through the generic LinearOperator interface) must throw, not overrun.
+template <typename T>
+void check_block_pair(const BlockSpinor<T>& out, const BlockSpinor<T>& in,
+                      const GeometryPtr& geom) {
+  if (out.nrhs() != in.nrhs() || out.nsites() != in.nsites() ||
+      out.site_dof() != in.site_dof())
+    throw std::invalid_argument("wilson block apply: out/in shape mismatch");
+  if (in.site_dof() != 12 || in.geometry() != geom ||
+      out.geometry() != geom)
+    throw std::invalid_argument(
+        "wilson block apply: block is not fine-grid shaped on this lattice");
 }
 
 }  // namespace
@@ -194,6 +280,94 @@ void WilsonCloverOp<T>::apply_dagger(Field& out, const Field& in) const {
   apply_gamma5(out, out);
 }
 
+template <typename T>
+void WilsonCloverOp<T>::apply_block(BlockField& out,
+                                    const BlockField& in) const {
+  check_block_pair(out, in, gauge_.geometry());
+  if (in.subset() != Subset::Full)
+    throw std::invalid_argument("wilson apply_block needs full-subset blocks");
+  for (int k = 0; k < in.nrhs(); ++k) this->count_apply();
+  const auto& geom = *gauge_.geometry();
+  const T shift = T(4) + params_.mass;
+  if (compressed_)
+    block_dslash_kernel(out, in, *compressed_, clover_, geom, shift,
+                        params_.anisotropy);
+  else
+    block_dslash_kernel(out, in, gauge_, clover_, geom, shift,
+                        params_.anisotropy);
+}
+
+template <typename T>
+void WilsonCloverOp<T>::apply_hopping_parity_block(BlockField& out,
+                                                   const BlockField& in,
+                                                   int out_parity) const {
+  check_block_pair(out, in, gauge_.geometry());
+  if (out.subset() != (out_parity ? Subset::Odd : Subset::Even) ||
+      in.subset() != (out_parity ? Subset::Even : Subset::Odd))
+    throw std::invalid_argument("hopping_parity_block: wrong subsets");
+  const auto& geom = *gauge_.geometry();
+  auto site_of = [&](long i) { return geom.full_index(out_parity, i); };
+  auto in_index_of = [&](long f) { return geom.cb_index(f); };
+  if (compressed_)
+    block_hopping_kernel(out, in, *compressed_, geom, geom.half_volume(),
+                         site_of, in_index_of, params_.anisotropy);
+  else
+    block_hopping_kernel(out, in, gauge_, geom, geom.half_volume(), site_of,
+                         in_index_of, params_.anisotropy);
+}
+
+template <typename T>
+void WilsonCloverOp<T>::apply_diag_block(BlockField& out, const BlockField& in,
+                                         int parity) const {
+  check_block_pair(out, in, gauge_.geometry());
+  const auto& geom = *gauge_.geometry();
+  const T shift = T(4) + params_.mass;
+  parallel_for_2d(in.nsites(), in.nrhs(), default_policy(),
+                  [&](long i, long kk) {
+    const int k = static_cast<int>(kk);
+    Complex<T> src[12], dst[12];
+    in.gather_site_rhs(i, k, src);
+    for (int d = 0; d < 12; ++d) dst[d] = shift * src[d];
+    if (clover_) {
+      const long full = parity >= 0 ? geom.full_index(parity, i) : i;
+      clover_multiply_add<T>(clover_->block(full, 0), src, dst);
+      clover_multiply_add<T>(clover_->block(full, 1), src + 6, dst + 6);
+    }
+    out.scatter_site_rhs(i, k, dst);
+  });
+}
+
+template <typename T>
+void WilsonCloverOp<T>::apply_diag_inverse_block(BlockField& out,
+                                                 const BlockField& in,
+                                                 int parity) const {
+  check_block_pair(out, in, gauge_.geometry());
+  const auto& geom = *gauge_.geometry();
+  if (clover_) {
+    assert(clover_->has_inverse());
+    parallel_for_2d(in.nsites(), in.nrhs(), default_policy(),
+                    [&](long i, long kk) {
+      const int k = static_cast<int>(kk);
+      const long full = parity >= 0 ? geom.full_index(parity, i) : i;
+      Complex<T> src[12], dst[12];
+      in.gather_site_rhs(i, k, src);
+      block_multiply<T>(clover_->inverse_block(full, 0), src, dst);
+      block_multiply<T>(clover_->inverse_block(full, 1), src + 6, dst + 6);
+      out.scatter_site_rhs(i, k, dst);
+    });
+  } else {
+    const T inv = T(1) / (T(4) + params_.mass);
+    parallel_for_2d(in.nsites(), in.nrhs(), default_policy(),
+                    [&](long i, long kk) {
+      const int k = static_cast<int>(kk);
+      Complex<T> src[12], dst[12];
+      in.gather_site_rhs(i, k, src);
+      for (int d = 0; d < 12; ++d) dst[d] = inv * src[d];
+      out.scatter_site_rhs(i, k, dst);
+    });
+  }
+}
+
 // --- SchurWilsonOp ----------------------------------------------------------
 
 template <typename T>
@@ -225,6 +399,55 @@ void SchurWilsonOp<T>::apply(Field& out, const Field& in) const {
   fine_.apply_hopping_parity(tmp_even_, tmp_odd2_, /*out_parity=*/0);
   fine_.apply_diag(out, in, /*parity=*/0);
   for (long k = 0; k < out.size(); ++k) out.data()[k] -= tmp_even_.data()[k];
+}
+
+template <typename T>
+void SchurWilsonOp<T>::apply_block(BlockField& out, const BlockField& in) const {
+  const int nrhs = in.nrhs();
+  for (int k = 0; k < nrhs; ++k) {
+    this->count_apply();
+    fine_.count_apply();
+  }
+  // out = A_ee in - H_eo A_oo^{-1} H_oe in, all stages batched.
+  BlockField odd(fine_.geometry(), 4, 3, nrhs, Subset::Odd);
+  BlockField odd2(fine_.geometry(), 4, 3, nrhs, Subset::Odd);
+  BlockField even(fine_.geometry(), 4, 3, nrhs, Subset::Even);
+  fine_.apply_hopping_parity_block(odd, in, /*out_parity=*/1);
+  fine_.apply_diag_inverse_block(odd2, odd, /*parity=*/1);
+  fine_.apply_hopping_parity_block(even, odd2, /*out_parity=*/0);
+  fine_.apply_diag_block(out, in, /*parity=*/0);
+  for (long k = 0; k < out.size(); ++k) out.data()[k] -= even.data()[k];
+}
+
+template <typename T>
+void SchurWilsonOp<T>::prepare_block(BlockField& b_hat,
+                                     const BlockField& b) const {
+  const int nrhs = b.nrhs();
+  BlockField b_odd(fine_.geometry(), 4, 3, nrhs, Subset::Odd);
+  extract_parity_block(b_odd, b, 1);
+  BlockField odd(fine_.geometry(), 4, 3, nrhs, Subset::Odd);
+  BlockField even(fine_.geometry(), 4, 3, nrhs, Subset::Even);
+  fine_.apply_diag_inverse_block(odd, b_odd, /*parity=*/1);
+  fine_.apply_hopping_parity_block(even, odd, /*out_parity=*/0);
+  extract_parity_block(b_hat, b, 0);
+  for (long k = 0; k < b_hat.size(); ++k) b_hat.data()[k] += even.data()[k];
+}
+
+template <typename T>
+void SchurWilsonOp<T>::reconstruct_block(BlockField& x_full,
+                                         const BlockField& x_even,
+                                         const BlockField& b) const {
+  const int nrhs = b.nrhs();
+  // x_o = A_oo^{-1} (b_o + H_oe x_e).
+  BlockField odd(fine_.geometry(), 4, 3, nrhs, Subset::Odd);
+  fine_.apply_hopping_parity_block(odd, x_even, /*out_parity=*/1);
+  BlockField b_odd(fine_.geometry(), 4, 3, nrhs, Subset::Odd);
+  extract_parity_block(b_odd, b, 1);
+  for (long k = 0; k < b_odd.size(); ++k) b_odd.data()[k] += odd.data()[k];
+  BlockField odd2(fine_.geometry(), 4, 3, nrhs, Subset::Odd);
+  fine_.apply_diag_inverse_block(odd2, b_odd, /*parity=*/1);
+  insert_parity_block(x_full, x_even, 0);
+  insert_parity_block(x_full, odd2, 1);
 }
 
 template <typename T>

@@ -1,6 +1,7 @@
 #include "mg/coarse_op.h"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "dirac/gamma.h"
 #include "gpusim/kernels.h"
@@ -108,6 +109,93 @@ void CoarseDirac<T>::apply_dagger(Field& out, const Field& in) const {
   apply_gamma5(*dagger_tmp_, in);
   apply(out, *dagger_tmp_);
   apply_gamma5(out, out);
+}
+
+template <typename T>
+void CoarseDirac<T>::apply_hopping_parity_block(BlockField& out,
+                                                const BlockField& in,
+                                                int out_parity) const {
+  if (out.nrhs() != in.nrhs())
+    throw std::invalid_argument("hopping_parity_block: rhs count mismatch");
+  if (n_ > kMaxBlockDim)
+    throw std::invalid_argument("coarse block kernel: N exceeds buffer cap");
+  const long hv = geom_->half_volume();
+  const int n = n_;
+  parallel_for_2d(hv, in.nrhs(), default_policy(), [&](long cb, long kk) {
+    const int k = static_cast<int>(kk);
+    const long site = geom_->full_index(out_parity, cb);
+    const Complex<T>* mats[8];
+    const Complex<T>* xin[8];
+    Complex<T> xbuf[8 * kMaxBlockDim];
+    for (int mu = 0; mu < kNDim; ++mu) {
+      mats[2 * mu] = link_data(site, 2 * mu);
+      in.gather_site_rhs(geom_->cb_index(geom_->neighbor_fwd(site, mu)), k,
+                         xbuf + (2 * mu) * n);
+      xin[2 * mu] = xbuf + (2 * mu) * n;
+      mats[2 * mu + 1] = link_data(site, 2 * mu + 1);
+      in.gather_site_rhs(geom_->cb_index(geom_->neighbor_bwd(site, mu)), k,
+                         xbuf + (2 * mu + 1) * n);
+      xin[2 * mu + 1] = xbuf + (2 * mu + 1) * n;
+    }
+    Complex<T> dst[kMaxBlockDim];
+    for (int r = 0; r < n; ++r) {
+      Complex<T> acc{};
+      for (int m = 0; m < 8; ++m) {
+        const Complex<T>* row = mats[m] + static_cast<size_t>(r) * n;
+        for (int c = 0; c < n; ++c) acc += row[c] * xin[m][c];
+      }
+      dst[r] = acc;
+    }
+    out.scatter_site_rhs(cb, k, dst);
+  });
+}
+
+namespace {
+
+/// Shared batched dense diagonal kernel: out = D in per (site, rhs), with
+/// D(site) supplied by `mat_of` (diagonal or inverse-diagonal storage).
+template <typename T, typename MatOf>
+void block_diag_kernel(BlockSpinor<T>& out, const BlockSpinor<T>& in, int n,
+                       int parity, const LatticeGeometry& geom,
+                       MatOf&& mat_of) {
+  parallel_for_2d(in.nsites(), in.nrhs(), default_policy(),
+                  [&](long i, long kk) {
+    const int k = static_cast<int>(kk);
+    const long site = parity >= 0 ? geom.full_index(parity, i) : i;
+    const Complex<T>* d = mat_of(site);
+    Complex<T> src[CoarseDirac<T>::kMaxBlockDim];
+    Complex<T> dst[CoarseDirac<T>::kMaxBlockDim];
+    in.gather_site_rhs(i, k, src);
+    for (int r = 0; r < n; ++r) {
+      Complex<T> acc{};
+      const Complex<T>* row = d + static_cast<size_t>(r) * n;
+      for (int c = 0; c < n; ++c) acc += row[c] * src[c];
+      dst[r] = acc;
+    }
+    out.scatter_site_rhs(i, k, dst);
+  });
+}
+
+}  // namespace
+
+template <typename T>
+void CoarseDirac<T>::apply_diag_block(BlockField& out, const BlockField& in,
+                                      int parity) const {
+  if (out.nrhs() != in.nrhs() || n_ > kMaxBlockDim)
+    throw std::invalid_argument("coarse apply_diag_block: bad shape");
+  block_diag_kernel<T>(out, in, n_, parity, *geom_,
+                       [&](long site) { return diag_data(site); });
+}
+
+template <typename T>
+void CoarseDirac<T>::apply_diag_inverse_block(BlockField& out,
+                                              const BlockField& in,
+                                              int parity) const {
+  assert(has_diag_inverse());
+  if (out.nrhs() != in.nrhs() || n_ > kMaxBlockDim)
+    throw std::invalid_argument("coarse apply_diag_inverse_block: bad shape");
+  block_diag_kernel<T>(out, in, n_, parity, *geom_,
+                       [&](long site) { return diag_inv_data(site); });
 }
 
 template <typename T>
@@ -229,6 +317,63 @@ void SchurCoarseOp<T>::apply(Field& out, const Field& in) const {
   op_.apply_hopping_parity(tmp_even_, tmp_odd2_, /*out_parity=*/0);
   op_.apply_diag(out, in, /*parity=*/0);
   for (long k = 0; k < out.size(); ++k) out.data()[k] -= tmp_even_.data()[k];
+}
+
+template <typename T>
+void SchurCoarseOp<T>::apply_block(BlockField& out, const BlockField& in) const {
+  const int nrhs = in.nrhs();
+  for (int k = 0; k < nrhs; ++k) {
+    this->count_apply();
+    op_.count_apply();
+  }
+  BlockField odd(op_.geometry(), CoarseDirac<T>::kNSpin, op_.ncolor(), nrhs,
+                 Subset::Odd);
+  BlockField odd2(op_.geometry(), CoarseDirac<T>::kNSpin, op_.ncolor(), nrhs,
+                  Subset::Odd);
+  BlockField even(op_.geometry(), CoarseDirac<T>::kNSpin, op_.ncolor(), nrhs,
+                  Subset::Even);
+  op_.apply_hopping_parity_block(odd, in, /*out_parity=*/1);
+  op_.apply_diag_inverse_block(odd2, odd, /*parity=*/1);
+  op_.apply_hopping_parity_block(even, odd2, /*out_parity=*/0);
+  op_.apply_diag_block(out, in, /*parity=*/0);
+  for (long k = 0; k < out.size(); ++k) out.data()[k] -= even.data()[k];
+}
+
+template <typename T>
+void SchurCoarseOp<T>::prepare_block(BlockField& b_hat,
+                                     const BlockField& b) const {
+  const int nrhs = b.nrhs();
+  BlockField b_odd(op_.geometry(), CoarseDirac<T>::kNSpin, op_.ncolor(), nrhs,
+                   Subset::Odd);
+  extract_parity_block(b_odd, b, 1);
+  BlockField odd(op_.geometry(), CoarseDirac<T>::kNSpin, op_.ncolor(), nrhs,
+                 Subset::Odd);
+  BlockField even(op_.geometry(), CoarseDirac<T>::kNSpin, op_.ncolor(), nrhs,
+                  Subset::Even);
+  op_.apply_diag_inverse_block(odd, b_odd, /*parity=*/1);
+  op_.apply_hopping_parity_block(even, odd, /*out_parity=*/0);
+  extract_parity_block(b_hat, b, 0);
+  for (long k = 0; k < b_hat.size(); ++k) b_hat.data()[k] -= even.data()[k];
+}
+
+template <typename T>
+void SchurCoarseOp<T>::reconstruct_block(BlockField& x_full,
+                                         const BlockField& x_even,
+                                         const BlockField& b) const {
+  const int nrhs = b.nrhs();
+  // x_o = X_oo^{-1} (b_o - H_oe x_e).
+  BlockField odd(op_.geometry(), CoarseDirac<T>::kNSpin, op_.ncolor(), nrhs,
+                 Subset::Odd);
+  op_.apply_hopping_parity_block(odd, x_even, /*out_parity=*/1);
+  BlockField b_odd(op_.geometry(), CoarseDirac<T>::kNSpin, op_.ncolor(), nrhs,
+                   Subset::Odd);
+  extract_parity_block(b_odd, b, 1);
+  for (long k = 0; k < b_odd.size(); ++k) b_odd.data()[k] -= odd.data()[k];
+  BlockField odd2(op_.geometry(), CoarseDirac<T>::kNSpin, op_.ncolor(), nrhs,
+                  Subset::Odd);
+  op_.apply_diag_inverse_block(odd2, b_odd, /*parity=*/1);
+  insert_parity_block(x_full, x_even, 0);
+  insert_parity_block(x_full, odd2, 1);
 }
 
 template <typename T>

@@ -65,11 +65,40 @@ class CoarseDirac : public LinearOperator<T> {
     return diag_inv_.data() + static_cast<size_t>(site) * n_ * n_;
   }
 
+  using BlockField = typename LinearOperator<T>::BlockField;
+
+  /// Stack budget for the per-item gather buffers of the batched kernels;
+  /// covers every paper configuration (Nhat_c <= 64).
+  static constexpr int kMaxBlockDim = 128;
+
   // LinearOperator interface.
   void apply(Field& out, const Field& in) const override;
   void apply_dagger(Field& out, const Field& in) const override;
   Field create_vector() const override;
   double flops_per_apply() const override;
+
+  /// Batched apply on the 2D (site x rhs) index space: each site's nine
+  /// stencil blocks are loaded once per site tile and streamed over the
+  /// rhs axis.  Autotuned (kernel decomposition, backend and rhs-blocking
+  /// jointly) per (volume, N, nrhs) shape unless a fixed config was set
+  /// with set_kernel_config.  Per-rhs bit-identical to apply() at the same
+  /// kernel config.  Implemented in mg/mrhs.cpp.
+  void apply_block(BlockField& out, const BlockField& in) const override;
+
+  /// Batched apply with explicit kernel config and launch policy (the
+  /// policy's rhs_block selects how many rhs one dispatch item covers).
+  void apply_block_with_config(BlockField& out, const BlockField& in,
+                               const CoarseKernelConfig& config,
+                               const LaunchPolicy& policy) const;
+
+  /// Batched parity hopping / diagonal kernels (feed the batched Schur
+  /// complement on every level).
+  void apply_hopping_parity_block(BlockField& out, const BlockField& in,
+                                  int out_parity) const;
+  void apply_diag_block(BlockField& out, const BlockField& in,
+                        int parity = -1) const;
+  void apply_diag_inverse_block(BlockField& out, const BlockField& in,
+                                int parity = -1) const;
 
   /// Apply with an explicit kernel configuration and execution backend
   /// (bypasses the autotuner); used by the strategy-equivalence tests and
@@ -126,6 +155,8 @@ class SchurCoarseOp : public LinearOperator<T> {
  public:
   using Field = typename LinearOperator<T>::Field;
 
+  using BlockField = typename LinearOperator<T>::BlockField;
+
   explicit SchurCoarseOp(const CoarseDirac<T>& op);
 
   void apply(Field& out, const Field& in) const override;
@@ -135,6 +166,13 @@ class SchurCoarseOp : public LinearOperator<T> {
 
   void prepare(Field& b_hat, const Field& b) const;
   void reconstruct(Field& x_full, const Field& x_even, const Field& b) const;
+
+  /// Batched Schur apply / prepare / reconstruct (per-rhs bit-identical to
+  /// the single-rhs versions; all stages run on the 2D index space).
+  void apply_block(BlockField& out, const BlockField& in) const override;
+  void prepare_block(BlockField& b_hat, const BlockField& b) const;
+  void reconstruct_block(BlockField& x_full, const BlockField& x_even,
+                         const BlockField& b) const;
 
   const CoarseDirac<T>& coarse_op() const { return op_; }
 

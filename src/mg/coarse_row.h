@@ -71,4 +71,74 @@ inline Complex<T> coarse_row(const Complex<T>* const mats[9],
 }
 
 
+/// Widest rhs tile coarse_row_mrhs processes per call (register/stack
+/// budget); callers sub-tile wider batches.
+inline constexpr int kCoarseRowMaxTile = 16;
+
+/// Multi-right-hand-side variant of coarse_row (paper section 9): computes
+/// `tile` <= kCoarseRowMaxTile systems at once with the rhs axis innermost.
+/// xin[m] points at the first rhs of neighbor m's site vector in an
+/// rhs-contiguous BlockSpinor; element (c, k) lives at xin[m][c*stride+k],
+/// so the inner rhs loop is unit stride (the coalesced/vectorizable axis)
+/// and every stencil matrix element is read ONCE for all rhs of the tile.
+/// For each rhs the accumulation sequence — direction chunks, warp-split
+/// partials, ILP strips, cascade — is exactly coarse_row's, so per-rhs
+/// results are bit-identical to the single-rhs kernel.
+template <typename T>
+inline void coarse_row_mrhs(const Complex<T>* const mats[9],
+                            const Complex<T>* const xin[9], long stride,
+                            int row, int n, const CoarseKernelConfig& cfg,
+                            int tile, Complex<T>* out) {
+  const int dir_split =
+      cfg.strategy >= Strategy::StencilDir ? cfg.dir_split : 1;
+  const int dot_split =
+      cfg.strategy >= Strategy::DotProduct ? std::min(cfg.dot_split, 8) : 1;
+  const int ilp = std::min(cfg.ilp, 4);  // accumulator register budget
+
+  Complex<T> dir_partial[9][kCoarseRowMaxTile];
+  for (int chunk = 0; chunk < dir_split; ++chunk) {
+    Complex<T> dot_partial[8][kCoarseRowMaxTile] = {};
+    for (int m = chunk; m < 9; m += dir_split) {
+      const Complex<T>* row_data = mats[m] + static_cast<size_t>(row) * n;
+      const Complex<T>* x = xin[m];
+      for (int ds = 0; ds < dot_split; ++ds) {
+        const int begin = static_cast<int>((static_cast<long>(n) * ds) /
+                                           dot_split);
+        const int end = static_cast<int>((static_cast<long>(n) * (ds + 1)) /
+                                         dot_split);
+        Complex<T> acc[4][kCoarseRowMaxTile] = {};
+        int i = begin;
+        for (; i + ilp <= end; i += ilp)
+          for (int j = 0; j < ilp; ++j) {
+            const Complex<T> a = row_data[i + j];
+            const Complex<T>* xk = x + static_cast<long>(i + j) * stride;
+            for (int k = 0; k < tile; ++k) acc[j][k] += a * xk[k];
+          }
+        for (; i < end; ++i) {
+          const Complex<T> a = row_data[i];
+          const Complex<T>* xk = x + static_cast<long>(i) * stride;
+          for (int k = 0; k < tile; ++k) acc[0][k] += a * xk[k];
+        }
+        Complex<T> strip[kCoarseRowMaxTile] = {};
+        for (int j = 0; j < ilp; ++j)
+          for (int k = 0; k < tile; ++k) strip[k] += acc[j][k];
+        for (int k = 0; k < tile; ++k) dot_partial[ds][k] += strip[k];
+      }
+    }
+    int span = 1;
+    while (span < dot_split) span <<= 1;
+    for (int offset = span / 2; offset >= 1; offset /= 2)
+      for (int i = 0; i < offset && i + offset < 8; ++i)
+        for (int k = 0; k < tile; ++k)
+          dot_partial[i][k] += dot_partial[i + offset][k];
+    for (int k = 0; k < tile; ++k) dir_partial[chunk][k] = dot_partial[0][k];
+  }
+  for (int k = 0; k < tile; ++k) {
+    Complex<T> total{};
+    for (int chunk = 0; chunk < dir_split; ++chunk)
+      total += dir_partial[chunk][k];
+    out[k] = total;
+  }
+}
+
 }  // namespace qmg

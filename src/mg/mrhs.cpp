@@ -1,19 +1,126 @@
 #include "mg/mrhs.h"
 
-#include <cassert>
 #include <stdexcept>
 
+#include "gpusim/kernels.h"
 #include "mg/coarse_row.h"
+#include "parallel/autotune.h"
 #include "parallel/dispatch.h"
+#include "util/timer.h"
 
 namespace qmg {
+
+// --- CoarseDirac batched kernels (declared in mg/coarse_op.h) ---------------
+
+template <typename T>
+void CoarseDirac<T>::apply_block_with_config(BlockField& out,
+                                            const BlockField& in,
+                                            const CoarseKernelConfig& config,
+                                            const LaunchPolicy& policy) const {
+  if (in.subset() != Subset::Full || out.subset() != Subset::Full)
+    throw std::invalid_argument("coarse apply_block needs full-subset blocks");
+  if (out.nrhs() != in.nrhs() || out.site_dof() != n_ || in.site_dof() != n_)
+    throw std::invalid_argument("coarse apply_block: block shape mismatch");
+  const long v = geom_->volume();
+  const int n = n_;
+  const int nrhs = in.nrhs();
+  // Per-item site indexing (Listing 2's arithmetic).
+  auto site_mats = [&](long site, const Complex<T>** mats, long* nbr) {
+    mats[0] = diag_data(site);
+    nbr[0] = site;
+    for (int mu = 0; mu < kNDim; ++mu) {
+      mats[1 + 2 * mu] = link_data(site, 2 * mu);
+      nbr[1 + 2 * mu] = geom_->neighbor_fwd(site, mu);
+      mats[2 + 2 * mu] = link_data(site, 2 * mu + 1);
+      nbr[2 + 2 * mu] = geom_->neighbor_bwd(site, mu);
+    }
+  };
+  // One dispatch item per site x rhs tile, rows folded into the item: each
+  // stencil matrix element is read once per tile and streamed over the rhs
+  // axis unit-stride by coarse_row_mrhs (no gather, no per-row re-read —
+  // the amortization this subsystem exists for).  The per-row partial-sum
+  // shape — where the kernel config changes the numerics — is identical to
+  // coarse_row's, so results match apply_with_config bit-for-bit at the
+  // same config.
+  parallel_for_2d_tiled(v, nrhs, policy, [&](long site, long k0, long k1) {
+    const Complex<T>* mats[9];
+    long nbr[9];
+    site_mats(site, mats, nbr);
+    for (long t0 = k0; t0 < k1; t0 += kCoarseRowMaxTile) {
+      const int tile =
+          static_cast<int>(std::min<long>(kCoarseRowMaxTile, k1 - t0));
+      const Complex<T>* xin[9];
+      for (int m = 0; m < 9; ++m) xin[m] = in.site_data(nbr[m]) + t0;
+      Complex<T>* dst = out.site_data(site) + t0;
+      for (int r = 0; r < n; ++r)
+        coarse_row_mrhs(mats, xin, nrhs, r, n, config, tile,
+                        dst + static_cast<long>(r) * nrhs);
+    }
+  });
+  if (policy.backend == Backend::SimtModel)
+    SimtStats::instance().record_work(coarse_op_work(
+        v * nrhs, n_, config,
+        sizeof(T) == 4 ? SimPrecision::Single : SimPrecision::Double));
+}
+
+template <typename T>
+void CoarseDirac<T>::apply_block(BlockField& out, const BlockField& in) const {
+  for (int k = 0; k < in.nrhs(); ++k) this->count_apply();
+  if (!autotune_) {
+    apply_block_with_config(out, in, config_, default_policy());
+    return;
+  }
+  // Joint autotune over kernel decomposition x (backend, grain, rhs_block)
+  // for this (volume, N, nrhs) shape — the rhs-blocking is a first-class
+  // tuning dimension of the batched kernel.
+  auto& cache = TuneCache::instance();
+  const std::string key = mrhs_tune_key(geom_->volume(), n_, in.nrhs());
+  const auto [best, policy] = cache.tune_joint_2d(
+      key, n_, in.nrhs(),
+      [&](const CoarseKernelConfig& cand, const LaunchPolicy& lp) {
+        Timer timer;
+        apply_block_with_config(out, in, cand, lp);
+        return timer.seconds();
+      });
+  apply_block_with_config(out, in, best, policy);
+}
+
+// --- MultiRhsCoarseOp -------------------------------------------------------
+
+template <typename T>
+void MultiRhsCoarseOp<T>::validate(const std::vector<Field>& out,
+                                   const std::vector<Field>& in) const {
+  if (out.size() != in.size())
+    throw std::invalid_argument("mrhs: out/in size mismatch");
+  if (in.empty()) throw std::invalid_argument("mrhs: empty rhs set");
+  for (size_t k = 0; k < in.size(); ++k) {
+    if (in[k].subset() != Subset::Full || out[k].subset() != Subset::Full)
+      throw std::invalid_argument("mrhs: all fields must be full-subset");
+    if (in[k].geometry() != op_.geometry() ||
+        out[k].geometry() != op_.geometry() ||
+        in[k].site_dof() != op_.block_dim() ||
+        out[k].site_dof() != op_.block_dim())
+      throw std::invalid_argument("mrhs: field shape does not match operator");
+  }
+}
 
 template <typename T>
 void MultiRhsCoarseOp<T>::apply(std::vector<Field>& out,
                                 const std::vector<Field>& in,
-                                const CoarseKernelConfig& config) const {
-  if (out.size() != in.size())
-    throw std::invalid_argument("mrhs: out/in size mismatch");
+                                const CoarseKernelConfig& config,
+                                const LaunchPolicy& policy) const {
+  validate(out, in);
+  const BlockField in_block = pack_block(in);
+  BlockField out_block = in_block.similar();
+  op_.apply_block_with_config(out_block, in_block, config, policy);
+  unpack_block(out, out_block);
+}
+
+template <typename T>
+void MultiRhsCoarseOp<T>::apply_streamed(std::vector<Field>& out,
+                                         const std::vector<Field>& in,
+                                         const CoarseKernelConfig& config) const {
+  validate(out, in);
   const int nrhs = static_cast<int>(in.size());
   const auto& geom = *op_.geometry();
   const int n = op_.block_dim();
@@ -34,7 +141,6 @@ void MultiRhsCoarseOp<T>::apply(std::vector<Field>& out,
     // ...and stream every right-hand side through them.  The inner row loop
     // is exactly the single-rhs kernel, so results are bit-identical.
     for (int k = 0; k < nrhs; ++k) {
-      assert(in[k].subset() == Subset::Full);
       const Complex<T>* xin[9];
       for (int m = 0; m < 9; ++m) xin[m] = in[k].site_data(nbr[m]);
       Complex<T>* dst = out[k].site_data(site);
@@ -46,5 +152,19 @@ void MultiRhsCoarseOp<T>::apply(std::vector<Field>& out,
 
 template class MultiRhsCoarseOp<double>;
 template class MultiRhsCoarseOp<float>;
+
+// CoarseDirac is explicitly instantiated in coarse_op.cpp, where these two
+// member definitions are not visible; instantiate them here.
+template void CoarseDirac<double>::apply_block_with_config(
+    BlockSpinor<double>&, const BlockSpinor<double>&,
+    const CoarseKernelConfig&, const LaunchPolicy&) const;
+template void CoarseDirac<float>::apply_block_with_config(
+    BlockSpinor<float>&, const BlockSpinor<float>&, const CoarseKernelConfig&,
+    const LaunchPolicy&) const;
+template void CoarseDirac<double>::apply_block(BlockSpinor<double>&,
+                                               const BlockSpinor<double>&)
+    const;
+template void CoarseDirac<float>::apply_block(BlockSpinor<float>&,
+                                              const BlockSpinor<float>&) const;
 
 }  // namespace qmg

@@ -70,6 +70,7 @@ template <typename T>
 class Multigrid {
  public:
   using Field = ColorSpinorField<T>;
+  using BlockField = BlockSpinor<T>;
 
   /// Builds the full hierarchy (null vectors, transfers, coarse operators).
   Multigrid(const WilsonCloverOp<T>& fine_op, MgConfig config);
@@ -80,12 +81,25 @@ class Multigrid {
   const CoarseDirac<T>& coarse_op(int level) const {
     return *coarse_ops_[level];
   }
+  /// Mutable access, e.g. to pin a kernel config (set_kernel_config) so
+  /// batched and single-rhs cycles share one decomposition.
+  CoarseDirac<T>& coarse_op_mutable(int level) { return *coarse_ops_[level]; }
   const MgConfig& config() const { return config_; }
   double setup_seconds() const { return setup_seconds_; }
 
   /// One multigrid cycle at `level`: x is overwritten with an approximate
   /// solution of op(level) x = b.
   void cycle(int level, Field& x, const Field& b) const;
+
+  /// Batched multigrid cycle (paper section 9): all rhs of the block
+  /// advance through one K-cycle level at a time, so every residual
+  /// computation, transfer and coarse K-cycle/coarsest GCR iteration is
+  /// one batched kernel — the coarse solves feed the multi-rhs coarse
+  /// apply with real batches.  Per-rhs results are bit-identical to
+  /// cycle() on the extracted fields when the coarse kernel configs are
+  /// pinned (set_kernel_config); smoothing runs per rhs through exactly
+  /// the single-rhs smoother.
+  void cycle_block(int level, BlockField& x, const BlockField& b) const;
 
   /// Per-level profiling of time spent inside cycles (feeds Fig. 4).
   const Profiler& profiler() const { return profiler_; }
@@ -109,6 +123,12 @@ class Multigrid {
   /// MR smoothing at `level`, on the Schur system when configured.
   void smooth(int level, Field& x, const Field& b, int iters) const;
 
+  /// Per-rhs smoothing of a block (extract -> smooth -> insert): the MR
+  /// smoother iterates per-rhs state, so it streams rhs through the
+  /// single-rhs path — bit-identical by construction.
+  void smooth_block(int level, BlockField& x, const BlockField& b,
+                    int iters) const;
+
   /// One adaptive-setup pass at `level`: v <- normalize((1 - B M)^k v) for
   /// each candidate vector, with B the two-grid cycle over (op, coarse).
   void refine_null_vectors(int level, const Transfer<T>& transfer,
@@ -129,6 +149,21 @@ class Multigrid {
     const Multigrid& mg_;
     int level_;
   };
+
+  // Batched analog: the block K-cycle's coarse GCR is preconditioned by
+  // the next level's batched cycle.
+  class BlockLevelPreconditioner : public BlockPreconditioner<T> {
+   public:
+    BlockLevelPreconditioner(const Multigrid& mg, int level)
+        : mg_(mg), level_(level) {}
+    void operator()(BlockField& out, const BlockField& in) override {
+      mg_.cycle_block(level_, out, in);
+    }
+
+   private:
+    const Multigrid& mg_;
+    int level_;
+  };
 };
 
 /// The multigrid cycle packaged as a Preconditioner for the outer GCR.
@@ -143,6 +178,64 @@ class MgPreconditioner : public Preconditioner<T> {
 
  private:
   const Multigrid<T>& mg_;
+};
+
+/// The batched multigrid cycle packaged as a BlockPreconditioner for a
+/// same-precision outer block solver.
+template <typename T>
+class MgBlockPreconditioner : public BlockPreconditioner<T> {
+ public:
+  using BlockField = typename BlockPreconditioner<T>::BlockField;
+  explicit MgBlockPreconditioner(const Multigrid<T>& mg) : mg_(mg) {}
+  void operator()(BlockField& out, const BlockField& in) override {
+    mg_.cycle_block(0, out, in);
+  }
+
+ private:
+  const Multigrid<T>& mg_;
+};
+
+/// Precision-bridging block preconditioner: the outer double-precision
+/// block GCR sees a single-precision batched multigrid cycle.
+class MixedPrecisionBlockMgPreconditioner : public BlockPreconditioner<double> {
+ public:
+  explicit MixedPrecisionBlockMgPreconditioner(const Multigrid<float>& mg)
+      : mg_(mg) {}
+  void operator()(BlockSpinor<double>& out,
+                  const BlockSpinor<double>& in) override {
+    auto in_f = convert_block<float>(in);
+    auto out_f = in_f.similar();
+    mg_.cycle_block(0, out_f, in_f);
+    convert_block_into(out, out_f);
+  }
+
+ private:
+  const Multigrid<float>& mg_;
+};
+
+/// Block analog of SchurMixedMgPreconditioner: preconditions the fine-grid
+/// Schur-complement block system with the batched multigrid cycle on the
+/// full system, via the same even-embedding identity per rhs.
+class SchurMixedBlockMgPreconditioner : public BlockPreconditioner<double> {
+ public:
+  explicit SchurMixedBlockMgPreconditioner(const Multigrid<float>& mg)
+      : mg_(mg), proto_(mg.op(0).create_vector()) {}
+  void operator()(BlockSpinor<double>& out_e,
+                  const BlockSpinor<double>& in_e) override {
+    BlockSpinor<float> full(proto_.geometry(), proto_.nspin(),
+                            proto_.ncolor(), in_e.nrhs());
+    const auto in_f = convert_block<float>(in_e);
+    insert_parity_block(full, in_f, /*parity=*/0);
+    auto x_full = full.similar();
+    mg_.cycle_block(0, x_full, full);
+    auto x_e = in_f.similar();
+    extract_parity_block(x_e, x_full, /*parity=*/0);
+    convert_block_into(out_e, x_e);
+  }
+
+ private:
+  const Multigrid<float>& mg_;
+  ColorSpinorField<float> proto_;  // fine-grid shape (geometry, dofs)
 };
 
 /// Precision-bridging preconditioner: the outer double-precision GCR sees a

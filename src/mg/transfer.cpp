@@ -122,6 +122,60 @@ void Transfer<T>::restrict_to_coarse(Field& coarse, const Field& fine) const {
   });
 }
 
+template <typename T>
+void Transfer<T>::prolongate(BlockField& fine, const BlockField& coarse) const {
+  if (fine.nspin() != fine_nspin_ || fine.ncolor() != fine_ncolor_ ||
+      coarse.nspin() != 2 || coarse.ncolor() != nvec_ ||
+      fine.nrhs() != coarse.nrhs())
+    throw std::invalid_argument("block prolongate: shape mismatch");
+  const long vf = map_->fine()->volume();
+  const int half_spin = fine_nspin_ / 2;
+  // Gather per (fine site, rhs); the per-rhs accumulation order is exactly
+  // the single-rhs kernel's, so results are bit-identical per rhs.
+  parallel_for_2d(vf, fine.nrhs(), default_policy(), [&](long x, long kk) {
+    const int rhs = static_cast<int>(kk);
+    const long b = map_->coarse_site(x);
+    for (int s = 0; s < fine_nspin_; ++s) {
+      const int ch = s / half_spin;
+      for (int c = 0; c < fine_ncolor_; ++c) {
+        Complex<T> acc{};
+        for (int k = 0; k < nvec_; ++k)
+          acc += vecs_[k](x, s, c) * coarse(b, ch, k, rhs);
+        fine(x, s, c, rhs) = acc;
+      }
+    }
+  });
+}
+
+template <typename T>
+void Transfer<T>::restrict_to_coarse(BlockField& coarse,
+                                     const BlockField& fine) const {
+  if (fine.nspin() != fine_nspin_ || fine.ncolor() != fine_ncolor_ ||
+      coarse.nspin() != 2 || coarse.ncolor() != nvec_ ||
+      fine.nrhs() != coarse.nrhs())
+    throw std::invalid_argument("block restrict: shape mismatch");
+  const long n_blocks = map_->coarse()->volume();
+  const int half_spin = fine_nspin_ / 2;
+  // One (aggregate, rhs) pair per dispatch item; the aggregate's null-vector
+  // data is reused across consecutive rhs of its tile.
+  parallel_for_2d(n_blocks, fine.nrhs(), default_policy(),
+                  [&](long b, long kk) {
+    const int rhs = static_cast<int>(kk);
+    const auto& sites = map_->block_sites(b);
+    for (int ch = 0; ch < 2; ++ch) {
+      const int s0 = ch * half_spin;
+      for (int k = 0; k < nvec_; ++k) {
+        Complex<T> acc{};
+        for (const long x : sites)
+          for (int s = s0; s < s0 + half_spin; ++s)
+            for (int c = 0; c < fine_ncolor_; ++c)
+              acc += conj_mul(vecs_[k](x, s, c), fine(x, s, c, rhs));
+        coarse(b, ch, k, rhs) = acc;
+      }
+    }
+  });
+}
+
 template class Transfer<double>;
 template class Transfer<float>;
 

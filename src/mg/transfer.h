@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "fields/blockspinor.h"
 #include "fields/colorspinor.h"
 #include "lattice/blockmap.h"
 
@@ -25,6 +26,7 @@ template <typename T>
 class Transfer {
  public:
   using Field = ColorSpinorField<T>;
+  using BlockField = BlockSpinor<T>;
 
   /// `map` defines the geometric aggregation; `nvec` null vectors become
   /// the coarse color degrees of freedom.
@@ -54,9 +56,21 @@ class Transfer {
   /// coarse = P^dag fine.
   void restrict_to_coarse(Field& coarse, const Field& fine) const;
 
+  /// Batched transfers on the 2D (site x rhs) / (aggregate x rhs) index
+  /// space: the null vectors are read once per site tile and every rhs
+  /// streams through them.  Per-rhs bit-identical to the single-rhs
+  /// versions.
+  void prolongate(BlockField& fine, const BlockField& coarse) const;
+  void restrict_to_coarse(BlockField& coarse, const BlockField& fine) const;
+
   /// A zero coarse-grid vector of the right shape.
   Field create_coarse_vector() const {
     return Field(map_->coarse(), coarse_nspin(), coarse_ncolor());
+  }
+
+  /// A zero coarse-grid block of nrhs vectors.
+  BlockField create_coarse_block(int nrhs) const {
+    return BlockField(map_->coarse(), coarse_nspin(), coarse_ncolor(), nrhs);
   }
 
   /// A zero fine-grid vector of the right shape.

@@ -1,5 +1,6 @@
 #include "parallel/autotune.h"
 
+#include <fstream>
 #include <limits>
 #include <sstream>
 
@@ -71,6 +72,21 @@ std::vector<LaunchPolicy> TuneCache::launch_candidates() {
   return cands;
 }
 
+std::vector<LaunchPolicy> TuneCache::launch_candidates_2d(int nrhs) {
+  std::vector<LaunchPolicy> cands;
+  std::vector<int> rhs_blocks{0};
+  if (nrhs > 1) rhs_blocks.push_back(1);
+  if (nrhs >= 8) rhs_blocks.push_back(4);
+  for (const auto& base : launch_candidates()) {
+    for (const int rb : rhs_blocks) {
+      LaunchPolicy p = base;
+      p.rhs_block = rb;
+      cands.push_back(p);
+    }
+  }
+  return cands;
+}
+
 LaunchPolicy TuneCache::tune_launch(
     const std::string& key,
     const std::function<double(const LaunchPolicy&)>& run) {
@@ -129,6 +145,112 @@ std::pair<CoarseKernelConfig, LaunchPolicy> TuneCache::tune_joint(
   return {best_config, best_policy};
 }
 
+std::pair<CoarseKernelConfig, LaunchPolicy> TuneCache::tune_joint_2d(
+    const std::string& key, int block_dim, int nrhs,
+    const std::function<double(const CoarseKernelConfig&,
+                               const LaunchPolicy&)>& run) {
+  CoarseKernelConfig best_config;
+  LaunchPolicy best_policy;
+  if (lookup(key, &best_config) && lookup_launch(key, &best_policy))
+    return {best_config, best_policy};
+  double best_time = std::numeric_limits<double>::max();
+  for (const auto& policy : launch_candidates_2d(nrhs)) {
+    for (const auto& config : coarse_candidates(block_dim)) {
+      const double t = run(config, policy);
+      if (t < best_time) {
+        best_time = t;
+        best_config = config;
+        best_policy = policy;
+      }
+    }
+  }
+  store(key, best_config);
+  store_launch(key, best_policy);
+  return {best_config, best_policy};
+}
+
+namespace {
+constexpr const char* kTuneCacheHeader = "qmg-tune-cache 2";
+}
+
+bool TuneCache::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << kTuneCacheHeader << "\n";
+  for (const auto& [key, cfg] : cache_)
+    out << "K\t" << key << "\t" << static_cast<int>(cfg.strategy) << "\t"
+        << cfg.dir_split << "\t" << cfg.dot_split << "\t" << cfg.ilp << "\n";
+  for (const auto& [key, p] : launch_cache_)
+    out << "L\t" << key << "\t" << static_cast<int>(p.backend) << "\t"
+        << p.grain << "\t" << p.sim_block_dim << "\t" << p.rhs_block << "\n";
+  return static_cast<bool>(out);
+}
+
+bool TuneCache::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line) || line != kTuneCacheHeader) return false;
+  // Parse into staging maps and commit only on full success, so a corrupt
+  // or truncated file never half-merges into the live cache.  Every field
+  // is range-checked: loaded values feed stack-array extents in the
+  // kernels (coarse_row's dir_partial[9]) and backend switches, so an
+  // out-of-range value must be rejected here, not executed.
+  std::map<std::string, CoarseKernelConfig> staged;
+  std::map<std::string, LaunchPolicy> staged_launch;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // Tab-separated: tag, key, then the numeric policy fields (keys never
+    // contain tabs).
+    std::vector<std::string> tok;
+    size_t pos = 0;
+    while (pos <= line.size()) {
+      const size_t tab = line.find('\t', pos);
+      if (tab == std::string::npos) {
+        tok.push_back(line.substr(pos));
+        break;
+      }
+      tok.push_back(line.substr(pos, tab - pos));
+      pos = tab + 1;
+    }
+    try {
+      if (tok.size() == 6 && tok[0] == "K") {
+        const int strategy = std::stoi(tok[2]);
+        CoarseKernelConfig cfg;
+        cfg.strategy = static_cast<Strategy>(strategy);
+        cfg.dir_split = std::stoi(tok[3]);
+        cfg.dot_split = std::stoi(tok[4]);
+        cfg.ilp = std::stoi(tok[5]);
+        if (strategy < static_cast<int>(Strategy::GridOnly) ||
+            strategy > static_cast<int>(Strategy::DotProduct) ||
+            cfg.dir_split < 1 || cfg.dir_split > 9 || cfg.dot_split < 1 ||
+            cfg.dot_split > 8 || cfg.ilp < 1 || cfg.ilp > 4)
+          return false;
+        staged[tok[1]] = cfg;
+      } else if (tok.size() == 6 && tok[0] == "L") {
+        const int backend = std::stoi(tok[2]);
+        LaunchPolicy p;
+        p.backend = static_cast<Backend>(backend);
+        p.grain = std::stol(tok[3]);
+        p.sim_block_dim = std::stoi(tok[4]);
+        p.rhs_block = std::stoi(tok[5]);
+        if (backend < static_cast<int>(Backend::Serial) ||
+            backend > static_cast<int>(Backend::SimtModel) || p.grain < 0 ||
+            p.sim_block_dim < 1 || p.rhs_block < 0)
+          return false;
+        staged_launch[tok[1]] = p;
+      } else {
+        return false;
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  for (auto& [key, cfg] : staged) cache_[key] = cfg;
+  for (auto& [key, p] : staged_launch) launch_cache_[key] = p;
+  return true;
+}
+
 std::string coarse_tune_key(long volume, int block_dim) {
   std::ostringstream os;
   // The optimal decomposition AND backend depend on the pool size, and the
@@ -136,6 +258,15 @@ std::string coarse_tune_key(long volume, int block_dim) {
   // must not be replayed at another.
   os << "coarse_apply/V=" << volume << "/N=" << block_dim
      << "/T=" << ThreadPool::instance().num_threads();
+  return os.str();
+}
+
+std::string mrhs_tune_key(long volume, int block_dim, int nrhs) {
+  std::ostringstream os;
+  // Like coarse_tune_key, plus the rhs count: the optimal rhs-blocking
+  // (and whether threading pays at all) shifts with the batch width.
+  os << "coarse_apply_mrhs/V=" << volume << "/N=" << block_dim
+     << "/R=" << nrhs << "/T=" << ThreadPool::instance().num_threads();
   return os.str();
 }
 

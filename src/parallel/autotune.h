@@ -42,6 +42,12 @@ class TuneCache {
   /// backend, never selected by timing.)
   static std::vector<LaunchPolicy> launch_candidates();
 
+  /// Candidates for a 2D (site x rhs) launch: launch_candidates() crossed
+  /// with representative rhs-blockings — 0 (whole rhs axis in one item:
+  /// maximum stencil reuse), 1 (one item per (site, rhs): maximum
+  /// parallelism), and a middle tile when nrhs is large enough.
+  static std::vector<LaunchPolicy> launch_candidates_2d(int nrhs);
+
   /// Time each candidate with `run` (seconds) and return the fastest,
   /// caching it under `key`.
   CoarseKernelConfig tune(
@@ -63,12 +69,29 @@ class TuneCache {
       const std::function<double(const CoarseKernelConfig&,
                                  const LaunchPolicy&)>& run);
 
+  /// Joint sweep for a batched (site x rhs) kernel: launch_candidates_2d()
+  /// x coarse_candidates(), so the rhs-blocking is tuned together with the
+  /// kernel decomposition and backend.  What CoarseDirac::apply_block uses
+  /// on the first encounter of a (volume, N, nrhs) shape.
+  std::pair<CoarseKernelConfig, LaunchPolicy> tune_joint_2d(
+      const std::string& key, int block_dim, int nrhs,
+      const std::function<double(const CoarseKernelConfig&,
+                                 const LaunchPolicy&)>& run);
+
+  /// Launch-policy persistence (production runs skip the first-call tuning
+  /// sweep): a versioned text file of every cached kernel config and launch
+  /// policy (backend, grain, sim block, rhs-blocking).  load() merges into
+  /// the current cache; both return false on I/O or format errors.
+  bool save(const std::string& path) const;
+  bool load(const std::string& path);
+
  private:
   std::map<std::string, CoarseKernelConfig> cache_;
   std::map<std::string, LaunchPolicy> launch_cache_;
 };
 
-/// Tune key helper.
+/// Tune key helpers.
 std::string coarse_tune_key(long volume, int block_dim);
+std::string mrhs_tune_key(long volume, int block_dim, int nrhs);
 
 }  // namespace qmg

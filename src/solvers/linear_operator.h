@@ -4,6 +4,7 @@
 // Schur complements, and every coarse-grid operator — mirroring QUDA's
 // architecture- and level-agnostic solver layer.
 
+#include "fields/blockspinor.h"
 #include "fields/colorspinor.h"
 
 namespace qmg {
@@ -12,11 +13,35 @@ template <typename T>
 class LinearOperator {
  public:
   using Field = ColorSpinorField<T>;
+  using BlockField = BlockSpinor<T>;
 
   virtual ~LinearOperator() = default;
 
   /// out = M in.
   virtual void apply(Field& out, const Field& in) const = 0;
+
+  /// out_k = M in_k for every rhs of a block spinor.  The default streams
+  /// the rhs serially through apply() (bit-identical to N single applies by
+  /// construction); operators with a batched (site x rhs) kernel override
+  /// it to load each site's stencil once for all N rhs.
+  virtual void apply_block(BlockField& out, const BlockField& in) const {
+    if (out.nrhs() != in.nrhs())
+      throw std::invalid_argument("apply_block: out/in rhs count mismatch");
+    Field in_k = create_vector();
+    Field out_k = create_vector();
+    for (int k = 0; k < in.nrhs(); ++k) {
+      in.extract_rhs(in_k, k);
+      apply(out_k, in_k);
+      out.insert_rhs(out_k, k);
+    }
+  }
+
+  /// A zero block of N vectors of the shape this operator acts on.
+  BlockField create_block(int nrhs) const {
+    const Field proto = create_vector();
+    return BlockField(proto.geometry(), proto.nspin(), proto.ncolor(), nrhs,
+                      proto.subset());
+  }
 
   /// out = M^dagger in.  Default uses gamma5-Hermiticity when available;
   /// operators without it must override.

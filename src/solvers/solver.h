@@ -1,6 +1,7 @@
 #pragma once
 // Common solver parameter and result types.
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,25 @@ struct SolverResult {
   std::vector<double> residual_history;  // |r|/|b| per iteration if recorded
 };
 
+/// Per-rhs results of a block (multi-rhs) solve, plus batch-level stats.
+struct BlockSolverResult {
+  std::vector<SolverResult> rhs;  // one entry per right-hand side
+  /// Batched operator applications (each advances every rhs at once).
+  long block_matvecs = 0;
+  double seconds = 0.0;
+
+  bool all_converged() const {
+    for (const auto& r : rhs)
+      if (!r.converged) return false;
+    return !rhs.empty();
+  }
+  int max_iterations() const {
+    int m = 0;
+    for (const auto& r : rhs) m = std::max(m, r.iterations);
+    return m;
+  }
+};
+
 /// Abstract preconditioner: out ~= M^{-1} in.  MG plugs in here.
 template <typename T>
 class Preconditioner {
@@ -39,6 +59,16 @@ class Preconditioner {
   using Field = ColorSpinorField<T>;
   virtual ~Preconditioner() = default;
   virtual void operator()(Field& out, const Field& in) = 0;
+};
+
+/// Block preconditioner: out_k ~= M^{-1} in_k for every rhs of a block.
+/// The batched MG cycle plugs in here.
+template <typename T>
+class BlockPreconditioner {
+ public:
+  using BlockField = BlockSpinor<T>;
+  virtual ~BlockPreconditioner() = default;
+  virtual void operator()(BlockField& out, const BlockField& in) = 0;
 };
 
 /// Identity preconditioner (turns preconditioned solvers into plain ones).

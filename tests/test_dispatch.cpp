@@ -248,6 +248,40 @@ TEST_F(DispatchTest, ParallelForCoversIndexSpaceOnce) {
   }
 }
 
+TEST_F(DispatchTest, ParallelFor2dCoversIndexSpaceOnce) {
+  for (const int t : kThreadCounts) {
+    for (const int rb : {0, 1, 3, 8, 100}) {
+      use_threaded(t);
+      LaunchPolicy p = default_policy();
+      p.rhs_block = rb;
+      std::vector<int> hits(40 * 12, 0);
+      parallel_for_2d(40, 12, p, [&](long i, long k) {
+        ++hits[static_cast<size_t>(12 * i + k)];
+      });
+      for (const int h : hits)
+        ASSERT_EQ(h, 1) << "threads=" << t << " rhs_block=" << rb;
+    }
+  }
+}
+
+TEST_F(DispatchTest, ParallelFor2dSimtModelRecordsWholeGrid) {
+  use_serial();
+  auto& stats = SimtStats::instance();
+  stats.reset();
+  LaunchPolicy simt;
+  simt.backend = Backend::SimtModel;
+  simt.rhs_block = 1;
+  std::vector<int> hits(100 * 12, 0);
+  parallel_for_2d(100, 12, simt, [&](long i, long k) {
+    ++hits[static_cast<size_t>(12 * i + k)];
+  });
+  for (const int h : hits) ASSERT_EQ(h, 1);
+  // One launch record covering the full (site x rhs) grid.
+  EXPECT_EQ(stats.launches(), 1);
+  EXPECT_GE(stats.threads(), 100 * 12);
+  stats.reset();
+}
+
 TEST_F(DispatchTest, NestedParallelRegionsSerialize) {
   use_threaded(4);
   std::vector<int> hits(64, 0);
