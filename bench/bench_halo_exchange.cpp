@@ -6,9 +6,19 @@
 // network model to show where the crossover from bandwidth- to
 // latency-dominated communication happens as the local volume shrinks.
 //
-//   ./bench_halo_exchange [--nc=24]
+// The overlap ablation (second half) measures the two latency levers this
+// substrate implements: hiding the exchange behind the interior launch
+// (HaloMode::Overlapped) and amortizing per-message latency across right-
+// hand sides (DistributedBlockSpinor's batched wire format).  Results land
+// in BENCH_overlap.json with num_cpus embedded.
+//
+//   ./bench_halo_exchange [--nc=24] [--reps=20] [--json=BENCH_overlap.json]
 
 #include <cstdio>
+#include <ctime>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/common.h"
 #include "comm/dist_coarse.h"
@@ -21,9 +31,26 @@
 using namespace qmg;
 using namespace qmg::bench;
 
+namespace {
+
+struct OverlapRow {
+  int nrhs = 0;
+  double sync_us_per_rhs = 0;
+  double overlap_us_per_rhs = 0;
+  double exchange_us = 0;        // per apply, measured on the comm worker
+  double interior_us = 0;        // per apply
+  double hidden_us = 0;          // overlap window per apply
+  long messages_per_apply = 0;
+  double bytes_per_message = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const int nc = static_cast<int>(args.get_int("nc", 24));
+  const int reps = static_cast<int>(args.get_int("reps", 20));
+  const std::string json_path = args.get("json", "BENCH_overlap.json");
 
   const NodeSpec node = NodeSpec::titan_xk7();
   const NetworkSpec net = NetworkSpec::titan_gemini();
@@ -82,5 +109,130 @@ int main(int argc, char** argv) {
               "*latency*: one packing kernel for all dimensions and a single "
               "staging copy each way (the structure this substrate "
               "implements and meters).\n");
+
+  // --- Overlap ablation: sync vs overlapped batched Wilson apply ------------
+  //
+  // A fine-grid distributed dslash at 4 ranks: the interior volume is large
+  // relative to the faces, so on a multi-core host the exchange should hide
+  // almost entirely behind the interior launch.  nrhs sweeps the batched
+  // wire format: messages per apply stay constant while bytes per message
+  // grow nrhs x.
+  auto fine_geom = make_geometry(Coord{8, 8, 8, 8});
+  const auto fine_gauge = disordered_gauge<double>(fine_geom, 0.5, 11);
+  const auto fine_clover = build_clover_with_inverse(fine_gauge, 1.0, 0.05);
+  const WilsonParams<double> wparams{0.05, 1.0, 1.0};
+  const auto fine_dec = make_decomposition(fine_geom, 4);
+  const DistributedWilsonOp<double> wilson(fine_gauge, wparams, &fine_clover,
+                                           fine_dec);
+
+  std::printf("\n=== Overlap ablation: two-phase batched Wilson apply "
+              "(8^4, 4 ranks, %d reps) ===\n", reps);
+  std::printf("%-6s %-14s %-14s %-12s %-12s %-12s %-10s %-12s\n", "nrhs",
+              "sync us/rhs", "ovl us/rhs", "exch us", "interior us",
+              "hidden us", "msgs", "KiB/msg");
+
+  std::vector<OverlapRow> rows;
+  for (const int nrhs : {1, 4, 12}) {
+    auto bx = wilson.create_block(nrhs);
+    {
+      BlockSpinor<double> global(fine_geom, 4, 3, nrhs);
+      for (int k = 0; k < nrhs; ++k) {
+        ColorSpinorField<double> f(fine_geom, 4, 3);
+        f.gaussian(900 + k);
+        global.insert_rhs(f, k);
+      }
+      bx.scatter(global);
+    }
+    auto by = wilson.create_block(nrhs);
+
+    OverlapRow row;
+    row.nrhs = nrhs;
+    // Warm both paths once (page faults, pool spin-up).
+    wilson.apply_block(by, bx, nullptr, HaloMode::Sync);
+    wilson.apply_block(by, bx, nullptr, HaloMode::Overlapped);
+
+    Timer t_sync;
+    for (int it = 0; it < reps; ++it)
+      wilson.apply_block(by, bx, nullptr, HaloMode::Sync);
+    row.sync_us_per_rhs = t_sync.seconds() * 1e6 / reps / nrhs;
+
+    CommStats stats;
+    Timer t_ovl;
+    for (int it = 0; it < reps; ++it)
+      wilson.apply_block(by, bx, &stats, HaloMode::Overlapped);
+    row.overlap_us_per_rhs = t_ovl.seconds() * 1e6 / reps / nrhs;
+    row.exchange_us = stats.exchange_seconds * 1e6 / reps;
+    row.interior_us = stats.interior_seconds * 1e6 / reps;
+    row.hidden_us = stats.overlap_window_seconds() * 1e6 / reps;
+    row.messages_per_apply = stats.messages / reps;
+    row.bytes_per_message =
+        static_cast<double>(stats.message_bytes) /
+        static_cast<double>(stats.messages);
+    rows.push_back(row);
+
+    std::printf("%-6d %-14.1f %-14.1f %-12.1f %-12.1f %-12.1f %-10ld %-12.1f\n",
+                nrhs, row.sync_us_per_rhs, row.overlap_us_per_rhs,
+                row.exchange_us, row.interior_us, row.hidden_us,
+                row.messages_per_apply, row.bytes_per_message / 1024.0);
+  }
+
+  std::printf("\npaper hook (6.5 + 9): messages per apply are constant in "
+              "nrhs while bytes per message grow nrhs-fold — the batched "
+              "halo amortizes per-message latency by N; the hidden column "
+              "is the measured exchange wall-time covered by the interior "
+              "launch.  On a 1-CPU host the windows overlap only by "
+              "timesharing, so sync/ovl wall times stay ~equal; spare cores "
+              "turn the hidden time into real speedup.\n");
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  char date[64];
+  const std::time_t now = std::time(nullptr);
+  std::strftime(date, sizeof(date), "%FT%T+00:00", std::gmtime(&now));
+  std::fprintf(f,
+               "{\n"
+               "  \"context\": {\n"
+               "    \"date\": \"%s\",\n"
+               "    \"executable\": \"./build/bench_halo_exchange\",\n"
+               "    \"num_cpus\": %u,\n"
+               "    \"lattice\": \"8x8x8x8\",\n"
+               "    \"nranks\": 4,\n"
+               "    \"reps\": %d,\n"
+               "    \"note\": \"sync = exchange-then-compute, overlapped = "
+               "interior launch racing the async batched exchange; hidden = "
+               "min(exchange, interior) per apply, i.e. the measured overlap "
+               "window; messages per apply are nrhs-independent (batched "
+               "wire format), bytes per message grow nrhs x; on num_cpus=1 "
+               "the windows overlap only by timesharing, so expect "
+               "overlap_speedup ~1 there and real gains on multicore\"\n"
+               "  },\n"
+               "  \"benchmarks\": [\n",
+               date, std::thread::hardware_concurrency(), reps);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const OverlapRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"name\": \"WilsonApplyBlock/nrhs=%d\",\n"
+                 "      \"nrhs\": %d,\n"
+                 "      \"sync_us_per_rhs\": %.3f,\n"
+                 "      \"overlapped_us_per_rhs\": %.3f,\n"
+                 "      \"overlap_speedup\": %.3f,\n"
+                 "      \"exchange_us_per_apply\": %.3f,\n"
+                 "      \"interior_us_per_apply\": %.3f,\n"
+                 "      \"hidden_us_per_apply\": %.3f,\n"
+                 "      \"messages_per_apply\": %ld,\n"
+                 "      \"bytes_per_message\": %.0f\n"
+                 "    }%s\n",
+                 r.nrhs, r.nrhs, r.sync_us_per_rhs, r.overlap_us_per_rhs,
+                 r.sync_us_per_rhs / r.overlap_us_per_rhs, r.exchange_us,
+                 r.interior_us, r.hidden_us, r.messages_per_apply,
+                 r.bytes_per_message, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path.c_str());
   return 0;
 }

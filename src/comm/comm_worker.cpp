@@ -1,0 +1,61 @@
+#include "comm/comm_worker.h"
+
+#include <stdexcept>
+
+namespace qmg {
+
+CommWorker& CommWorker::instance() {
+  static CommWorker worker;
+  return worker;
+}
+
+CommWorker::CommWorker() {
+  // Start the thread in the body, after every member (mutex, condition
+  // variables, flags) is constructed — the worker touches them immediately.
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+CommWorker::~CommWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_submit_.notify_all();
+  worker_.join();
+}
+
+void CommWorker::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_submit_.wait(lock, [&] { return shutdown_ || busy_; });
+      if (shutdown_) return;
+      job = std::move(job_);
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_ = false;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void CommWorker::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (busy_)
+      throw std::logic_error("CommWorker: submit while a job is in flight");
+    job_ = std::move(job);
+    busy_ = true;
+  }
+  cv_submit_.notify_one();
+}
+
+void CommWorker::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return !busy_; });
+}
+
+}  // namespace qmg

@@ -1,0 +1,52 @@
+#pragma once
+// Persistent comm-worker thread for the overlapped distributed applies.
+// Spawning a std::async thread per apply costs ~10-60us of create/join —
+// on the latency-dominated coarsest grids (2^4 sites per rank, applies
+// themselves microsecond-scale) that spawn cost could exceed the exchange
+// latency the overlap exists to hide.  This worker is created once,
+// parked on a condition variable between exchanges, and reused by every
+// overlapped apply: submit() hands it the exchange closure, wait() is the
+// synchronization point before the boundary launch reads any ghost
+// (mutex + condition variable give the necessary happens-before edge; the
+// CI TSan job guards it).
+//
+// One job may be in flight at a time — the overlapped applies are called
+// from one thread and always wait() before returning, so submit() can
+// assert idleness rather than queue.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace qmg {
+
+class CommWorker {
+ public:
+  static CommWorker& instance();
+
+  CommWorker(const CommWorker&) = delete;
+  CommWorker& operator=(const CommWorker&) = delete;
+
+  /// Hand `job` to the worker thread.  The worker must be idle (every
+  /// submit() paired with a wait() before the next).
+  void submit(std::function<void()> job);
+
+  /// Block until the submitted job has completed.  No-op when idle.
+  void wait();
+
+ private:
+  CommWorker();
+  ~CommWorker();
+  void worker_loop();
+
+  std::thread worker_;
+  std::function<void()> job_;
+  std::mutex mutex_;
+  std::condition_variable cv_submit_;
+  std::condition_variable cv_done_;
+  bool busy_ = false;
+  bool shutdown_ = false;
+};
+
+}  // namespace qmg

@@ -102,6 +102,10 @@ DomainDecomposition::DomainDecomposition(GeometryPtr global, RankGrid grid)
   }
   for (long idx = 0; idx < v; ++idx) {
     const Coord x = local_->coords(idx);
+    bool on_face = false;
+    for (int mu = 0; mu < kNDim; ++mu)
+      if (x[mu] == 0 || x[mu] == local_dims[mu] - 1) on_face = true;
+    (on_face ? boundary_ : interior_).push_back(idx);
     for (int mu = 0; mu < kNDim; ++mu) {
       if (x[mu] + 1 < local_dims[mu]) {
         fwd_[mu][idx] = local_->neighbor_fwd(idx, mu);
@@ -121,6 +125,18 @@ DomainDecomposition::DomainDecomposition(GeometryPtr global, RankGrid grid)
         send_sites_[mu][1][face_ordinal(x, local_dims, mu)] = idx;
     }
   }
+}
+
+std::vector<long> DomainDecomposition::ghost_source_sites() const {
+  std::vector<long> src(static_cast<size_t>(total_ghost_), 0);
+  for (int mu = 0; mu < kNDim; ++mu)
+    for (int dir = 0; dir < 2; ++dir) {
+      const auto& sites = send_sites_[mu][dir];
+      const long offset = ghost_offset_[mu][dir];
+      for (size_t k = 0; k < sites.size(); ++k)
+        src[static_cast<size_t>(offset) + k] = sites[k];
+    }
+  return src;
 }
 
 long DomainDecomposition::global_index(int rank, long local_idx) const {

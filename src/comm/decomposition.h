@@ -85,9 +85,26 @@ class DomainDecomposition {
     return send_sites_[mu][dir];
   }
 
+  /// Flat ghost-slot -> local source-site map: the gather list of the
+  /// "single packing kernel" (one launch over every face of every exchange
+  /// dimension, section 6.5), shared by the scalar and block distributed
+  /// fields so their wire formats cannot diverge.
+  std::vector<long> ghost_source_sites() const;
+
   /// True when the rank grid is trivial in direction mu (self-neighbor):
   /// the exchange is then a local periodic wrap handled without messages.
   bool self_comm(int mu) const { return grid_.dims()[mu] == 1; }
+
+  /// The ghost-dependence partition of the local volume.  A site is
+  /// *boundary* iff any stencil neighbor is a ghost reference — i.e. it
+  /// sits on some face of the subdomain (x_mu == 0 or x_mu == L_mu - 1 for
+  /// some mu, including self-comm dimensions, whose wraps also route
+  /// through the ghost region).  Interior sites depend on no halo data, so
+  /// a stencil apply over them can run while the exchange is in flight;
+  /// boundary sites run once the ghosts have landed.  Both lists are
+  /// ascending local indices and together partition [0, local_volume).
+  const std::vector<long>& interior_sites() const { return interior_; }
+  const std::vector<long>& boundary_sites() const { return boundary_; }
 
  private:
   GeometryPtr global_;
@@ -98,6 +115,8 @@ class DomainDecomposition {
   std::array<std::vector<std::int64_t>, kNDim> fwd_;
   std::array<std::vector<std::int64_t>, kNDim> bwd_;
   std::array<std::array<std::vector<long>, 2>, kNDim> send_sites_;
+  std::vector<long> interior_;
+  std::vector<long> boundary_;
 };
 
 using DecompositionPtr = std::shared_ptr<const DomainDecomposition>;

@@ -35,31 +35,125 @@ DistributedCoarseOp<T>::DistributedCoarseOp(const CoarseDirac<T>& global,
 }
 
 template <typename T>
+void DistributedCoarseOp<T>::site_row_update(
+    int rank, const DistributedSpinor<T>& in, ColorSpinorField<T>& dst_field,
+    long site, const CoarseKernelConfig& config) const {
+  const Complex<T>* mats[9];
+  const Complex<T>* xin[9];
+  mats[0] = diag_data(rank, site);
+  xin[0] = in.local(rank).site_data(site);
+  for (int mu = 0; mu < kNDim; ++mu) {
+    mats[1 + 2 * mu] = link_data(rank, site, 2 * mu);
+    xin[1 + 2 * mu] = in.site_or_ghost(rank, dec_->neighbor_fwd(site, mu));
+    mats[2 + 2 * mu] = link_data(rank, site, 2 * mu + 1);
+    xin[2 + 2 * mu] = in.site_or_ghost(rank, dec_->neighbor_bwd(site, mu));
+  }
+  Complex<T>* dst = dst_field.site_data(site);
+  for (int row = 0; row < n_; ++row)
+    dst[row] = coarse_row(mats, xin, row, n_, config);
+}
+
+template <typename T>
+void DistributedCoarseOp<T>::site_rows_update_rhs(
+    int rank, const DistributedBlockSpinor<T>& in, BlockSpinor<T>& dst_field,
+    long site, long k0, long k1, const CoarseKernelConfig& config) const {
+  // Mirrors CoarseDirac::apply_block_with_config: one stencil-matrix load
+  // per site tile, rhs streamed unit-stride by coarse_row_mrhs (per-rhs
+  // partial-sum shape identical to coarse_row, so per-rhs results are
+  // bit-identical to the single-rhs distributed apply).  Local and ghost
+  // site blocks share the rhs-innermost layout, so the same pointer
+  // arithmetic serves both.
+  const int nrhs = in.nrhs();
+  const Complex<T>* mats[9];
+  long nbr[9];
+  mats[0] = diag_data(rank, site);
+  nbr[0] = site;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    mats[1 + 2 * mu] = link_data(rank, site, 2 * mu);
+    nbr[1 + 2 * mu] = dec_->neighbor_fwd(site, mu);
+    mats[2 + 2 * mu] = link_data(rank, site, 2 * mu + 1);
+    nbr[2 + 2 * mu] = dec_->neighbor_bwd(site, mu);
+  }
+  for (long t0 = k0; t0 < k1; t0 += kCoarseRowMaxTile) {
+    const int tile =
+        static_cast<int>(std::min<long>(kCoarseRowMaxTile, k1 - t0));
+    const Complex<T>* xin[9];
+    for (int m = 0; m < 9; ++m)
+      xin[m] = in.site_or_ghost(rank, nbr[m]) + t0;
+    Complex<T>* dst = dst_field.site_data(site) + t0;
+    for (int row = 0; row < n_; ++row)
+      coarse_row_mrhs(mats, xin, nrhs, row, n_, config, tile,
+                      dst + static_cast<long>(row) * nrhs);
+  }
+}
+
+template <typename T>
 void DistributedCoarseOp<T>::apply(DistributedSpinor<T>& out,
                                    DistributedSpinor<T>& in,
                                    const CoarseKernelConfig& config,
-                                   CommStats* stats) const {
-  in.exchange_halos(stats);
+                                   CommStats* stats, HaloMode mode) const {
   const long v = dec_->local_volume();
 
-  for (int r = 0; r < dec_->nranks(); ++r) {
-    ColorSpinorField<T>& dst_field = out.local(r);
-    parallel_for(v, [&](long site) {
-      const Complex<T>* mats[9];
-      const Complex<T>* xin[9];
-      mats[0] = diag_data(r, site);
-      xin[0] = in.local(r).site_data(site);
-      for (int mu = 0; mu < kNDim; ++mu) {
-        mats[1 + 2 * mu] = link_data(r, site, 2 * mu);
-        xin[1 + 2 * mu] = in.site_or_ghost(r, dec_->neighbor_fwd(site, mu));
-        mats[2 + 2 * mu] = link_data(r, site, 2 * mu + 1);
-        xin[2 + 2 * mu] = in.site_or_ghost(r, dec_->neighbor_bwd(site, mu));
-      }
-      Complex<T>* dst = dst_field.site_data(site);
-      for (int row = 0; row < n_; ++row)
-        dst[row] = coarse_row(mats, xin, row, n_, config);
-    });
+  if (mode == HaloMode::Sync) {
+    in.exchange_halos(stats);
+    for (int r = 0; r < dec_->nranks(); ++r) {
+      ColorSpinorField<T>& dst_field = out.local(r);
+      parallel_for(v, [&](long site) {
+        site_row_update(r, in, dst_field, site, config);
+      });
+    }
+    return;
   }
+
+  // Two-phase overlapped apply: interior launch races the persistent comm
+  // worker, boundary launch follows the ghost landing (run_overlapped in
+  // dist_spinor.h is the shared protocol).
+  auto phase = [&](const std::vector<long>& sites) {
+    for (int r = 0; r < dec_->nranks(); ++r) {
+      ColorSpinorField<T>& dst_field = out.local(r);
+      parallel_for_indices(sites, [&](long site) {
+        site_row_update(r, in, dst_field, site, config);
+      });
+    }
+  };
+  run_overlapped(in, stats, [&] { phase(dec_->interior_sites()); },
+                 [&] { phase(dec_->boundary_sites()); });
+}
+
+template <typename T>
+void DistributedCoarseOp<T>::apply_block(DistributedBlockSpinor<T>& out,
+                                         DistributedBlockSpinor<T>& in,
+                                         const CoarseKernelConfig& config,
+                                         CommStats* stats, HaloMode mode,
+                                         const LaunchPolicy& policy) const {
+  if (out.nrhs() != in.nrhs() || in.site_dof() != n_ || out.site_dof() != n_)
+    throw std::invalid_argument("dist coarse apply_block: shape mismatch");
+  const long v = dec_->local_volume();
+  const int nrhs = in.nrhs();
+
+  if (mode == HaloMode::Sync) {
+    in.exchange_halos(stats, policy);
+    for (int r = 0; r < dec_->nranks(); ++r) {
+      BlockSpinor<T>& dst_field = out.local(r);
+      parallel_for_2d_tiled(v, nrhs, policy,
+                            [&](long site, long k0, long k1) {
+        site_rows_update_rhs(r, in, dst_field, site, k0, k1, config);
+      });
+    }
+    return;
+  }
+
+  auto phase = [&](const std::vector<long>& sites) {
+    for (int r = 0; r < dec_->nranks(); ++r) {
+      BlockSpinor<T>& dst_field = out.local(r);
+      parallel_for_2d_indices_tiled(
+          sites, nrhs, policy, [&](long site, long k0, long k1) {
+            site_rows_update_rhs(r, in, dst_field, site, k0, k1, config);
+          });
+    }
+  };
+  run_overlapped(in, stats, [&] { phase(dec_->interior_sites()); },
+                 [&] { phase(dec_->boundary_sites()); });
 }
 
 template class DistributedCoarseOp<double>;

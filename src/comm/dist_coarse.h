@@ -4,7 +4,11 @@
 // per face site while its compute is O(Nhat_s^2 Nhat_c^2), so communication
 // is relatively cheap — but on the coarsest grids (2^4 sites per rank) it is
 // latency, not bandwidth, that dominates, which is what the cluster model
-// charges for.
+// charges for.  Both latency levers are implemented here: the two-phase
+// interior/boundary apply (HaloMode::Overlapped) hides the exchange behind
+// interior compute, and the batched multi-rhs apply amortizes per-message
+// latency over all N right-hand sides via DistributedBlockSpinor's one
+// message per (rank, face).
 //
 // The coarse links Y and diagonal X are indexed by the *output* site
 // (Eq. 3's backward link already stores Y^{+mu dagger}_{x-mu} at x), so only
@@ -13,7 +17,10 @@
 //
 // The per-row arithmetic is mg/coarse_row.h — identical to the
 // single-process operator for the same kernel configuration, so distributed
-// applies are bit-identical to global ones (asserted by tests).
+// applies are bit-identical to global ones (asserted by tests), and the
+// batched apply uses coarse_row_mrhs, whose per-rhs partial-sum shape is
+// identical to coarse_row's (the PR-2 equivalence), so batched distributed
+// applies are bit-identical per rhs to single-rhs distributed ones.
 
 #include <memory>
 #include <vector>
@@ -36,11 +43,26 @@ class DistributedCoarseOp {
   DistributedSpinor<T> create_vector() const {
     return DistributedSpinor<T>(dec_, CoarseDirac<T>::kNSpin, nc_);
   }
+  DistributedBlockSpinor<T> create_block(int nrhs) const {
+    return DistributedBlockSpinor<T>(dec_, CoarseDirac<T>::kNSpin, nc_, nrhs);
+  }
 
-  /// out = Mhat in with the given fine-grained kernel configuration.
+  /// out = Mhat in with the given fine-grained kernel configuration; in
+  /// Overlapped mode the halo exchange hides behind the interior launch.
   void apply(DistributedSpinor<T>& out, DistributedSpinor<T>& in,
              const CoarseKernelConfig& config = {},
-             CommStats* stats = nullptr) const;
+             CommStats* stats = nullptr,
+             HaloMode mode = HaloMode::Sync) const;
+
+  /// Batched multi-rhs apply on the 2D (site x rhs) index space with one
+  /// batched halo exchange per apply; per-rhs bit-identical to apply() at
+  /// the same kernel configuration.
+  void apply_block(DistributedBlockSpinor<T>& out,
+                   DistributedBlockSpinor<T>& in,
+                   const CoarseKernelConfig& config = {},
+                   CommStats* stats = nullptr,
+                   HaloMode mode = HaloMode::Sync,
+                   const LaunchPolicy& policy = default_policy()) const;
 
  private:
   DecompositionPtr dec_;
@@ -58,6 +80,13 @@ class DistributedCoarseOp {
   const Complex<T>* diag_data(int rank, long site) const {
     return diag_[rank].data() + static_cast<size_t>(site) * n_ * n_;
   }
+
+  void site_row_update(int rank, const DistributedSpinor<T>& in,
+                       ColorSpinorField<T>& dst_field, long site,
+                       const CoarseKernelConfig& config) const;
+  void site_rows_update_rhs(int rank, const DistributedBlockSpinor<T>& in,
+                            BlockSpinor<T>& dst_field, long site, long k0,
+                            long k1, const CoarseKernelConfig& config) const;
 };
 
 }  // namespace qmg

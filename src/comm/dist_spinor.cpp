@@ -6,6 +6,96 @@
 
 namespace qmg {
 
+namespace {
+
+// The exchange core, shared by the scalar and block distributed fields.
+// The unit of motion is the site "slot": `slot` complex values per site
+// (dof for the scalar field, dof * nrhs for the block field — the batched
+// wire format IS the scalar one with a wider slot, which is why the
+// message count cannot depend on nrhs).  Both fields' pack/deliver call
+// these, so the ghost-offset routing and CommStats accounting exist once.
+
+/// Phase 1: the single packing kernel + staging copy per rank.  `Local`
+/// is any per-rank field whose site_data(i) is a contiguous slot.
+template <typename Local, typename T>
+void pack_halos_impl(const DomainDecomposition& dec,
+                     const std::vector<Local>& locals,
+                     std::vector<std::vector<Complex<T>>>& send,
+                     const std::vector<long>& pack_src, size_t slot,
+                     CommStats* stats, const LaunchPolicy& policy) {
+  const size_t slot_bytes = sizeof(Complex<T>) * slot;
+  for (int r = 0; r < dec.nranks(); ++r) {
+    Complex<T>* buf = send[r].data();
+    const Local& loc = locals[r];
+    parallel_for(static_cast<long>(pack_src.size()), policy, [&](long s) {
+      std::memcpy(buf + static_cast<size_t>(s) * slot,
+                  loc.site_data(pack_src[static_cast<size_t>(s)]),
+                  slot_bytes);
+    });
+    if (stats) {
+      // One packing kernel + one device-to-host copy of the whole buffer
+      // (section 6.5's "single packing kernel ... followed by a single
+      // copy").
+      ++stats->pack_kernels;
+      ++stats->host_device_copies;
+      stats->host_device_bytes +=
+          static_cast<long>(send[r].size() * sizeof(Complex<T>));
+    }
+  }
+}
+
+/// Phase 2: per-face messages + ghost delivery per rank.  Each rank's face
+/// (mu, dir=0) — its x_mu == 0 sites — is what its backward neighbor reads
+/// through fwd ghosts, and vice versa.
+template <typename T>
+void deliver_halos_impl(const DomainDecomposition& dec,
+                        std::vector<std::vector<Complex<T>>>& ghosts,
+                        const std::vector<std::vector<Complex<T>>>& send,
+                        size_t slot, CommStats* stats,
+                        const LaunchPolicy& policy) {
+  const size_t slot_bytes = sizeof(Complex<T>) * slot;
+  for (int r = 0; r < dec.nranks(); ++r) {
+    // Ghost delivery ("unpack"): each dimension writes a disjoint ghost
+    // region (ghost_offset-separated), so dimensions are one dispatch item
+    // each.  One message per (neighbor, face) regardless of slot width.
+    parallel_for(static_cast<long>(kNDim), policy, [&](long mu_idx) {
+      const int mu = static_cast<int>(mu_idx);
+      const size_t face_bytes =
+          static_cast<size_t>(dec.face_sites(mu)) * slot_bytes;
+      const int fwd = dec.grid().neighbor(r, mu, 0);
+      const int bwd = dec.grid().neighbor(r, mu, 1);
+      // Our x_mu == 0 face -> bwd neighbor's fwd-ghost region (mu, 0).
+      std::memcpy(ghosts[bwd].data() +
+                      static_cast<size_t>(dec.ghost_offset(mu, 0)) * slot,
+                  send[r].data() +
+                      static_cast<size_t>(dec.ghost_offset(mu, 0)) * slot,
+                  face_bytes);
+      // Our x_mu == L-1 face -> fwd neighbor's bwd-ghost region (mu, 1).
+      std::memcpy(ghosts[fwd].data() +
+                      static_cast<size_t>(dec.ghost_offset(mu, 1)) * slot,
+                  send[r].data() +
+                      static_cast<size_t>(dec.ghost_offset(mu, 1)) * slot,
+                  face_bytes);
+    });
+    if (stats) {
+      // Message accounting stays outside the dispatch region (CommStats is
+      // not atomic).
+      for (int mu = 0; mu < kNDim; ++mu) {
+        if (dec.self_comm(mu)) continue;
+        stats->messages += 2;
+        stats->message_bytes += 2 * static_cast<long>(dec.face_sites(mu)) *
+                                static_cast<long>(slot_bytes);
+      }
+      // One host-to-device copy of the assembled ghost buffer.
+      ++stats->host_device_copies;
+      stats->host_device_bytes +=
+          static_cast<long>(ghosts[r].size() * sizeof(Complex<T>));
+    }
+  }
+}
+
+}  // namespace
+
 template <typename T>
 void DistributedSpinor<T>::scatter(const ColorSpinorField<T>& global) {
   const int dof = site_dof();
@@ -33,76 +123,75 @@ void DistributedSpinor<T>::gather(ColorSpinorField<T>& global) const {
 }
 
 template <typename T>
-void DistributedSpinor<T>::exchange_halos(CommStats* stats) {
-  const int dof = site_dof();
-  const size_t site_bytes = sizeof(Complex<T>) * dof;
+void DistributedSpinor<T>::pack_halos(CommStats* stats,
+                                      const LaunchPolicy& policy) {
+  pack_halos_impl(*dec_, locals_, send_, pack_src_,
+                  static_cast<size_t>(site_dof()), stats, policy);
+}
 
-  // 1) Pack: one dispatch launch over every ghost slot of every face of
-  // every exchange dimension per rank (the "single packing kernel"), into
-  // one contiguous buffer laid out exactly like the ghost region.
-  for (int r = 0; r < nranks(); ++r) {
-    Complex<T>* buf = send_[r].data();
-    const auto& loc = locals_[r];
-    parallel_for(static_cast<long>(pack_src_.size()), [&](long slot) {
-      std::memcpy(buf + static_cast<size_t>(slot) * dof,
-                  loc.site_data(pack_src_[static_cast<size_t>(slot)]),
-                  site_bytes);
-    });
-    if (stats) {
-      // One packing kernel + one device-to-host copy of the whole buffer
-      // (section 6.5's "single packing kernel ... followed by a single
-      // copy").
-      ++stats->pack_kernels;
-      ++stats->host_device_copies;
-      stats->host_device_bytes +=
-          static_cast<long>(send_[r].size() * sizeof(Complex<T>));
-    }
-  }
+template <typename T>
+void DistributedSpinor<T>::deliver_halos(CommStats* stats,
+                                         const LaunchPolicy& policy) {
+  deliver_halos_impl(*dec_, ghosts_, send_, static_cast<size_t>(site_dof()),
+                     stats, policy);
+}
 
-  // 2) Messages: each rank's face (mu, dir=0) — its x_mu == 0 sites — is
-  // what its backward neighbor reads through fwd ghosts, and vice versa.
+// --- DistributedBlockSpinor -------------------------------------------------
+//
+// Identical exchange structure to the single-rhs field (the shared impl
+// above); the unit of motion is the site's dof x nrhs block instead of its
+// dof vector.  Packing and delivery are exact copies, so per-rhs ghost
+// contents are bit-identical to nrhs independent single-rhs exchanges.
+
+template <typename T>
+void DistributedBlockSpinor<T>::scatter(const BlockSpinor<T>& global) {
+  if (global.geometry() != dec_->global() || global.nrhs() != nrhs_ ||
+      global.site_dof() != site_dof() || global.subset() != Subset::Full)
+    throw std::invalid_argument("dist block scatter: global shape mismatch");
+  const size_t slot_bytes =
+      sizeof(Complex<T>) * static_cast<size_t>(site_dof()) * nrhs_;
   for (int r = 0; r < nranks(); ++r) {
-    // Ghost delivery ("unpack"): each dimension writes a disjoint ghost
-    // region (ghost_offset-separated), so dimensions are one dispatch item
-    // each.
-    parallel_for(static_cast<long>(kNDim), [&](long mu_idx) {
-      const int mu = static_cast<int>(mu_idx);
-      const size_t face_bytes =
-          static_cast<size_t>(dec_->face_sites(mu)) * site_bytes;
-      const int fwd = dec_->grid().neighbor(r, mu, 0);
-      const int bwd = dec_->grid().neighbor(r, mu, 1);
-      // Our x_mu == 0 face -> bwd neighbor's fwd-ghost region (mu, 0).
-      std::memcpy(ghosts_[bwd].data() +
-                      static_cast<size_t>(dec_->ghost_offset(mu, 0)) * dof,
-                  send_[r].data() +
-                      static_cast<size_t>(dec_->ghost_offset(mu, 0)) * dof,
-                  face_bytes);
-      // Our x_mu == L-1 face -> fwd neighbor's bwd-ghost region (mu, 1).
-      std::memcpy(ghosts_[fwd].data() +
-                      static_cast<size_t>(dec_->ghost_offset(mu, 1)) * dof,
-                  send_[r].data() +
-                      static_cast<size_t>(dec_->ghost_offset(mu, 1)) * dof,
-                  face_bytes);
-    });
-    if (stats) {
-      // Message accounting stays outside the dispatch region (CommStats is
-      // not atomic).
-      for (int mu = 0; mu < kNDim; ++mu) {
-        if (dec_->self_comm(mu)) continue;
-        stats->messages += 2;
-        stats->message_bytes +=
-            2 * static_cast<long>(dec_->face_sites(mu)) *
-            static_cast<long>(site_bytes);
-      }
-      // One host-to-device copy of the assembled ghost buffer.
-      ++stats->host_device_copies;
-      stats->host_device_bytes +=
-          static_cast<long>(ghosts_[r].size() * sizeof(Complex<T>));
+    auto& loc = locals_[r];
+    for (long i = 0; i < dec_->local_volume(); ++i) {
+      const long g = dec_->global_index(r, i);
+      std::memcpy(loc.site_data(i), global.site_data(g), slot_bytes);
     }
   }
 }
 
+template <typename T>
+void DistributedBlockSpinor<T>::gather(BlockSpinor<T>& global) const {
+  if (global.geometry() != dec_->global() || global.nrhs() != nrhs_ ||
+      global.site_dof() != site_dof() || global.subset() != Subset::Full)
+    throw std::invalid_argument("dist block gather: global shape mismatch");
+  const size_t slot_bytes =
+      sizeof(Complex<T>) * static_cast<size_t>(site_dof()) * nrhs_;
+  for (int r = 0; r < nranks(); ++r) {
+    const auto& loc = locals_[r];
+    for (long i = 0; i < dec_->local_volume(); ++i) {
+      const long g = dec_->global_index(r, i);
+      std::memcpy(global.site_data(g), loc.site_data(i), slot_bytes);
+    }
+  }
+}
+
+template <typename T>
+void DistributedBlockSpinor<T>::pack_halos(CommStats* stats,
+                                           const LaunchPolicy& policy) {
+  pack_halos_impl(*dec_, locals_, send_, pack_src_,
+                  static_cast<size_t>(site_dof()) * nrhs_, stats, policy);
+}
+
+template <typename T>
+void DistributedBlockSpinor<T>::deliver_halos(CommStats* stats,
+                                              const LaunchPolicy& policy) {
+  deliver_halos_impl(*dec_, ghosts_, send_,
+                     static_cast<size_t>(site_dof()) * nrhs_, stats, policy);
+}
+
 template class DistributedSpinor<double>;
 template class DistributedSpinor<float>;
+template class DistributedBlockSpinor<double>;
+template class DistributedBlockSpinor<float>;
 
 }  // namespace qmg

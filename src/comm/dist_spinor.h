@@ -12,14 +12,33 @@
 //   4. one host-to-device copy delivering the received faces into the ghost
 //      region.
 //
-// All traffic is recorded in CommStats so the cluster model's communication
-// charges are grounded in measured message counts and byte volumes.
+// The exchange is split into pack_halos() / deliver_halos() so a two-phase
+// stencil apply can run it asynchronously: the operator launches the
+// interior sites (no ghost dependence, see
+// DomainDecomposition::interior_sites) on the compute pool while a comm
+// worker runs the pack/message/unpack path, then applies the boundary sites
+// once the ghosts have landed.  All traffic — and, for overlapped applies,
+// the exchange/interior/boundary wall-time that measures the overlap window
+// — is recorded in CommStats so the cluster model's communication charges
+// are grounded in measured numbers, not assumptions.
+//
+// DistributedBlockSpinor is the multi-right-hand-side form (paper section
+// 9 applied to section 6.5): N rhs stored rhs-contiguously per rank
+// (fields/blockspinor.h layout), with ONE message per (rank, face) pair
+// carrying all N faces — message count per exchange identical to the
+// single-rhs field, bytes per message N x larger, amortizing per-message
+// latency by N.
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "comm/comm_worker.h"
 #include "comm/decomposition.h"
+#include "fields/blockspinor.h"
 #include "fields/colorspinor.h"
+#include "parallel/dispatch.h"
+#include "util/timer.h"
 
 namespace qmg {
 
@@ -32,8 +51,102 @@ struct CommStats {
   long host_device_bytes = 0;
   long allreduces = 0;          // global reductions
 
+  // Overlap metering for two-phase distributed applies: wall time of the
+  // async exchange vs the interior launch it hides behind.  The hiding is
+  // measured, not assumed — hidden_seconds accumulates min(exchange,
+  // interior) PER APPLY (min of the totals would overstate the hiding
+  // whenever the two phases trade dominance across applies), so
+  // overlap_window_seconds() is the exchange time actually covered by
+  // interior compute and exposed_exchange_seconds() what still lands on
+  // the critical path.
+  long overlapped_applies = 0;
+  double exchange_seconds = 0;
+  double interior_seconds = 0;
+  double boundary_seconds = 0;
+  double hidden_seconds = 0;
+
+  double overlap_window_seconds() const { return hidden_seconds; }
+  double exposed_exchange_seconds() const {
+    return std::max(0.0, exchange_seconds - hidden_seconds);
+  }
+
   void reset() { *this = CommStats{}; }
+
+  CommStats& operator+=(const CommStats& o) {
+    pack_kernels += o.pack_kernels;
+    messages += o.messages;
+    message_bytes += o.message_bytes;
+    host_device_copies += o.host_device_copies;
+    host_device_bytes += o.host_device_bytes;
+    allreduces += o.allreduces;
+    overlapped_applies += o.overlapped_applies;
+    exchange_seconds += o.exchange_seconds;
+    interior_seconds += o.interior_seconds;
+    boundary_seconds += o.boundary_seconds;
+    hidden_seconds += o.hidden_seconds;
+    return *this;
+  }
 };
+
+/// How a distributed apply schedules its halo exchange.
+///   Sync       — exchange completes before any site is computed (the
+///                reference execution; one full-volume launch).
+///   Overlapped — interior launch runs concurrently with the exchange on a
+///                comm worker; boundary launch follows the ghost landing.
+/// Per-site arithmetic is identical in both modes, and every site writes
+/// only its own output, so results are bit-identical per rhs.
+enum class HaloMode { Sync, Overlapped };
+
+/// Launch policy for exchange work running on a comm worker concurrently
+/// with a compute launch: the thread pool serves the interior launch, so
+/// the pack/unpack must not re-enter it (ThreadPool::run is single-caller).
+/// Pack/unpack are memcpy-bound, so a serial sweep on the comm thread is
+/// the right shape anyway.
+inline LaunchPolicy comm_worker_policy() {
+  LaunchPolicy p;
+  p.backend = Backend::Serial;
+  return p;
+}
+
+/// The two-phase overlapped schedule shared by every distributed operator:
+/// `in`'s halo exchange runs on the persistent comm worker while
+/// `interior_fn` computes the ghost-independent sites; after the ghosts
+/// land (CommWorker::wait, the happens-before edge), `boundary_fn` applies
+/// the face sites.  Phase wall-times — including the per-apply overlap
+/// window min(exchange, interior) — are merged into `stats`.  The comm
+/// worker accumulates into a local CommStats, so nothing is written
+/// concurrently (the CI TSan job guards this protocol).
+template <typename DistField, typename InteriorFn, typename BoundaryFn>
+void run_overlapped(DistField& in, CommStats* stats, InteriorFn&& interior_fn,
+                    BoundaryFn&& boundary_fn) {
+  CommStats comm;
+  CommWorker& worker = CommWorker::instance();
+  worker.submit([&] {
+    Timer t;
+    in.exchange_halos(&comm, comm_worker_policy());
+    comm.exchange_seconds += t.seconds();
+  });
+  Timer t_interior;
+  double interior_seconds = 0;
+  try {
+    interior_fn();
+    interior_seconds = t_interior.seconds();
+  } catch (...) {
+    // The worker holds references into this frame; never unwind past it.
+    worker.wait();
+    throw;
+  }
+  worker.wait();
+  Timer t_boundary;
+  boundary_fn();
+  if (stats) {
+    *stats += comm;
+    stats->interior_seconds += interior_seconds;
+    stats->boundary_seconds += t_boundary.seconds();
+    stats->hidden_seconds += std::min(comm.exchange_seconds, interior_seconds);
+    ++stats->overlapped_applies;
+  }
+}
 
 template <typename T>
 class DistributedSpinor {
@@ -53,14 +166,7 @@ class DistributedSpinor {
     // Flat ghost-slot -> source-site map so the halo pack runs as one
     // dispatch launch over all faces of all dimensions (the paper's "single
     // packing kernel", section 6.5).
-    pack_src_.assign(static_cast<size_t>(dec_->total_ghost_sites()), 0);
-    for (int mu = 0; mu < kNDim; ++mu)
-      for (int dir = 0; dir < 2; ++dir) {
-        const auto& sites = dec_->send_sites(mu, dir);
-        const long offset = dec_->ghost_offset(mu, dir);
-        for (size_t k = 0; k < sites.size(); ++k)
-          pack_src_[static_cast<size_t>(offset) + k] = sites[k];
-      }
+    pack_src_ = dec_->ghost_source_sites();
   }
 
   const DecompositionPtr& decomposition() const { return dec_; }
@@ -87,8 +193,21 @@ class DistributedSpinor {
   void gather(ColorSpinorField<T>& global) const;
 
   /// The section 6.5 halo exchange (see file comment).  Fills every rank's
-  /// ghost region from the neighbors' boundary faces.
-  void exchange_halos(CommStats* stats = nullptr);
+  /// ghost region from the neighbors' boundary faces.  `policy` decomposes
+  /// the pack/unpack launches (pass comm_worker_policy() when calling from
+  /// a comm thread that runs concurrently with a compute launch).
+  void exchange_halos(CommStats* stats = nullptr,
+                      const LaunchPolicy& policy = default_policy()) {
+    pack_halos(stats, policy);
+    deliver_halos(stats, policy);
+  }
+
+  /// Phase 1: the single packing kernel + staging copy per rank.
+  void pack_halos(CommStats* stats = nullptr,
+                  const LaunchPolicy& policy = default_policy());
+  /// Phase 2: per-face messages + ghost delivery per rank.
+  void deliver_halos(CommStats* stats = nullptr,
+                     const LaunchPolicy& policy = default_policy());
 
  private:
   DecompositionPtr dec_;
@@ -97,6 +216,81 @@ class DistributedSpinor {
   std::vector<ColorSpinorField<T>> locals_;
   std::vector<std::vector<Complex<T>>> ghosts_;  // per rank, all faces
   std::vector<std::vector<Complex<T>>> send_;    // per rank, packed faces
+  std::vector<long> pack_src_;  // ghost slot -> local source site
+};
+
+/// Multi-right-hand-side distributed field: one BlockSpinor per rank plus
+/// rhs-contiguous ghost storage.  A ghost slot holds the full
+/// site_dof() x nrhs block of its source site in exactly the BlockSpinor
+/// site layout (rhs innermost), so batched stencil kernels index local and
+/// ghost data identically, and the halo exchange moves all N rhs of a face
+/// in ONE message per (rank, face) pair — the batched-wire-format
+/// amortization the paper's strong-scaling section needs.
+template <typename T>
+class DistributedBlockSpinor {
+ public:
+  DistributedBlockSpinor(DecompositionPtr dec, int nspin, int ncolor,
+                         int nrhs)
+      : dec_(std::move(dec)), nspin_(nspin), ncolor_(ncolor), nrhs_(nrhs) {
+    const size_t slot = static_cast<size_t>(site_dof()) * nrhs_;
+    locals_.reserve(dec_->nranks());
+    for (int r = 0; r < dec_->nranks(); ++r)
+      locals_.emplace_back(dec_->local(), nspin_, ncolor_, nrhs_);
+    ghosts_.assign(dec_->nranks(),
+                   std::vector<Complex<T>>(
+                       static_cast<size_t>(dec_->total_ghost_sites()) * slot));
+    send_.assign(dec_->nranks(),
+                 std::vector<Complex<T>>(
+                     static_cast<size_t>(dec_->total_ghost_sites()) * slot));
+    pack_src_ = dec_->ghost_source_sites();
+  }
+
+  const DecompositionPtr& decomposition() const { return dec_; }
+  int nspin() const { return nspin_; }
+  int ncolor() const { return ncolor_; }
+  int nrhs() const { return nrhs_; }
+  int site_dof() const { return nspin_ * ncolor_; }
+  int nranks() const { return dec_->nranks(); }
+
+  BlockSpinor<T>& local(int rank) { return locals_[rank]; }
+  const BlockSpinor<T>& local(int rank) const { return locals_[rank]; }
+
+  /// The site_dof() x nrhs block (rhs innermost) of a ghost-aware neighbor
+  /// index: element (d, k) lives at offset d * nrhs + k, for local sites
+  /// and ghost slots alike.
+  const Complex<T>* site_or_ghost(int rank, long idx) const {
+    const long v = dec_->local_volume();
+    if (idx < v) return locals_[rank].site_data(idx);
+    return ghosts_[rank].data() + static_cast<size_t>(idx - v) *
+                                      static_cast<size_t>(site_dof()) * nrhs_;
+  }
+
+  /// Distribute a global block field over the ranks / reassemble it.
+  void scatter(const BlockSpinor<T>& global);
+  void gather(BlockSpinor<T>& global) const;
+
+  /// Batched halo exchange: the section 6.5 structure with every message
+  /// carrying all nrhs faces.  Message count per exchange equals the
+  /// single-rhs field's; bytes per message are nrhs x larger.
+  void exchange_halos(CommStats* stats = nullptr,
+                      const LaunchPolicy& policy = default_policy()) {
+    pack_halos(stats, policy);
+    deliver_halos(stats, policy);
+  }
+
+  void pack_halos(CommStats* stats = nullptr,
+                  const LaunchPolicy& policy = default_policy());
+  void deliver_halos(CommStats* stats = nullptr,
+                     const LaunchPolicy& policy = default_policy());
+
+ private:
+  DecompositionPtr dec_;
+  int nspin_;
+  int ncolor_;
+  int nrhs_;
+  std::vector<BlockSpinor<T>> locals_;
+  std::vector<std::vector<Complex<T>>> ghosts_;  // per rank, all faces x rhs
+  std::vector<std::vector<Complex<T>>> send_;
   std::vector<long> pack_src_;  // ghost slot -> local source site
 };
 

@@ -1,5 +1,6 @@
 #include "core/context.h"
 
+#include "comm/dist_wilson.h"
 #include "fields/blas.h"
 #include "parallel/autotune.h"
 #include "solvers/block_gcr.h"
@@ -121,6 +122,32 @@ BlockSolverResult QmgContext::solve_mg_block(
               .solve(x_block, b_block);
   }
   unpack_block(x, x_block);
+  return res;
+}
+
+BlockSolverResult QmgContext::solve_mg_block_distributed(
+    std::vector<ColorSpinorField<double>>& x,
+    const std::vector<ColorSpinorField<double>>& b, double tol, int nranks,
+    CommStats* comm, int max_iter, HaloMode mode) {
+  if (!mg_) throw std::runtime_error("setup_multigrid() not called");
+  if (x.size() != b.size() || b.empty())
+    throw std::invalid_argument(
+        "solve_mg_block_distributed: x/b size mismatch or empty");
+  const auto dec = make_decomposition(geom_, nranks);
+  const DistributedWilsonOp<double> dist(gauge_d_, op_d_->params(),
+                                         &clover_d_, dec);
+  const DistributedBlockWilsonOp<double> dist_op(dist, mode);
+  SolverParams params;
+  params.tol = tol;
+  params.max_iter = max_iter;
+  params.restart = 10;
+  const BlockSpinor<double> b_block = pack_block(b);
+  BlockSpinor<double> x_block = b_block.similar();
+  MixedPrecisionBlockMgPreconditioner precond(*mg_);
+  const auto res =
+      BlockGcrSolver<double>(dist_op, params, &precond).solve(x_block, b_block);
+  unpack_block(x, x_block);
+  if (comm) *comm += dist_op.comm_stats();
   return res;
 }
 

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 
+#include "comm/dist_spinor.h"
 #include "dirac/clover.h"
 #include "dirac/wilson.h"
 #include "gauge/ensemble.h"
@@ -79,6 +80,21 @@ class QmgContext {
                                    const std::vector<ColorSpinorField<double>>& b,
                                    double tol, int max_iter = 1000,
                                    bool eo = true);
+
+  /// The distributed MRHS propagator solve (paper sections 6.5 + 9
+  /// combined): the outer double-precision block GCR's fine-operator
+  /// applies run through the domain-decomposed two-phase dslash — one
+  /// batched halo exchange per apply (all nrhs faces in one message per
+  /// rank/face pair), interior compute overlapping the exchange when
+  /// `mode` is Overlapped — while the batched MG cycle preconditions the
+  /// whole block.  Iterates are bit-identical to solve_mg_block(eo=false)
+  /// because the distributed apply is bit-identical to the global one.
+  /// Communication is metered into `comm` when given.
+  BlockSolverResult solve_mg_block_distributed(
+      std::vector<ColorSpinorField<double>>& x,
+      const std::vector<ColorSpinorField<double>>& b, double tol, int nranks,
+      CommStats* comm = nullptr, int max_iter = 1000,
+      HaloMode mode = HaloMode::Overlapped);
 
   /// Persist / restore the process-wide TuneCache (kernel configs, launch
   /// backends and rhs-blockings).  Returns false on I/O or format errors.

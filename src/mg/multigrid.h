@@ -196,21 +196,29 @@ class MgBlockPreconditioner : public BlockPreconditioner<T> {
 };
 
 /// Precision-bridging block preconditioner: the outer double-precision
-/// block GCR sees a single-precision batched multigrid cycle.
+/// block GCR sees a single-precision batched multigrid cycle.  The float
+/// staging blocks are reused across applications (one per outer iteration
+/// of a block solve) and rebuilt only when the rhs count changes.
 class MixedPrecisionBlockMgPreconditioner : public BlockPreconditioner<double> {
  public:
   explicit MixedPrecisionBlockMgPreconditioner(const Multigrid<float>& mg)
       : mg_(mg) {}
   void operator()(BlockSpinor<double>& out,
                   const BlockSpinor<double>& in) override {
-    auto in_f = convert_block<float>(in);
-    auto out_f = in_f.similar();
-    mg_.cycle_block(0, out_f, in_f);
-    convert_block_into(out, out_f);
+    if (in_f_.nrhs() != in.nrhs()) {
+      in_f_ = BlockSpinor<float>(in.geometry(), in.nspin(), in.ncolor(),
+                                 in.nrhs(), in.subset());
+      out_f_ = in_f_.similar();
+    }
+    convert_block_into(in_f_, in);
+    blas::block_zero(out_f_);
+    mg_.cycle_block(0, out_f_, in_f_);
+    convert_block_into(out, out_f_);
   }
 
  private:
   const Multigrid<float>& mg_;
+  BlockSpinor<float> in_f_, out_f_;
 };
 
 /// Block analog of SchurMixedMgPreconditioner: preconditions the fine-grid

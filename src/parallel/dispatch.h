@@ -162,6 +162,25 @@ void parallel_for(long n, Body&& body) {
   parallel_for(n, default_policy(), body);
 }
 
+/// Launch over an explicit index list: body(indices[i]) for every element,
+/// visited in ascending list order per partition.  This is the subset-launch
+/// form the two-phase distributed operators use — the interior and boundary
+/// site sets of a domain decomposition are index lists, and per-site work
+/// that writes only its own site gives bit-identical fields regardless of
+/// how the full site loop is split across lists or backends.
+template <typename Body>
+void parallel_for_indices(const std::vector<long>& indices,
+                          const LaunchPolicy& policy, Body&& body) {
+  const long* idx = indices.data();
+  parallel_for(static_cast<long>(indices.size()), policy,
+               [&, idx](long i) { body(idx[i]); });
+}
+
+template <typename Body>
+void parallel_for_indices(const std::vector<long>& indices, Body&& body) {
+  parallel_for_indices(indices, default_policy(), body);
+}
+
 /// 2D (outer x inner) launch for multi-right-hand-side kernels: the outer
 /// axis is the lattice site (or aggregate) index, the inner axis the rhs
 /// index (paper section 9's N-way extra parallelism).  The index space is
@@ -228,6 +247,21 @@ void parallel_for_2d(long n_outer, long n_inner, const LaunchPolicy& policy,
 template <typename Body>
 void parallel_for_2d(long n_outer, long n_inner, Body&& body) {
   parallel_for_2d(n_outer, n_inner, default_policy(), body);
+}
+
+/// 2D tiled launch whose outer axis is an explicit site list:
+/// body(sites[outer], inner_begin, inner_end).  The (site x rhs) analog of
+/// parallel_for_indices, used by the batched distributed operators to run
+/// the interior and boundary phases of a multi-rhs stencil apply.
+template <typename Body>
+void parallel_for_2d_indices_tiled(const std::vector<long>& sites,
+                                   long n_inner, const LaunchPolicy& policy,
+                                   Body&& body) {
+  const long* idx = sites.data();
+  parallel_for_2d_tiled(static_cast<long>(sites.size()), n_inner, policy,
+                        [&, idx](long outer, long begin, long end) {
+                          body(idx[outer], begin, end);
+                        });
 }
 
 /// Deterministic sum-reduction of body(i) over [0, n).  V needs V{} (the
