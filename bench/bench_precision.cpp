@@ -1,0 +1,243 @@
+// Mixed-precision coarse-storage ablation (paper section 4, strategy (c)):
+// measures the coarse apply — single-rhs and batched MRHS, plus the
+// distributed halo bytes — across the storage formats of the coarse level:
+//
+//   double            native Complex<double> links (reference)
+//   single-acc        all-float operator (the accumulation ablation:
+//                     float storage AND float accumulation)
+//   single-store      float links, DOUBLE accumulation (the tentpole split)
+//   half-store        16-bit fixed-point links, double accumulation
+//   single+rhs        float links + float-staged rhs payload, double acc
+//
+// Reported per variant: stencil bytes/site (the traffic the truncation
+// shrinks), measured seconds per apply, and the relative gap to the double
+// reference.  The wire ablation measures CommStats bytes of a distributed
+// exchange at Native vs Single wire precision.  Results land in
+// BENCH_precision.json with num_cpus embedded (wall-clock ratios on a
+// 1-CPU container understate the bandwidth effect; the bytes columns are
+// exact).
+//
+//   ./bench_precision [--l=8] [--nvec=12] [--reps=50] [--json=BENCH_precision.json]
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "comm/dist_coarse.h"
+#include "fields/blas.h"
+#include "mg/galerkin.h"
+#include "mg/mrhs.h"
+#include "mg/nullspace.h"
+#include "mg/stencil.h"
+#include "mg/transfer.h"
+
+using namespace qmg;
+
+namespace {
+
+struct Row {
+  std::string label;
+  std::string tag;
+  double stencil_bytes_per_site = 0;
+  double apply_us = 0;       // single-rhs apply
+  double mrhs_us_per_rhs = 0;  // batched apply, per rhs
+  double rel_gap = 0;        // vs the double-native apply
+};
+
+double rel_gap(const ColorSpinorField<double>& y,
+               const ColorSpinorField<double>& ref) {
+  auto d = y;
+  blas::axpy(-1.0, ref, d);
+  return std::sqrt(blas::norm2(d) / blas::norm2(ref));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int l = static_cast<int>(args.get_int("l", 8));
+  const int nvec = static_cast<int>(args.get_int("nvec", 12));
+  const int reps = static_cast<int>(args.get_int("reps", 50));
+  const int nrhs = static_cast<int>(args.get_int("nrhs", 12));
+  const std::string json_path = args.get("json", "BENCH_precision.json");
+
+  // A real Galerkin coarse operator from a disordered ensemble.
+  auto geom = make_geometry(Coord{l, l, l, l});
+  const auto gauge = disordered_gauge<double>(geom, 0.4, 23);
+  const auto clover = build_clover_with_inverse(gauge, 1.0, 0.05);
+  const WilsonCloverOp<double> op(gauge, {0.05, 1.0, 1.0}, &clover);
+  NullSpaceParams ns;
+  ns.nvec = nvec;
+  ns.iters = 20;
+  auto vecs = generate_null_vectors(op, ns);
+  auto map = std::make_shared<const BlockMap>(geom, Coord{2, 2, 2, 2});
+  Transfer<double> transfer(map, 4, 3, nvec);
+  transfer.set_null_vectors(vecs);
+  const WilsonStencilView<double> view(op);
+
+  const CoarseDirac<double> native = build_coarse_operator(view, transfer);
+  const CoarseDirac<double> single =
+      build_coarse_operator(view, transfer, CoarseStorage::Single);
+  const CoarseDirac<double> half =
+      build_coarse_operator(view, transfer, CoarseStorage::Half16);
+  const CoarseDirac<float> all_single = convert_coarse<float>(native);
+
+  const int n = native.block_dim();
+  const long v = native.geometry()->volume();
+  const CoarseKernelConfig config{Strategy::DotProduct, 3, 2, 2};
+  std::printf("=== Coarse-storage precision ablation (V=%ld, N=%d, nrhs=%d) "
+              "===\n", v, n, nrhs);
+
+  auto x = native.create_vector();
+  x.gaussian(77);
+  auto y_ref = native.create_vector();
+  native.apply_with_config(y_ref, x, config);
+
+  BlockSpinor<double> xb(native.geometry(), CoarseDirac<double>::kNSpin,
+                         native.ncolor(), nrhs);
+  for (int k = 0; k < nrhs; ++k) {
+    auto f = native.create_vector();
+    f.gaussian(500 + k);
+    xb.insert_rhs(f, k);
+  }
+  BlockSpinor<double> yb = xb.similar();
+
+  auto time_apply = [&](auto&& fn) {
+    fn();  // warm
+    Timer t;
+    for (int r = 0; r < reps; ++r) fn();
+    return t.seconds() / reps * 1e6;
+  };
+
+  std::vector<Row> rows;
+  auto measure_double_op = [&](const CoarseDirac<double>& o,
+                               const std::string& label, bool staged_rhs) {
+    Row row;
+    row.label = label;
+    row.tag = o.precision_tag() + (staged_rhs ? "+rhs" : "");
+    row.stencil_bytes_per_site = o.stencil_bytes_per_site();
+    auto y = o.create_vector();
+    row.apply_us =
+        time_apply([&] { o.apply_with_config(y, x, config); });
+    if (staged_rhs)
+      row.mrhs_us_per_rhs = time_apply([&] {
+        o.apply_block_staged(yb, xb, config);
+      }) / nrhs;
+    else
+      row.mrhs_us_per_rhs = time_apply([&] {
+        o.apply_block_with_config(yb, xb, config, default_policy());
+      }) / nrhs;
+    row.rel_gap = rel_gap(y, y_ref);
+    rows.push_back(row);
+  };
+
+  measure_double_op(native, "double (native)", false);
+  {
+    // Accumulation ablation: the all-float operator truncates storage AND
+    // accumulates in float.
+    Row row;
+    row.label = "single acc + links";
+    row.tag = all_single.precision_tag();
+    row.stencil_bytes_per_site = all_single.stencil_bytes_per_site();
+    auto xf = convert<float>(x);
+    auto yf = all_single.create_vector();
+    row.apply_us = time_apply(
+        [&] { all_single.apply_with_config(yf, xf, config); });
+    BlockSpinor<float> xbf = convert_block<float>(xb);
+    BlockSpinor<float> ybf = xbf.similar();
+    row.mrhs_us_per_rhs = time_apply([&] {
+      all_single.apply_block_with_config(ybf, xbf, config, default_policy());
+    }) / nrhs;
+    row.rel_gap = rel_gap(convert<double>(yf), y_ref);
+    rows.push_back(row);
+  }
+  measure_double_op(single, "double acc, float links", false);
+  measure_double_op(half, "double acc, half links", false);
+  measure_double_op(single, "double acc, float links+rhs", true);
+
+  std::printf("%-28s %-6s %14s %12s %14s %12s\n", "variant", "tag",
+              "stencil B/site", "apply us", "mrhs us/rhs", "rel gap");
+  for (const auto& r : rows)
+    std::printf("%-28s %-6s %14.0f %12.1f %14.1f %12.2e\n", r.label.c_str(),
+                r.tag.c_str(), r.stencil_bytes_per_site, r.apply_us,
+                r.mrhs_us_per_rhs, r.rel_gap);
+
+  // --- wire-precision halo ablation -----------------------------------------
+  // The same coarse operator distributed over 2 virtual ranks: Single wire
+  // halves message and staging bytes at identical message counts.
+  const auto dec = make_decomposition(native.geometry(), 2);
+  const DistributedCoarseOp<double> dist(single, dec);
+  struct WireRow {
+    long messages = 0;
+    long message_bytes = 0;
+    long hd_bytes = 0;
+  } wire_rows[2];
+  for (int w = 0; w < 2; ++w) {
+    const WirePrecision wire =
+        w == 0 ? WirePrecision::Native : WirePrecision::Single;
+    auto dx = dist.create_vector();
+    dx.set_wire_precision(wire);
+    dx.scatter(x);
+    auto dy = dist.create_vector();
+    CommStats stats;
+    dist.apply(dy, dx, config, &stats);
+    wire_rows[w].messages = stats.messages;
+    wire_rows[w].message_bytes = stats.message_bytes;
+    wire_rows[w].hd_bytes = stats.host_device_bytes;
+  }
+  std::printf("\nhalo wire ablation (2 ranks, one apply):\n");
+  std::printf("  %-8s %10s %14s %14s\n", "wire", "messages", "msg bytes",
+              "h2d/d2h bytes");
+  std::printf("  %-8s %10ld %14ld %14ld\n", "native", wire_rows[0].messages,
+              wire_rows[0].message_bytes, wire_rows[0].hd_bytes);
+  std::printf("  %-8s %10ld %14ld %14ld\n", "single", wire_rows[1].messages,
+              wire_rows[1].message_bytes, wire_rows[1].hd_bytes);
+
+  // --- JSON ------------------------------------------------------------------
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"coarse_storage_precision\",\n"
+               "  \"config\": {\n"
+               "    \"fine_dims\": [%d, %d, %d, %d],\n"
+               "    \"coarse_volume\": %ld,\n"
+               "    \"block_dim\": %d,\n"
+               "    \"nrhs\": %d,\n"
+               "    \"reps\": %d,\n"
+               "    \"num_cpus\": %u\n"
+               "  },\n"
+               "  \"note\": \"stencil bytes/site are exact per storage "
+               "format; on num_cpus=1 the CPU wall-clock understates the "
+               "bandwidth win the byte reduction buys on a GPU\",\n",
+               l, l, l, l, v, n, nrhs, reps,
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"variants\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "    {\"label\": \"%s\", \"tag\": \"%s\", "
+                 "\"stencil_bytes_per_site\": %.0f, \"apply_us\": %.2f, "
+                 "\"mrhs_us_per_rhs\": %.2f, \"rel_gap_vs_double\": %.3e}%s\n",
+                 r.label.c_str(), r.tag.c_str(), r.stencil_bytes_per_site,
+                 r.apply_us, r.mrhs_us_per_rhs, r.rel_gap,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"halo_wire\": [\n");
+  for (int w = 0; w < 2; ++w)
+    std::fprintf(f,
+                 "    {\"wire\": \"%s\", \"messages\": %ld, "
+                 "\"message_bytes\": %ld, \"host_device_bytes\": %ld}%s\n",
+                 w == 0 ? "native" : "single", wire_rows[w].messages,
+                 wire_rows[w].message_bytes, wire_rows[w].hd_bytes,
+                 w == 0 ? "," : "");
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

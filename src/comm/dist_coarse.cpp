@@ -1,6 +1,7 @@
 #include "comm/dist_coarse.h"
 
 #include <cstring>
+#include <stdexcept>
 
 #include "mg/coarse_row.h"
 #include "parallel/dispatch.h"
@@ -10,10 +11,41 @@ namespace qmg {
 template <typename T>
 DistributedCoarseOp<T>::DistributedCoarseOp(const CoarseDirac<T>& global,
                                             DecompositionPtr dec)
-    : dec_(std::move(dec)), nc_(global.ncolor()), n_(global.block_dim()) {
+    : dec_(std::move(dec)), nc_(global.ncolor()), n_(global.block_dim()),
+      storage_(global.storage()) {
   const int nranks = dec_->nranks();
   const long v = dec_->local_volume();
   const size_t block = static_cast<size_t>(n_) * n_;
+
+  if (storage_ == CoarseStorage::Half16)
+    throw std::invalid_argument(
+        "DistributedCoarseOp: Half16 storage is not distributed; compress "
+        "the global operator to Single instead");
+
+  // Split the global links over the ranks in the global operator's own
+  // storage format — a compressed global stays compressed per rank.
+  if (storage_ == CoarseStorage::Single) {
+    links_lo_.assign(nranks, std::vector<Complex<float>>(
+                                 static_cast<size_t>(v) *
+                                 CoarseDirac<T>::kNLinks * block));
+    diag_lo_.assign(nranks,
+                    std::vector<Complex<float>>(static_cast<size_t>(v) *
+                                                block));
+    for (int r = 0; r < nranks; ++r) {
+      for (long i = 0; i < v; ++i) {
+        const long gi = dec_->global_index(r, i);
+        for (int l = 0; l < CoarseDirac<T>::kNLinks; ++l)
+          std::memcpy(links_lo_[r].data() +
+                          (static_cast<size_t>(i) * CoarseDirac<T>::kNLinks +
+                           l) * block,
+                      global.link_lo_data(gi, l),
+                      sizeof(Complex<float>) * block);
+        std::memcpy(diag_lo_[r].data() + static_cast<size_t>(i) * block,
+                    global.diag_lo_data(gi), sizeof(Complex<float>) * block);
+      }
+    }
+    return;
+  }
 
   links_.assign(nranks, std::vector<Complex<T>>(
                             static_cast<size_t>(v) *
@@ -35,43 +67,57 @@ DistributedCoarseOp<T>::DistributedCoarseOp(const CoarseDirac<T>& global,
 }
 
 template <typename T>
+template <typename TM>
 void DistributedCoarseOp<T>::site_row_update(
-    int rank, const DistributedSpinor<T>& in, ColorSpinorField<T>& dst_field,
-    long site, const CoarseKernelConfig& config) const {
-  const Complex<T>* mats[9];
+    const Complex<TM>* links, const Complex<TM>* diag, int rank,
+    const DistributedSpinor<T>& in, ColorSpinorField<T>& dst_field, long site,
+    const CoarseKernelConfig& config) const {
+  const size_t block = static_cast<size_t>(n_) * n_;
+  const Complex<TM>* mats[9];
   const Complex<T>* xin[9];
-  mats[0] = diag_data(rank, site);
+  mats[0] = diag + static_cast<size_t>(site) * block;
   xin[0] = in.local(rank).site_data(site);
   for (int mu = 0; mu < kNDim; ++mu) {
-    mats[1 + 2 * mu] = link_data(rank, site, 2 * mu);
+    mats[1 + 2 * mu] =
+        links + (static_cast<size_t>(site) * CoarseDirac<T>::kNLinks +
+                 2 * mu) * block;
     xin[1 + 2 * mu] = in.site_or_ghost(rank, dec_->neighbor_fwd(site, mu));
-    mats[2 + 2 * mu] = link_data(rank, site, 2 * mu + 1);
+    mats[2 + 2 * mu] =
+        links + (static_cast<size_t>(site) * CoarseDirac<T>::kNLinks +
+                 2 * mu + 1) * block;
     xin[2 + 2 * mu] = in.site_or_ghost(rank, dec_->neighbor_bwd(site, mu));
   }
   Complex<T>* dst = dst_field.site_data(site);
   for (int row = 0; row < n_; ++row)
-    dst[row] = coarse_row(mats, xin, row, n_, config);
+    dst[row] = coarse_row_mixed<T>(mats, xin, row, n_, config);
 }
 
 template <typename T>
+template <typename TM>
 void DistributedCoarseOp<T>::site_rows_update_rhs(
-    int rank, const DistributedBlockSpinor<T>& in, BlockSpinor<T>& dst_field,
-    long site, long k0, long k1, const CoarseKernelConfig& config) const {
+    const Complex<TM>* links, const Complex<TM>* diag, int rank,
+    const DistributedBlockSpinor<T>& in, BlockSpinor<T>& dst_field, long site,
+    long k0, long k1, const CoarseKernelConfig& config) const {
   // Mirrors CoarseDirac::apply_block_with_config: one stencil-matrix load
-  // per site tile, rhs streamed unit-stride by coarse_row_mrhs (per-rhs
-  // partial-sum shape identical to coarse_row, so per-rhs results are
-  // bit-identical to the single-rhs distributed apply).  Local and ghost
-  // site blocks share the rhs-innermost layout, so the same pointer
-  // arithmetic serves both.
+  // per site tile, rhs streamed unit-stride by coarse_row_mrhs_span
+  // (per-rhs partial-sum shape identical to coarse_row_span, so per-rhs
+  // results are bit-identical to the single-rhs distributed apply at the
+  // same precision axes).  Local and ghost site blocks share the
+  // rhs-innermost layout, so the same pointer arithmetic serves both.
+  const size_t block = static_cast<size_t>(n_) * n_;
   const int nrhs = in.nrhs();
-  const Complex<T>* mats[9];
+  const Complex<TM>* mats[9];
   long nbr[9];
-  mats[0] = diag_data(rank, site);
+  mats[0] = diag + static_cast<size_t>(site) * block;
   nbr[0] = site;
   for (int mu = 0; mu < kNDim; ++mu) {
-    mats[1 + 2 * mu] = link_data(rank, site, 2 * mu);
+    mats[1 + 2 * mu] =
+        links + (static_cast<size_t>(site) * CoarseDirac<T>::kNLinks +
+                 2 * mu) * block;
     nbr[1 + 2 * mu] = dec_->neighbor_fwd(site, mu);
-    mats[2 + 2 * mu] = link_data(rank, site, 2 * mu + 1);
+    mats[2 + 2 * mu] =
+        links + (static_cast<size_t>(site) * CoarseDirac<T>::kNLinks +
+                 2 * mu + 1) * block;
     nbr[2 + 2 * mu] = dec_->neighbor_bwd(site, mu);
   }
   for (long t0 = k0; t0 < k1; t0 += kCoarseRowMaxTile) {
@@ -81,17 +127,23 @@ void DistributedCoarseOp<T>::site_rows_update_rhs(
     for (int m = 0; m < 9; ++m)
       xin[m] = in.site_or_ghost(rank, nbr[m]) + t0;
     Complex<T>* dst = dst_field.site_data(site) + t0;
-    for (int row = 0; row < n_; ++row)
-      coarse_row_mrhs(mats, xin, nrhs, row, n_, config, tile,
-                      dst + static_cast<long>(row) * nrhs);
+    for (int row = 0; row < n_; ++row) {
+      const Complex<TM>* rows[9];
+      for (int m = 0; m < 9; ++m)
+        rows[m] = mats[m] + static_cast<size_t>(row) * n_;
+      coarse_row_mrhs_span<T, TM, T>(rows, xin, nrhs, n_, config, tile,
+                                     dst + static_cast<long>(row) * nrhs);
+    }
   }
 }
 
 template <typename T>
-void DistributedCoarseOp<T>::apply(DistributedSpinor<T>& out,
-                                   DistributedSpinor<T>& in,
-                                   const CoarseKernelConfig& config,
-                                   CommStats* stats, HaloMode mode) const {
+template <typename TM>
+void DistributedCoarseOp<T>::apply_impl(
+    const std::vector<std::vector<Complex<TM>>>& links,
+    const std::vector<std::vector<Complex<TM>>>& diag,
+    DistributedSpinor<T>& out, DistributedSpinor<T>& in,
+    const CoarseKernelConfig& config, CommStats* stats, HaloMode mode) const {
   const long v = dec_->local_volume();
 
   if (mode == HaloMode::Sync) {
@@ -99,7 +151,8 @@ void DistributedCoarseOp<T>::apply(DistributedSpinor<T>& out,
     for (int r = 0; r < dec_->nranks(); ++r) {
       ColorSpinorField<T>& dst_field = out.local(r);
       parallel_for(v, [&](long site) {
-        site_row_update(r, in, dst_field, site, config);
+        site_row_update(links[r].data(), diag[r].data(), r, in, dst_field,
+                        site, config);
       });
     }
     return;
@@ -112,8 +165,58 @@ void DistributedCoarseOp<T>::apply(DistributedSpinor<T>& out,
     for (int r = 0; r < dec_->nranks(); ++r) {
       ColorSpinorField<T>& dst_field = out.local(r);
       parallel_for_indices(sites, [&](long site) {
-        site_row_update(r, in, dst_field, site, config);
+        site_row_update(links[r].data(), diag[r].data(), r, in, dst_field,
+                        site, config);
       });
+    }
+  };
+  run_overlapped(in, stats, [&] { phase(dec_->interior_sites()); },
+                 [&] { phase(dec_->boundary_sites()); });
+}
+
+template <typename T>
+void DistributedCoarseOp<T>::apply(DistributedSpinor<T>& out,
+                                   DistributedSpinor<T>& in,
+                                   const CoarseKernelConfig& config,
+                                   CommStats* stats, HaloMode mode) const {
+  if (storage_ == CoarseStorage::Single)
+    apply_impl(links_lo_, diag_lo_, out, in, config, stats, mode);
+  else
+    apply_impl(links_, diag_, out, in, config, stats, mode);
+}
+
+template <typename T>
+template <typename TM>
+void DistributedCoarseOp<T>::apply_block_impl(
+    const std::vector<std::vector<Complex<TM>>>& links,
+    const std::vector<std::vector<Complex<TM>>>& diag,
+    DistributedBlockSpinor<T>& out, DistributedBlockSpinor<T>& in,
+    const CoarseKernelConfig& config, CommStats* stats, HaloMode mode,
+    const LaunchPolicy& policy) const {
+  const long v = dec_->local_volume();
+  const int nrhs = in.nrhs();
+
+  if (mode == HaloMode::Sync) {
+    in.exchange_halos(stats, policy);
+    for (int r = 0; r < dec_->nranks(); ++r) {
+      BlockSpinor<T>& dst_field = out.local(r);
+      parallel_for_2d_tiled(v, nrhs, policy,
+                            [&](long site, long k0, long k1) {
+        site_rows_update_rhs(links[r].data(), diag[r].data(), r, in,
+                             dst_field, site, k0, k1, config);
+      });
+    }
+    return;
+  }
+
+  auto phase = [&](const std::vector<long>& sites) {
+    for (int r = 0; r < dec_->nranks(); ++r) {
+      BlockSpinor<T>& dst_field = out.local(r);
+      parallel_for_2d_indices_tiled(
+          sites, nrhs, policy, [&](long site, long k0, long k1) {
+            site_rows_update_rhs(links[r].data(), diag[r].data(), r, in,
+                                 dst_field, site, k0, k1, config);
+          });
     }
   };
   run_overlapped(in, stats, [&] { phase(dec_->interior_sites()); },
@@ -128,32 +231,11 @@ void DistributedCoarseOp<T>::apply_block(DistributedBlockSpinor<T>& out,
                                          const LaunchPolicy& policy) const {
   if (out.nrhs() != in.nrhs() || in.site_dof() != n_ || out.site_dof() != n_)
     throw std::invalid_argument("dist coarse apply_block: shape mismatch");
-  const long v = dec_->local_volume();
-  const int nrhs = in.nrhs();
-
-  if (mode == HaloMode::Sync) {
-    in.exchange_halos(stats, policy);
-    for (int r = 0; r < dec_->nranks(); ++r) {
-      BlockSpinor<T>& dst_field = out.local(r);
-      parallel_for_2d_tiled(v, nrhs, policy,
-                            [&](long site, long k0, long k1) {
-        site_rows_update_rhs(r, in, dst_field, site, k0, k1, config);
-      });
-    }
-    return;
-  }
-
-  auto phase = [&](const std::vector<long>& sites) {
-    for (int r = 0; r < dec_->nranks(); ++r) {
-      BlockSpinor<T>& dst_field = out.local(r);
-      parallel_for_2d_indices_tiled(
-          sites, nrhs, policy, [&](long site, long k0, long k1) {
-            site_rows_update_rhs(r, in, dst_field, site, k0, k1, config);
-          });
-    }
-  };
-  run_overlapped(in, stats, [&] { phase(dec_->interior_sites()); },
-                 [&] { phase(dec_->boundary_sites()); });
+  if (storage_ == CoarseStorage::Single)
+    apply_block_impl(links_lo_, diag_lo_, out, in, config, stats, mode,
+                     policy);
+  else
+    apply_block_impl(links_, diag_, out, in, config, stats, mode, policy);
 }
 
 template class DistributedCoarseOp<double>;

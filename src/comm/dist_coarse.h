@@ -33,12 +33,26 @@ namespace qmg {
 template <typename T>
 class DistributedCoarseOp {
  public:
-  /// Splits a (globally built) coarse operator over the ranks.
+  /// Splits a (globally built) coarse operator over the ranks, INHERITING
+  /// its storage format: a Single-compressed global operator yields
+  /// per-rank float links read with T accumulation (strategy (c) under
+  /// domain decomposition — the stencil traffic of every rank shrinks the
+  /// same ~2x as the single-process apply).  Half16 globals are not
+  /// supported here (compress before distribution is a Single/Native
+  /// choice); combine Single storage with WirePrecision::Single ghosts for
+  /// the full bandwidth reduction.
   DistributedCoarseOp(const CoarseDirac<T>& global, DecompositionPtr dec);
 
   const DecompositionPtr& decomposition() const { return dec_; }
   int ncolor() const { return nc_; }
   int block_dim() const { return n_; }
+  CoarseStorage storage() const { return storage_; }
+  /// Tune/bench tag matching CoarseDirac::precision_tag().
+  std::string precision_tag() const {
+    std::string tag(1, sizeof(T) == 4 ? 'f' : 'd');
+    if (storage_ == CoarseStorage::Single) tag += 'f';
+    return tag;
+  }
 
   DistributedSpinor<T> create_vector() const {
     return DistributedSpinor<T>(dec_, CoarseDirac<T>::kNSpin, nc_);
@@ -68,25 +82,40 @@ class DistributedCoarseOp {
   DecompositionPtr dec_;
   int nc_;
   int n_;
+  CoarseStorage storage_ = CoarseStorage::Native;
   // Per rank: 8 link blocks + diagonal per local site (same layout as
-  // CoarseDirac, local indexing).
+  // CoarseDirac, local indexing).  Exactly one of the (links_, diag_) /
+  // (links_lo_, diag_lo_) pairs is populated, per storage_.
   std::vector<std::vector<Complex<T>>> links_;
   std::vector<std::vector<Complex<T>>> diag_;
+  std::vector<std::vector<Complex<float>>> links_lo_;
+  std::vector<std::vector<Complex<float>>> diag_lo_;
 
-  const Complex<T>* link_data(int rank, long site, int l) const {
-    return links_[rank].data() +
-           (static_cast<size_t>(site) * CoarseDirac<T>::kNLinks + l) * n_ * n_;
-  }
-  const Complex<T>* diag_data(int rank, long site) const {
-    return diag_[rank].data() + static_cast<size_t>(site) * n_ * n_;
-  }
-
-  void site_row_update(int rank, const DistributedSpinor<T>& in,
+  // Storage-generic kernel bodies (TM = stored element type, accumulation
+  // in T via the mixed row kernels of mg/coarse_row.h).
+  template <typename TM>
+  void site_row_update(const Complex<TM>* links, const Complex<TM>* diag,
+                       int rank, const DistributedSpinor<T>& in,
                        ColorSpinorField<T>& dst_field, long site,
                        const CoarseKernelConfig& config) const;
-  void site_rows_update_rhs(int rank, const DistributedBlockSpinor<T>& in,
+  template <typename TM>
+  void site_rows_update_rhs(const Complex<TM>* links, const Complex<TM>* diag,
+                            int rank, const DistributedBlockSpinor<T>& in,
                             BlockSpinor<T>& dst_field, long site, long k0,
                             long k1, const CoarseKernelConfig& config) const;
+  template <typename TM>
+  void apply_impl(const std::vector<std::vector<Complex<TM>>>& links,
+                  const std::vector<std::vector<Complex<TM>>>& diag,
+                  DistributedSpinor<T>& out, DistributedSpinor<T>& in,
+                  const CoarseKernelConfig& config, CommStats* stats,
+                  HaloMode mode) const;
+  template <typename TM>
+  void apply_block_impl(const std::vector<std::vector<Complex<TM>>>& links,
+                        const std::vector<std::vector<Complex<TM>>>& diag,
+                        DistributedBlockSpinor<T>& out,
+                        DistributedBlockSpinor<T>& in,
+                        const CoarseKernelConfig& config, CommStats* stats,
+                        HaloMode mode, const LaunchPolicy& policy) const;
 };
 
 }  // namespace qmg

@@ -94,6 +94,70 @@ void deliver_halos_impl(const DomainDecomposition& dec,
   }
 }
 
+/// Single-wire phase 1: the packing kernel truncates each site slot to
+/// float while gathering it (QUDA packs into the transfer precision on the
+/// device), so the staging copy and every message move half the bytes.
+template <typename Local, typename T>
+void pack_halos_lo_impl(const DomainDecomposition& dec,
+                        const std::vector<Local>& locals,
+                        std::vector<std::vector<Complex<float>>>& send,
+                        const std::vector<long>& pack_src, size_t slot,
+                        CommStats* stats, const LaunchPolicy& policy) {
+  for (int r = 0; r < dec.nranks(); ++r) {
+    Complex<float>* buf = send[r].data();
+    const Local& loc = locals[r];
+    parallel_for(static_cast<long>(pack_src.size()), policy, [&](long s) {
+      const Complex<T>* src = loc.site_data(pack_src[static_cast<size_t>(s)]);
+      Complex<float>* dst = buf + static_cast<size_t>(s) * slot;
+      for (size_t j = 0; j < slot; ++j) dst[j] = Complex<float>(src[j]);
+    });
+    if (stats) {
+      ++stats->pack_kernels;
+      ++stats->host_device_copies;
+      stats->host_device_bytes +=
+          static_cast<long>(send[r].size() * sizeof(Complex<float>));
+    }
+  }
+}
+
+/// Single-wire phase 2: float messages, promoted back to T at ghost
+/// delivery (the unpack).  Message-count structure is identical to the
+/// native-wire path; only the bytes shrink.
+template <typename T>
+void deliver_halos_lo_impl(const DomainDecomposition& dec,
+                           std::vector<std::vector<Complex<T>>>& ghosts,
+                           const std::vector<std::vector<Complex<float>>>& send,
+                           size_t slot, CommStats* stats,
+                           const LaunchPolicy& policy) {
+  const size_t wire_slot_bytes = sizeof(Complex<float>) * slot;
+  for (int r = 0; r < dec.nranks(); ++r) {
+    parallel_for(static_cast<long>(kNDim), policy, [&](long mu_idx) {
+      const int mu = static_cast<int>(mu_idx);
+      const size_t face = static_cast<size_t>(dec.face_sites(mu)) * slot;
+      const int fwd = dec.grid().neighbor(r, mu, 0);
+      const int bwd = dec.grid().neighbor(r, mu, 1);
+      for (int dir = 0; dir < 2; ++dir) {
+        const size_t off =
+            static_cast<size_t>(dec.ghost_offset(mu, dir)) * slot;
+        Complex<T>* dst = ghosts[dir == 0 ? bwd : fwd].data() + off;
+        const Complex<float>* src = send[r].data() + off;
+        for (size_t j = 0; j < face; ++j) dst[j] = Complex<T>(src[j]);
+      }
+    });
+    if (stats) {
+      for (int mu = 0; mu < kNDim; ++mu) {
+        if (dec.self_comm(mu)) continue;
+        stats->messages += 2;
+        stats->message_bytes += 2 * static_cast<long>(dec.face_sites(mu)) *
+                                static_cast<long>(wire_slot_bytes);
+      }
+      ++stats->host_device_copies;
+      stats->host_device_bytes += static_cast<long>(
+          ghosts[r].size() * sizeof(Complex<float>));
+    }
+  }
+}
+
 }  // namespace
 
 template <typename T>
@@ -125,15 +189,24 @@ void DistributedSpinor<T>::gather(ColorSpinorField<T>& global) const {
 template <typename T>
 void DistributedSpinor<T>::pack_halos(CommStats* stats,
                                       const LaunchPolicy& policy) {
-  pack_halos_impl(*dec_, locals_, send_, pack_src_,
-                  static_cast<size_t>(site_dof()), stats, policy);
+  if (wire_active())
+    pack_halos_lo_impl<ColorSpinorField<T>, T>(
+        *dec_, locals_, send_lo_, pack_src_,
+        static_cast<size_t>(site_dof()), stats, policy);
+  else
+    pack_halos_impl(*dec_, locals_, send_, pack_src_,
+                    static_cast<size_t>(site_dof()), stats, policy);
 }
 
 template <typename T>
 void DistributedSpinor<T>::deliver_halos(CommStats* stats,
                                          const LaunchPolicy& policy) {
-  deliver_halos_impl(*dec_, ghosts_, send_, static_cast<size_t>(site_dof()),
-                     stats, policy);
+  if (wire_active())
+    deliver_halos_lo_impl(*dec_, ghosts_, send_lo_,
+                          static_cast<size_t>(site_dof()), stats, policy);
+  else
+    deliver_halos_impl(*dec_, ghosts_, send_, static_cast<size_t>(site_dof()),
+                       stats, policy);
 }
 
 // --- DistributedBlockSpinor -------------------------------------------------
@@ -178,15 +251,26 @@ void DistributedBlockSpinor<T>::gather(BlockSpinor<T>& global) const {
 template <typename T>
 void DistributedBlockSpinor<T>::pack_halos(CommStats* stats,
                                            const LaunchPolicy& policy) {
-  pack_halos_impl(*dec_, locals_, send_, pack_src_,
-                  static_cast<size_t>(site_dof()) * nrhs_, stats, policy);
+  if (wire_active())
+    pack_halos_lo_impl<BlockSpinor<T>, T>(
+        *dec_, locals_, send_lo_, pack_src_,
+        static_cast<size_t>(site_dof()) * nrhs_, stats, policy);
+  else
+    pack_halos_impl(*dec_, locals_, send_, pack_src_,
+                    static_cast<size_t>(site_dof()) * nrhs_, stats, policy);
 }
 
 template <typename T>
 void DistributedBlockSpinor<T>::deliver_halos(CommStats* stats,
                                               const LaunchPolicy& policy) {
-  deliver_halos_impl(*dec_, ghosts_, send_,
-                     static_cast<size_t>(site_dof()) * nrhs_, stats, policy);
+  if (wire_active())
+    deliver_halos_lo_impl(*dec_, ghosts_, send_lo_,
+                          static_cast<size_t>(site_dof()) * nrhs_, stats,
+                          policy);
+  else
+    deliver_halos_impl(*dec_, ghosts_, send_,
+                       static_cast<size_t>(site_dof()) * nrhs_, stats,
+                       policy);
 }
 
 template class DistributedSpinor<double>;

@@ -97,6 +97,15 @@ struct CommStats {
 /// only its own output, so results are bit-identical per rhs.
 enum class HaloMode { Sync, Overlapped };
 
+/// Element precision of the bytes that cross the (virtual) network and PCIe
+/// bus (paper section 4, strategy (c) applied to the halo): with Single, a
+/// double-precision field's faces are truncated to float at pack time and
+/// promoted back at delivery, halving message and staging bytes — the
+/// ghost REGION stays in the field's working precision, so the stencil
+/// kernels are unchanged and interior sites (which never read ghosts) are
+/// bit-identical to the native-wire execution.  A no-op for float fields.
+enum class WirePrecision { Native, Single };
+
 /// Launch policy for exchange work running on a comm worker concurrently
 /// with a compute launch: the thread pool serves the interior launch, so
 /// the pack/unpack must not re-enter it (ThreadPool::run is single-caller).
@@ -209,13 +218,31 @@ class DistributedSpinor {
   void deliver_halos(CommStats* stats = nullptr,
                      const LaunchPolicy& policy = default_policy());
 
+  /// Select the wire precision of subsequent exchanges (see WirePrecision).
+  void set_wire_precision(WirePrecision wire) {
+    wire_ = wire;
+    if (wire_active() && send_lo_.empty())
+      send_lo_.assign(dec_->nranks(),
+                      std::vector<Complex<float>>(
+                          static_cast<size_t>(dec_->total_ghost_sites()) *
+                          site_dof()));
+  }
+  WirePrecision wire_precision() const { return wire_; }
+  /// Whether exchanges actually truncate (Single wire on a wider-than-
+  /// float field).
+  bool wire_active() const {
+    return wire_ == WirePrecision::Single && sizeof(T) > sizeof(float);
+  }
+
  private:
   DecompositionPtr dec_;
   int nspin_;
   int ncolor_;
+  WirePrecision wire_ = WirePrecision::Native;
   std::vector<ColorSpinorField<T>> locals_;
   std::vector<std::vector<Complex<T>>> ghosts_;  // per rank, all faces
   std::vector<std::vector<Complex<T>>> send_;    // per rank, packed faces
+  std::vector<std::vector<Complex<float>>> send_lo_;  // Single-wire staging
   std::vector<long> pack_src_;  // ghost slot -> local source site
 };
 
@@ -283,14 +310,32 @@ class DistributedBlockSpinor {
   void deliver_halos(CommStats* stats = nullptr,
                      const LaunchPolicy& policy = default_policy());
 
+  /// Select the wire precision of subsequent exchanges (see WirePrecision);
+  /// composes with the batched wire format — one float message per
+  /// (rank, face) carrying all nrhs faces.
+  void set_wire_precision(WirePrecision wire) {
+    wire_ = wire;
+    if (wire_active() && send_lo_.empty())
+      send_lo_.assign(dec_->nranks(),
+                      std::vector<Complex<float>>(
+                          static_cast<size_t>(dec_->total_ghost_sites()) *
+                          site_dof() * nrhs_));
+  }
+  WirePrecision wire_precision() const { return wire_; }
+  bool wire_active() const {
+    return wire_ == WirePrecision::Single && sizeof(T) > sizeof(float);
+  }
+
  private:
   DecompositionPtr dec_;
   int nspin_;
   int ncolor_;
   int nrhs_;
+  WirePrecision wire_ = WirePrecision::Native;
   std::vector<BlockSpinor<T>> locals_;
   std::vector<std::vector<Complex<T>>> ghosts_;  // per rank, all faces x rhs
   std::vector<std::vector<Complex<T>>> send_;
+  std::vector<std::vector<Complex<float>>> send_lo_;  // Single-wire staging
   std::vector<long> pack_src_;  // ghost slot -> local source site
 };
 

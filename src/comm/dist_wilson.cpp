@@ -268,6 +268,7 @@ void DistributedBlockWilsonOp<T>::apply(Field& out, const Field& in) const {
   if (!din_) {
     din_ = std::make_unique<DistributedSpinor<T>>(dist_.create_vector());
     dout_ = std::make_unique<DistributedSpinor<T>>(dist_.create_vector());
+    din_->set_wire_precision(wire_);  // only the input's halos travel
   }
   din_->scatter(in);
   dist_.apply(*dout_, *din_, &stats_, mode_);
@@ -293,6 +294,7 @@ void DistributedBlockWilsonOp<T>::apply_block(BlockField& out,
         dist_.create_block(in.nrhs()));
     bout_ = std::make_unique<DistributedBlockSpinor<T>>(
         dist_.create_block(in.nrhs()));
+    bin_->set_wire_precision(wire_);  // only the input's halos travel
   }
   bin_->scatter(in);
   dist_.apply_block(*bout_, *bin_, &stats_, mode_);

@@ -118,9 +118,13 @@ class DistributedBlockWilsonOp : public LinearOperator<T> {
   using Field = typename LinearOperator<T>::Field;
   using BlockField = typename LinearOperator<T>::BlockField;
 
+  /// `wire` selects the halo element precision of the staging fields
+  /// (WirePrecision::Single halves the exchange bytes of a double-
+  /// precision distributed solve; ghosts and compute stay in T).
   explicit DistributedBlockWilsonOp(const DistributedWilsonOp<T>& dist,
-                                    HaloMode mode = HaloMode::Overlapped)
-      : dist_(dist), mode_(mode) {}
+                                    HaloMode mode = HaloMode::Overlapped,
+                                    WirePrecision wire = WirePrecision::Native)
+      : dist_(dist), mode_(mode), wire_(wire) {}
 
   Field create_vector() const override {
     return Field(dist_.decomposition()->global(), 4, 3);
@@ -144,6 +148,7 @@ class DistributedBlockWilsonOp : public LinearOperator<T> {
  private:
   const DistributedWilsonOp<T>& dist_;
   HaloMode mode_;
+  WirePrecision wire_ = WirePrecision::Native;
   mutable CommStats stats_;
   // Scatter/gather staging, reused across applies (rebuilt when the rhs
   // count changes).

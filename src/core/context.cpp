@@ -67,8 +67,13 @@ bool QmgContext::load_tune_cache(const std::string& path) {
 void QmgContext::setup_multigrid(const MgConfig& config) {
   // The hierarchy lives in single precision (paper section 7.1: "with the
   // exception of double precision on the outermost GCR solver, all other
-  // computation was in single precision").
-  mg_ = std::make_unique<Multigrid<float>>(*op_f_, config);
+  // computation was in single precision").  The context's coarse-storage
+  // option (strategy (c)) applies unless the MgConfig already picked a
+  // format itself.
+  MgConfig cfg = config;
+  if (cfg.coarse_storage == CoarseStorage::Native)
+    cfg.coarse_storage = options_.mg_coarse_storage;
+  mg_ = std::make_unique<Multigrid<float>>(*op_f_, cfg);
 }
 
 SolverResult QmgContext::solve_mg(ColorSpinorField<double>& x,
@@ -136,7 +141,8 @@ BlockSolverResult QmgContext::solve_mg_block_distributed(
   const auto dec = make_decomposition(geom_, nranks);
   const DistributedWilsonOp<double> dist(gauge_d_, op_d_->params(),
                                          &clover_d_, dec);
-  const DistributedBlockWilsonOp<double> dist_op(dist, mode);
+  const DistributedBlockWilsonOp<double> dist_op(dist, mode,
+                                                 options_.halo_wire);
   SolverParams params;
   params.tol = tol;
   params.max_iter = max_iter;

@@ -40,6 +40,18 @@ struct ContextOptions {
   // context construction and saved back at destruction, so production runs
   // skip the first-call tuning sweep.
   std::string tune_cache_file;
+  // Mixed-precision coarse storage (paper section 4, strategy (c)): the
+  // storage format of the MG hierarchy's coarse links/diag.  Applied by
+  // setup_multigrid when the MgConfig leaves coarse_storage at Native; the
+  // context's hierarchy is single precision, so Half16 is the setting that
+  // shrinks its coarse stencil traffic (~4x vs double, ~2x vs the native
+  // float links).
+  CoarseStorage mg_coarse_storage = CoarseStorage::Native;
+  // Element precision of distributed halo traffic (comm/dist_spinor.h):
+  // Single halves message and staging bytes of the double-precision
+  // distributed solves (the outer fine-operator applies of
+  // solve_mg_block_distributed).
+  WirePrecision halo_wire = WirePrecision::Native;
 };
 
 class QmgContext {

@@ -13,6 +13,21 @@
 
 namespace qmg {
 
+/// Clamp-safe Q15 quantization shared by every 16-bit fixed-point format
+/// (spinor and coarse-link storage).  `scale` is 32767 / max_abs of the
+/// normalization block.  lrintf(v * scale) can land outside int16 range for
+/// rounding-edge inputs (x = 32767.5 rounds to 32768) and is undefined for
+/// non-finite products, and a raw cast then wraps silently; saturate
+/// instead, with NaN mapping to 0.
+inline std::int16_t quantize_q15(float v, float scale) {
+  const float x = v * scale;
+  // The comparison is false for NaN, so non-finite x falls through to the
+  // saturating branch.
+  if (!(std::fabs(x) < 32767.5f))
+    return x > 0.0f ? 32767 : (x < 0.0f ? -32767 : 0);
+  return static_cast<std::int16_t>(std::lrintf(x));
+}
+
 class HalfSpinorField {
  public:
   HalfSpinorField() = default;
@@ -32,13 +47,25 @@ class HalfSpinorField {
   Subset subset() const { return subset_; }
 
   /// Bytes per site of this format (components + norm) — used by the
-  /// bandwidth model.
+  /// bandwidth model.  Must match the actual allocation,
+  /// allocated_bytes() == bytes_per_site() * nsites(), so the bench
+  /// arithmetic-intensity numbers are not off by the norm bytes (audited
+  /// by the precision test suite).
   size_t bytes_per_site() const {
     return static_cast<size_t>(nspin_) * ncolor_ * 2 * sizeof(std::int16_t) +
            sizeof(float);
   }
 
-  /// Quantize a float field into half storage.
+  /// What this field actually holds in memory (components + norms).
+  size_t allocated_bytes() const {
+    return comps_.size() * sizeof(std::int16_t) +
+           norms_.size() * sizeof(float);
+  }
+
+  /// Quantize a float field into half storage.  The per-site norm is
+  /// NaN-safe: non-finite components are ignored when computing the
+  /// max-magnitude (so norms_ never holds NaN/inf) and saturate to the
+  /// fixed-point edge — or 0 for NaN — when quantized.
   void store(const ColorSpinorField<float>& in) {
     const int dof = nspin_ * ncolor_;
     for (long i = 0; i < nsites_; ++i) {
@@ -46,7 +73,10 @@ class HalfSpinorField {
       for (int s = 0; s < nspin_; ++s)
         for (int c = 0; c < ncolor_; ++c) {
           const auto v = in(i, s, c);
-          max_abs = std::max({max_abs, std::fabs(v.re), std::fabs(v.im)});
+          const float ar = std::fabs(v.re);
+          const float ai = std::fabs(v.im);
+          if (std::isfinite(ar) && ar > max_abs) max_abs = ar;
+          if (std::isfinite(ai) && ai > max_abs) max_abs = ai;
         }
       norms_[i] = max_abs;
       const float scale = max_abs > 0.0f ? 32767.0f / max_abs : 0.0f;
@@ -55,8 +85,8 @@ class HalfSpinorField {
       for (int s = 0; s < nspin_; ++s)
         for (int c = 0; c < ncolor_; ++c) {
           const auto v = in(i, s, c);
-          site[k++] = static_cast<std::int16_t>(std::lrintf(v.re * scale));
-          site[k++] = static_cast<std::int16_t>(std::lrintf(v.im * scale));
+          site[k++] = quantize_q15(v.re, scale);
+          site[k++] = quantize_q15(v.im, scale);
         }
     }
   }

@@ -1,0 +1,108 @@
+#pragma once
+// 16-bit fixed-point storage of the coarse stencil (paper section 4,
+// strategy (c), applied to the coarse operator): each of a site's nine
+// dense N x N complex blocks — 8 hop links plus the diagonal — is stored as
+// int16 fractions of that block's max magnitude, plus one float scale per
+// block.  This is the HalfSpinorField format lifted to link blocks: 4 bytes
+// per complex element instead of 16 (double) or 8 (float), so a coarse
+// apply that reads this storage moves ~4x fewer stencil bytes than the
+// double-precision operator while the kernels accumulate in full precision
+// (mg/coarse_row.h's storage-vs-accumulation split).
+//
+// Rows are dequantized on the fly into a per-item scratch buffer
+// (CoarseDirac's Half16 apply path), so the hot loops still see contiguous
+// Complex<float> rows; only the memory traffic shrinks.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "fields/halffield.h"
+#include "linalg/complex.h"
+
+namespace qmg {
+
+class HalfCoarseLinks {
+ public:
+  /// 8 hop links (2*mu + dir) at block index 0..7, diagonal at kDiagBlock.
+  static constexpr int kBlocksPerSite = 9;
+  static constexpr int kDiagBlock = 8;
+
+  HalfCoarseLinks() = default;
+
+  HalfCoarseLinks(long nsites, int block_dim)
+      : nsites_(nsites), n_(block_dim) {
+    comps_.assign(static_cast<size_t>(nsites_) * kBlocksPerSite * n_ * n_ * 2,
+                  0);
+    scales_.assign(static_cast<size_t>(nsites_) * kBlocksPerSite, 0.0f);
+  }
+
+  long nsites() const { return nsites_; }
+  int block_dim() const { return n_; }
+  bool empty() const { return comps_.empty(); }
+
+  /// Bytes per site (9 quantized blocks + 9 scales) — the bandwidth model's
+  /// input.  Audited against allocated_bytes() by the precision tests so
+  /// the arithmetic-intensity numbers are not off by the scale bytes.
+  size_t bytes_per_site() const {
+    return static_cast<size_t>(kBlocksPerSite) * n_ * n_ * 2 *
+               sizeof(std::int16_t) +
+           kBlocksPerSite * sizeof(float);
+  }
+
+  size_t allocated_bytes() const {
+    return comps_.size() * sizeof(std::int16_t) +
+           scales_.size() * sizeof(float);
+  }
+
+  /// Quantize one N x N block.  Like HalfSpinorField::store, the per-block
+  /// scale is NaN-safe (non-finite elements do not poison it) and every
+  /// element goes through the saturating quantize_q15.
+  template <typename T>
+  void store_block(long site, int blk, const Complex<T>* src) {
+    const size_t nn = static_cast<size_t>(n_) * n_;
+    float max_abs = 0.0f;
+    for (size_t k = 0; k < nn; ++k) {
+      const float ar = std::fabs(static_cast<float>(src[k].re));
+      const float ai = std::fabs(static_cast<float>(src[k].im));
+      if (std::isfinite(ar) && ar > max_abs) max_abs = ar;
+      if (std::isfinite(ai) && ai > max_abs) max_abs = ai;
+    }
+    const size_t b = block_index(site, blk);
+    scales_[b] = max_abs;
+    const float scale = max_abs > 0.0f ? 32767.0f / max_abs : 0.0f;
+    std::int16_t* dst = comps_.data() + b * nn * 2;
+    for (size_t k = 0; k < nn; ++k) {
+      dst[2 * k] = quantize_q15(static_cast<float>(src[k].re), scale);
+      dst[2 * k + 1] = quantize_q15(static_cast<float>(src[k].im), scale);
+    }
+  }
+
+  /// Dequantize row r of a block into `out` (n_ complex values).
+  void load_row(long site, int blk, int r, Complex<float>* out) const {
+    const size_t b = block_index(site, blk);
+    const float scale = scales_[b] / 32767.0f;
+    const std::int16_t* src =
+        comps_.data() + (b * n_ + r) * static_cast<size_t>(n_) * 2;
+    for (int c = 0; c < n_; ++c)
+      out[c] = Complex<float>(src[2 * c] * scale, src[2 * c + 1] * scale);
+  }
+
+  /// Dequantize a whole block (n_ x n_ values, row-major).
+  void load_block(long site, int blk, Complex<float>* out) const {
+    for (int r = 0; r < n_; ++r)
+      load_row(site, blk, r, out + static_cast<size_t>(r) * n_);
+  }
+
+ private:
+  size_t block_index(long site, int blk) const {
+    return static_cast<size_t>(site) * kBlocksPerSite + blk;
+  }
+
+  long nsites_ = 0;
+  int n_ = 0;
+  std::vector<std::int16_t> comps_;
+  std::vector<float> scales_;
+};
+
+}  // namespace qmg

@@ -15,8 +15,10 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "fields/halflinks.h"
 #include "lattice/geometry.h"
 #include "linalg/smallmat.h"
 #include "parallel/dispatch.h"
@@ -24,6 +26,28 @@
 #include "solvers/linear_operator.h"
 
 namespace qmg {
+
+/// Storage format of the coarse links/diagonal (paper section 4, strategy
+/// (c)).  The apply kernels READ this storage but ACCUMULATE in the
+/// operator's working precision T (the storage-vs-accumulation split of
+/// mg/coarse_row.h), so Single/Half16 cut the bandwidth-bound stencil
+/// traffic ~2x/~4x relative to a double-precision operator at unchanged
+/// accumulation order; the truncation error is bounded by the K-cycle's
+/// restarted-GCR true-residual recomputation (the reliable updates).
+///   Native — links/diag in Complex<T> (the historical behavior).
+///   Single — links/diag truncated to Complex<float> (no-op when T=float).
+///   Half16 — links/diag in 16-bit fixed point (fields/halflinks.h), rows
+///            dequantized on the fly; the diagonal inverse stays float
+///            (its conditioning does not tolerate Q15 quantization).
+enum class CoarseStorage { Native, Single, Half16 };
+
+inline const char* to_string(CoarseStorage s) {
+  switch (s) {
+    case CoarseStorage::Native: return "native";
+    case CoarseStorage::Single: return "single";
+    default: return "half16";
+  }
+}
 
 template <typename T>
 class CoarseDirac : public LinearOperator<T> {
@@ -41,7 +65,10 @@ class CoarseDirac : public LinearOperator<T> {
   /// Dense block dimension N = Nhat_s * Nhat_c = 2 * ncolor.
   int block_dim() const { return n_; }
 
-  // Raw storage (row-major N x N blocks), written by the Galerkin builder.
+  // Raw NATIVE storage (row-major N x N Complex<T> blocks), written by the
+  // Galerkin builder and read by CoarseStencilView / convert_coarse /
+  // DistributedCoarseOp.  Released by compress_storage(); callers that
+  // need it must check has_native_storage().
   Complex<T>* link_data(long site, int link) {
     return links_.data() + ((static_cast<size_t>(site) * kNLinks + link) *
                             n_) * n_;
@@ -57,12 +84,55 @@ class CoarseDirac : public LinearOperator<T> {
     return diag_.data() + static_cast<size_t>(site) * n_ * n_;
   }
 
+  /// Truncate the links/diagonal (and diagonal inverse, when present) into
+  /// `storage` and release the native arrays — the memory AND bandwidth
+  /// reduction of strategy (c).  Single with T=float is a no-op (native
+  /// already IS single).  Call after Galerkin construction and
+  /// compute_diag_inverse(): recursion (CoarseStencilView), convert_coarse
+  /// and DistributedCoarseOp construction from Half16 need native data.
+  /// Every apply/hopping/diag kernel dispatches on the resulting format and
+  /// keeps accumulating in T.
+  void compress_storage(CoarseStorage storage);
+  CoarseStorage storage() const { return storage_; }
+  bool has_native_storage() const { return !links_.empty(); }
+
+  /// Compressed-storage accessors (Single; also the diag-inverse of
+  /// Half16).  Null-pointer-free only for the active format.
+  const Complex<float>* link_lo_data(long site, int link) const {
+    return links_lo_.data() + ((static_cast<size_t>(site) * kNLinks + link) *
+                               n_) * n_;
+  }
+  const Complex<float>* diag_lo_data(long site) const {
+    return diag_lo_.data() + static_cast<size_t>(site) * n_ * n_;
+  }
+  const HalfCoarseLinks& half_links() const { return half_; }
+
+  /// Short (accumulation, storage) tag for tune-cache keys and bench
+  /// labels: "d"/"f" for native double/float, plus "f"/"h" for compressed
+  /// storage — e.g. "df" = double accumulation over float links.  A float
+  /// kernel must never replay a config tuned for double (different
+  /// bytes/flops balance), so this feeds coarse_tune_key/mrhs_tune_key.
+  std::string precision_tag() const {
+    std::string tag(1, sizeof(T) == 4 ? 'f' : 'd');
+    if (storage_ == CoarseStorage::Single) tag += 'f';
+    if (storage_ == CoarseStorage::Half16) tag += 'h';
+    return tag;
+  }
+
   /// Precompute per-site X^{-1} (needed by Schur preconditioning and by the
-  /// coarsest-level diagonal smoothing).
+  /// coarsest-level diagonal smoothing).  The LU factorization always runs
+  /// in T regardless of the storage format (the inverse is
+  /// conditioning-sensitive); the result is stored in the active format's
+  /// precision (T for Native, float otherwise).
   void compute_diag_inverse();
-  bool has_diag_inverse() const { return !diag_inv_.empty(); }
+  bool has_diag_inverse() const {
+    return !diag_inv_.empty() || !diag_inv_lo_.empty();
+  }
   const Complex<T>* diag_inv_data(long site) const {
     return diag_inv_.data() + static_cast<size_t>(site) * n_ * n_;
+  }
+  const Complex<float>* diag_inv_lo_data(long site) const {
+    return diag_inv_lo_.data() + static_cast<size_t>(site) * n_ * n_;
   }
 
   using BlockField = typename LinearOperator<T>::BlockField;
@@ -90,6 +160,16 @@ class CoarseDirac : public LinearOperator<T> {
   void apply_block_with_config(BlockField& out, const BlockField& in,
                                const CoarseKernelConfig& config,
                                const LaunchPolicy& policy) const;
+
+  /// Batched apply with a LOW-PRECISION RHS PAYLOAD: the rhs block is
+  /// staged into float storage once per apply and the kernel reads float
+  /// vectors (TX = float) while still accumulating in T — on top of the
+  /// compressed stencil this also halves the 10*N*nrhs vector-byte term of
+  /// bytes_per_apply for T=double.  Output stays in T.  Implemented in
+  /// mg/mrhs.cpp.
+  void apply_block_staged(BlockField& out, const BlockField& in,
+                          const CoarseKernelConfig& config,
+                          const LaunchPolicy& policy = default_policy()) const;
 
   /// Batched parity hopping / diagonal kernels (feed the batched Schur
   /// complement on every level).
@@ -127,11 +207,28 @@ class CoarseDirac : public LinearOperator<T> {
   void enable_autotune() { autotune_ = true; }
   const CoarseKernelConfig& kernel_config() const { return config_; }
 
+  /// Stencil (links + diagonal) bytes one apply reads per site in the
+  /// ACTIVE storage format — the term the precision truncation shrinks.
+  /// For Half16 this matches HalfCoarseLinks::bytes_per_site (audited
+  /// against the actual allocation by the precision tests).
+  double stencil_bytes_per_site() const {
+    const double nn = static_cast<double>(n_) * n_;
+    switch (storage_) {
+      case CoarseStorage::Single:
+        return 9.0 * nn * 2 * sizeof(float);
+      case CoarseStorage::Half16:
+        return 9.0 * (nn * 2 * sizeof(std::int16_t) + sizeof(float));
+      default:
+        return 9.0 * nn * 2 * sizeof(T);
+    }
+  }
+
   /// Memory traffic of one apply in bytes (for roofline modeling):
-  /// 9 blocks + 9 input vectors + 1 output vector per site.
+  /// 9 stencil blocks (in storage precision) + 9 input vectors + 1 output
+  /// vector (in working precision T) per site.
   double bytes_per_apply() const {
     const double site_bytes =
-        (9.0 * n_ * n_ + 10.0 * n_) * 2 * sizeof(T);
+        stencil_bytes_per_site() + 10.0 * n_ * 2 * sizeof(T);
     return site_bytes * static_cast<double>(geom_->volume());
   }
 
@@ -139,12 +236,41 @@ class CoarseDirac : public LinearOperator<T> {
   GeometryPtr geom_;
   int nc_;
   int n_;
+  CoarseStorage storage_ = CoarseStorage::Native;
   std::vector<Complex<T>> links_;
   std::vector<Complex<T>> diag_;
   std::vector<Complex<T>> diag_inv_;
+  // Compressed storage (active when storage_ != Native): Single keeps
+  // float links/diag; Half16 keeps quantized links/diag plus a float
+  // diagonal inverse.
+  std::vector<Complex<float>> links_lo_;
+  std::vector<Complex<float>> diag_lo_;
+  std::vector<Complex<float>> diag_inv_lo_;
+  HalfCoarseLinks half_;
   CoarseKernelConfig config_;
   bool autotune_ = true;
   mutable std::optional<Field> dagger_tmp_;
+
+  // Storage-generic kernel bodies (defined in coarse_op.cpp / mrhs.cpp):
+  // `Stencil` is a row-view over the active storage (zero-copy rows for
+  // dense formats, dequantize-into-scratch for Half16) and the kernels
+  // accumulate in T via coarse_row_span / coarse_row_mrhs_span.
+  template <typename Stencil>
+  void apply_with_config_st(Field& out, const Field& in,
+                            const CoarseKernelConfig& config,
+                            const LaunchPolicy& policy,
+                            const Stencil& st) const;
+  template <typename Stencil, typename TX>
+  void apply_block_with_config_st(BlockField& out, const BlockSpinor<TX>& in,
+                                  const CoarseKernelConfig& config,
+                                  const LaunchPolicy& policy,
+                                  const Stencil& st) const;
+  template <typename Stencil>
+  void apply_hopping_parity_st(Field& out, const Field& in, int out_parity,
+                               const Stencil& st) const;
+  template <typename Stencil>
+  void apply_hopping_parity_block_st(BlockField& out, const BlockField& in,
+                                     int out_parity, const Stencil& st) const;
 };
 
 /// Even-odd Schur complement of a coarse operator:

@@ -4,6 +4,15 @@
 // split, ILP), shared by the single-process operator (mg/coarse_op.cpp) and
 // the domain-decomposed operator (comm/dist_coarse.cpp) so that both
 // produce bit-identical results for the same kernel configuration.
+//
+// Precision is a first-class template axis (paper section 4, strategy (c)):
+// the kernels are parameterized on the accumulation type Tacc, the stencil
+// (matrix) storage type TM and the input-vector storage type TX.  Every
+// storage element is promoted to Tacc before the multiply, so `TM = float,
+// Tacc = double` reads half the stencil bytes of the all-double kernel
+// while reproducing its accumulation order exactly — for Tacc == TM == TX
+// the promotions are no-ops and the kernel is bit-identical to the
+// historical single-precision-axis implementation.
 
 #include <algorithm>
 
@@ -12,44 +21,47 @@
 
 namespace qmg {
 
-/// Row dot product decomposed exactly like the GPU thread mapping:
-/// the 9 stencil matrices are strided over `dir_split` chunks (z threads),
-/// each chunk's dot products are partitioned into `dot_split` contiguous
-/// ranges (warp-split threads, Listing 4) with `ilp` independent
-/// accumulators (Listing 5); dot partials are combined with a cascading
-/// pairwise reduction (the shfl_down tree) and chunk partials with a
-/// sequential "shared-memory" reduction.
-template <typename T>
-inline Complex<T> coarse_row(const Complex<T>* const mats[9],
-                             const Complex<T>* const xin[9], int row, int n,
-                             const CoarseKernelConfig& cfg) {
+/// Row dot product over pre-resolved row pointers, decomposed exactly like
+/// the GPU thread mapping: the 9 stencil rows are strided over `dir_split`
+/// chunks (z threads), each chunk's dot products are partitioned into
+/// `dot_split` contiguous ranges (warp-split threads, Listing 4) with `ilp`
+/// independent accumulators (Listing 5); dot partials are combined with a
+/// cascading pairwise reduction (the shfl_down tree) and chunk partials
+/// with a sequential "shared-memory" reduction.  rows[m] points at row r of
+/// stencil matrix m (callers resolve `mats[m] + row * n` — or a dequantized
+/// scratch row for 16-bit storage — up front).
+template <typename Tacc, typename TM, typename TX>
+inline Complex<Tacc> coarse_row_span(const Complex<TM>* const rows[9],
+                                     const Complex<TX>* const xin[9], int n,
+                                     const CoarseKernelConfig& cfg) {
   const int dir_split =
       cfg.strategy >= Strategy::StencilDir ? cfg.dir_split : 1;
   const int dot_split =
       cfg.strategy >= Strategy::DotProduct ? std::min(cfg.dot_split, 8) : 1;
   const int ilp = std::min(cfg.ilp, 4);  // accumulator register budget
 
-  Complex<T> dir_partial[9];
+  Complex<Tacc> dir_partial[9];
   for (int chunk = 0; chunk < dir_split; ++chunk) {
     // Warp-split partials for this direction chunk (power-of-two padded for
     // the cascade; dot_split <= 8 in practice).
-    Complex<T> dot_partial[8] = {};
+    Complex<Tacc> dot_partial[8] = {};
     for (int m = chunk; m < 9; m += dir_split) {
-      const Complex<T>* row_data = mats[m] + static_cast<size_t>(row) * n;
-      const Complex<T>* x = xin[m];
+      const Complex<TM>* row_data = rows[m];
+      const Complex<TX>* x = xin[m];
       for (int ds = 0; ds < dot_split; ++ds) {
         const int begin = static_cast<int>((static_cast<long>(n) * ds) /
                                            dot_split);
         const int end = static_cast<int>((static_cast<long>(n) * (ds + 1)) /
                                          dot_split);
         // ILP: independent accumulators over the strip (Listing 5).
-        Complex<T> acc[4] = {};
+        Complex<Tacc> acc[4] = {};
         int i = begin;
         for (; i + ilp <= end; i += ilp)
           for (int j = 0; j < ilp; ++j)
-            acc[j] += row_data[i + j] * x[i + j];
-        for (; i < end; ++i) acc[0] += row_data[i] * x[i];
-        Complex<T> strip{};
+            acc[j] += Complex<Tacc>(row_data[i + j]) * Complex<Tacc>(x[i + j]);
+        for (; i < end; ++i)
+          acc[0] += Complex<Tacc>(row_data[i]) * Complex<Tacc>(x[i]);
+        Complex<Tacc> strip{};
         for (int j = 0; j < ilp; ++j) strip += acc[j];
         dot_partial[ds] += strip;
       }
@@ -64,10 +76,38 @@ inline Complex<T> coarse_row(const Complex<T>* const mats[9],
     dir_partial[chunk] = dot_partial[0];
   }
   // Shared-memory reduction over direction chunks (section 6.3, step 4).
-  Complex<T> total{};
+  Complex<Tacc> total{};
   for (int chunk = 0; chunk < dir_split; ++chunk)
     total += dir_partial[chunk];
   return total;
+}
+
+/// Uniform-precision row kernel over block-base pointers (the historical
+/// signature): resolves the row pointers and runs coarse_row_span with
+/// Tacc = TM = TX = T.  Bit-identical to the pre-split implementation.
+template <typename T>
+inline Complex<T> coarse_row(const Complex<T>* const mats[9],
+                             const Complex<T>* const xin[9], int row, int n,
+                             const CoarseKernelConfig& cfg) {
+  const Complex<T>* rows[9];
+  for (int m = 0; m < 9; ++m)
+    rows[m] = mats[m] + static_cast<size_t>(row) * n;
+  return coarse_row_span<T, T, T>(rows, xin, n, cfg);
+}
+
+/// Mixed-precision row kernel over block-base pointers: storage types
+/// deduced from the arguments, accumulation type given explicitly —
+/// coarse_row_mixed<double>(float_mats, double_xin, ...) is the paper's
+/// "store low, accumulate high" configuration.
+template <typename Tacc, typename TM, typename TX>
+inline Complex<Tacc> coarse_row_mixed(const Complex<TM>* const mats[9],
+                                      const Complex<TX>* const xin[9],
+                                      int row, int n,
+                                      const CoarseKernelConfig& cfg) {
+  const Complex<TM>* rows[9];
+  for (int m = 0; m < 9; ++m)
+    rows[m] = mats[m] + static_cast<size_t>(row) * n;
+  return coarse_row_span<Tacc, TM, TX>(rows, xin, n, cfg);
 }
 
 
@@ -75,51 +115,54 @@ inline Complex<T> coarse_row(const Complex<T>* const mats[9],
 /// budget); callers sub-tile wider batches.
 inline constexpr int kCoarseRowMaxTile = 16;
 
-/// Multi-right-hand-side variant of coarse_row (paper section 9): computes
-/// `tile` <= kCoarseRowMaxTile systems at once with the rhs axis innermost.
-/// xin[m] points at the first rhs of neighbor m's site vector in an
-/// rhs-contiguous BlockSpinor; element (c, k) lives at xin[m][c*stride+k],
-/// so the inner rhs loop is unit stride (the coalesced/vectorizable axis)
-/// and every stencil matrix element is read ONCE for all rhs of the tile.
-/// For each rhs the accumulation sequence — direction chunks, warp-split
-/// partials, ILP strips, cascade — is exactly coarse_row's, so per-rhs
-/// results are bit-identical to the single-rhs kernel.
-template <typename T>
-inline void coarse_row_mrhs(const Complex<T>* const mats[9],
-                            const Complex<T>* const xin[9], long stride,
-                            int row, int n, const CoarseKernelConfig& cfg,
-                            int tile, Complex<T>* out) {
+/// Multi-right-hand-side variant of coarse_row_span (paper section 9):
+/// computes `tile` <= kCoarseRowMaxTile systems at once with the rhs axis
+/// innermost.  xin[m] points at the first rhs of neighbor m's site vector
+/// in an rhs-contiguous BlockSpinor; element (c, k) lives at
+/// xin[m][c*stride+k], so the inner rhs loop is unit stride (the
+/// coalesced/vectorizable axis) and every stencil matrix element is read
+/// ONCE for all rhs of the tile.  For each rhs the accumulation sequence —
+/// direction chunks, warp-split partials, ILP strips, cascade — is exactly
+/// coarse_row_span's, so per-rhs results are bit-identical to the
+/// single-rhs kernel at the same precision axes.
+template <typename Tacc, typename TM, typename TX>
+inline void coarse_row_mrhs_span(const Complex<TM>* const rows[9],
+                                 const Complex<TX>* const xin[9], long stride,
+                                 int n, const CoarseKernelConfig& cfg,
+                                 int tile, Complex<Tacc>* out) {
   const int dir_split =
       cfg.strategy >= Strategy::StencilDir ? cfg.dir_split : 1;
   const int dot_split =
       cfg.strategy >= Strategy::DotProduct ? std::min(cfg.dot_split, 8) : 1;
   const int ilp = std::min(cfg.ilp, 4);  // accumulator register budget
 
-  Complex<T> dir_partial[9][kCoarseRowMaxTile];
+  Complex<Tacc> dir_partial[9][kCoarseRowMaxTile];
   for (int chunk = 0; chunk < dir_split; ++chunk) {
-    Complex<T> dot_partial[8][kCoarseRowMaxTile] = {};
+    Complex<Tacc> dot_partial[8][kCoarseRowMaxTile] = {};
     for (int m = chunk; m < 9; m += dir_split) {
-      const Complex<T>* row_data = mats[m] + static_cast<size_t>(row) * n;
-      const Complex<T>* x = xin[m];
+      const Complex<TM>* row_data = rows[m];
+      const Complex<TX>* x = xin[m];
       for (int ds = 0; ds < dot_split; ++ds) {
         const int begin = static_cast<int>((static_cast<long>(n) * ds) /
                                            dot_split);
         const int end = static_cast<int>((static_cast<long>(n) * (ds + 1)) /
                                          dot_split);
-        Complex<T> acc[4][kCoarseRowMaxTile] = {};
+        Complex<Tacc> acc[4][kCoarseRowMaxTile] = {};
         int i = begin;
         for (; i + ilp <= end; i += ilp)
           for (int j = 0; j < ilp; ++j) {
-            const Complex<T> a = row_data[i + j];
-            const Complex<T>* xk = x + static_cast<long>(i + j) * stride;
-            for (int k = 0; k < tile; ++k) acc[j][k] += a * xk[k];
+            const Complex<Tacc> a(row_data[i + j]);
+            const Complex<TX>* xk = x + static_cast<long>(i + j) * stride;
+            for (int k = 0; k < tile; ++k)
+              acc[j][k] += a * Complex<Tacc>(xk[k]);
           }
         for (; i < end; ++i) {
-          const Complex<T> a = row_data[i];
-          const Complex<T>* xk = x + static_cast<long>(i) * stride;
-          for (int k = 0; k < tile; ++k) acc[0][k] += a * xk[k];
+          const Complex<Tacc> a(row_data[i]);
+          const Complex<TX>* xk = x + static_cast<long>(i) * stride;
+          for (int k = 0; k < tile; ++k)
+            acc[0][k] += a * Complex<Tacc>(xk[k]);
         }
-        Complex<T> strip[kCoarseRowMaxTile] = {};
+        Complex<Tacc> strip[kCoarseRowMaxTile] = {};
         for (int j = 0; j < ilp; ++j)
           for (int k = 0; k < tile; ++k) strip[k] += acc[j][k];
         for (int k = 0; k < tile; ++k) dot_partial[ds][k] += strip[k];
@@ -134,11 +177,24 @@ inline void coarse_row_mrhs(const Complex<T>* const mats[9],
     for (int k = 0; k < tile; ++k) dir_partial[chunk][k] = dot_partial[0][k];
   }
   for (int k = 0; k < tile; ++k) {
-    Complex<T> total{};
+    Complex<Tacc> total{};
     for (int chunk = 0; chunk < dir_split; ++chunk)
       total += dir_partial[chunk][k];
     out[k] = total;
   }
+}
+
+/// Uniform-precision MRHS kernel over block-base pointers (the historical
+/// signature), bit-identical to the pre-split implementation.
+template <typename T>
+inline void coarse_row_mrhs(const Complex<T>* const mats[9],
+                            const Complex<T>* const xin[9], long stride,
+                            int row, int n, const CoarseKernelConfig& cfg,
+                            int tile, Complex<T>* out) {
+  const Complex<T>* rows[9];
+  for (int m = 0; m < 9; ++m)
+    rows[m] = mats[m] + static_cast<size_t>(row) * n;
+  coarse_row_mrhs_span<T, T, T>(rows, xin, stride, n, cfg, tile, out);
 }
 
 }  // namespace qmg

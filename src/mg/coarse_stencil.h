@@ -1,0 +1,101 @@
+#pragma once
+// Internal row views over the coarse operator's storage formats, shared by
+// the single-rhs kernels (mg/coarse_op.cpp) and the batched MRHS kernels
+// (mg/mrhs.cpp) so the scratch-row protocol and the stencil-index mapping
+// exist exactly once — the bit-identity guarantee between those kernel
+// families depends on them resolving the same rows.
+//
+// Protocol: `row(...)` returns a pointer to n contiguous Complex elements.
+// Dense storage returns a zero-copy pointer into the block and ignores the
+// scratch argument; Half16 dequantizes into the caller's scratch row and
+// returns it.  Callers provide `kScratchRow` elements of scratch per
+// simultaneously-live row.
+
+#include "fields/halflinks.h"
+#include "gpusim/kernels.h"
+#include "linalg/complex.h"
+#include "mg/coarse_op.h"
+
+namespace qmg {
+namespace detail {
+
+/// The device-model precision of a coarse apply: the storage format sets
+/// the bytes the SimtModel backend charges for.
+template <typename T>
+inline SimPrecision sim_precision(CoarseStorage storage) {
+  switch (storage) {
+    case CoarseStorage::Single: return SimPrecision::Single;
+    case CoarseStorage::Half16: return SimPrecision::Half;
+    default:
+      return sizeof(T) == 4 ? SimPrecision::Single : SimPrecision::Double;
+  }
+}
+
+/// CoarseDirac<T>::kNLinks for every T.
+inline constexpr int kCoarseLinks = 8;
+
+/// Stack budget per scratch row (CoarseDirac<T>::kMaxBlockDim for every T;
+/// compress_storage enforces N <= this for Half16).
+inline constexpr int kCoarseMaxBlockDim = 128;
+
+/// Zero-copy row view over dense (native T or compressed float) stencil
+/// storage.  value_type is the storage element type TM the kernels promote
+/// to the accumulation type.
+template <typename TM>
+struct DenseStencil {
+  using value_type = TM;
+  static constexpr size_t kScratchRow = 1;  // row() never touches scratch
+
+  const Complex<TM>* links;
+  const Complex<TM>* diag;
+  int n;
+
+  const Complex<TM>* link_row(long site, int l, int r, Complex<TM>*) const {
+    const size_t nn = static_cast<size_t>(n) * n;
+    return links + (static_cast<size_t>(site) * kCoarseLinks + l) * nn +
+           static_cast<size_t>(r) * n;
+  }
+  const Complex<TM>* diag_row(long site, int r, Complex<TM>*) const {
+    const size_t nn = static_cast<size_t>(n) * n;
+    return diag + static_cast<size_t>(site) * nn + static_cast<size_t>(r) * n;
+  }
+  /// Stencil index m: 0 = diagonal, 1..8 = link m-1 (the mats[] order of
+  /// the row kernels in mg/coarse_row.h).
+  const Complex<TM>* stencil_row(long site, int m, int r,
+                                 Complex<TM>* scratch) const {
+    return m == 0 ? diag_row(site, r, scratch)
+                  : link_row(site, m - 1, r, scratch);
+  }
+};
+
+/// Dequantizing row view over Half16 storage: each requested row is
+/// expanded from 16-bit fixed point into the caller's scratch row, so the
+/// hot loops still stream contiguous Complex<float> rows while the memory
+/// traffic is the quantized bytes.
+struct HalfStencil {
+  using value_type = float;
+  static constexpr size_t kScratchRow =
+      static_cast<size_t>(kCoarseMaxBlockDim);
+
+  const HalfCoarseLinks* h;
+  int n;
+
+  const Complex<float>* link_row(long site, int l, int r,
+                                 Complex<float>* scratch) const {
+    h->load_row(site, l, r, scratch);
+    return scratch;
+  }
+  const Complex<float>* diag_row(long site, int r,
+                                 Complex<float>* scratch) const {
+    h->load_row(site, HalfCoarseLinks::kDiagBlock, r, scratch);
+    return scratch;
+  }
+  const Complex<float>* stencil_row(long site, int m, int r,
+                                    Complex<float>* scratch) const {
+    return m == 0 ? diag_row(site, r, scratch)
+                  : link_row(site, m - 1, r, scratch);
+  }
+};
+
+}  // namespace detail
+}  // namespace qmg

@@ -87,7 +87,8 @@ void accumulate_galerkin(Complex<T>* target, const SmallMatrix<T>& h,
 
 template <typename T>
 CoarseDirac<T> build_coarse_operator(const StencilView<T>& fine,
-                                     const Transfer<T>& transfer) {
+                                     const Transfer<T>& transfer,
+                                     CoarseStorage storage) {
   if (fine.nspin() != transfer.fine_nspin() ||
       fine.ncolor() != transfer.fine_ncolor())
     throw std::invalid_argument("stencil/transfer shape mismatch");
@@ -123,12 +124,23 @@ CoarseDirac<T> build_coarse_operator(const StencilView<T>& fine,
         }
     }
   });
+  // Emit the requested storage precision: accumulation above ran in T, so
+  // truncation touches only the finished blocks (strategy (c)'s
+  // store-low/accumulate-high split, applied to construction).  The
+  // diagonal inverse is precomputed from the NATIVE blocks first — its
+  // conditioning does not tolerate quantized input, and once
+  // compress_storage releases the native diagonal a later
+  // compute_diag_inverse could only invert the truncated blocks.
+  if (storage != CoarseStorage::Native) {
+    coarse.compute_diag_inverse();
+    coarse.compress_storage(storage);
+  }
   return coarse;
 }
 
 template CoarseDirac<double> build_coarse_operator<double>(
-    const StencilView<double>&, const Transfer<double>&);
+    const StencilView<double>&, const Transfer<double>&, CoarseStorage);
 template CoarseDirac<float> build_coarse_operator<float>(
-    const StencilView<float>&, const Transfer<float>&);
+    const StencilView<float>&, const Transfer<float>&, CoarseStorage);
 
 }  // namespace qmg

@@ -17,8 +17,20 @@ namespace qmg {
 
 /// Build the coarse operator for `transfer` from the fine stencil view.
 /// The result has ncolor = transfer.nvec() and nspin = 2.
+///
+/// `storage` selects the emitted link/diag storage format (paper section 4,
+/// strategy (c)): the Galerkin accumulation always runs in the working
+/// precision T — truncating only the finished product keeps the setup
+/// numerics independent of the storage choice — and the result is then
+/// compressed via CoarseDirac::compress_storage, with the diagonal inverse
+/// precomputed from the native blocks first (so Schur preconditioning on
+/// the compressed operator never inverts quantized input).  Note that a
+/// compressed operator cannot seed a further coarsening (CoarseStencilView
+/// needs native blocks), so recursive setups compress only after the full
+/// hierarchy exists (what Multigrid does).
 template <typename T>
-CoarseDirac<T> build_coarse_operator(const StencilView<T>& fine,
-                                     const Transfer<T>& transfer);
+CoarseDirac<T> build_coarse_operator(
+    const StencilView<T>& fine, const Transfer<T>& transfer,
+    CoarseStorage storage = CoarseStorage::Native);
 
 }  // namespace qmg

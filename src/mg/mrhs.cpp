@@ -2,65 +2,135 @@
 
 #include <stdexcept>
 
+#include "fields/blockspinor.h"
 #include "gpusim/kernels.h"
 #include "mg/coarse_row.h"
+#include "mg/coarse_stencil.h"
 #include "parallel/autotune.h"
 #include "parallel/dispatch.h"
 #include "util/timer.h"
 
 namespace qmg {
 
+using detail::DenseStencil;
+using detail::HalfStencil;
+using detail::sim_precision;
+
 // --- CoarseDirac batched kernels (declared in mg/coarse_op.h) ---------------
+
+template <typename T>
+template <typename Stencil, typename TX>
+void CoarseDirac<T>::apply_block_with_config_st(BlockField& out,
+                                                const BlockSpinor<TX>& in,
+                                                const CoarseKernelConfig& config,
+                                                const LaunchPolicy& policy,
+                                                const Stencil& st) const {
+  using TM = typename Stencil::value_type;
+  const long v = geom_->volume();
+  const int n = n_;
+  const int nrhs = in.nrhs();
+  // Per-item neighbor indexing (Listing 2's arithmetic).
+  auto site_nbrs = [&](long site, long* nbr) {
+    nbr[0] = site;
+    for (int mu = 0; mu < kNDim; ++mu) {
+      nbr[1 + 2 * mu] = geom_->neighbor_fwd(site, mu);
+      nbr[2 + 2 * mu] = geom_->neighbor_bwd(site, mu);
+    }
+  };
+  // One dispatch item per site x rhs tile, rows folded into the item: each
+  // stencil row is resolved (or dequantized) once per (row, tile) and
+  // streamed over the rhs axis unit-stride by coarse_row_mrhs_span (no
+  // gather, no per-rhs re-read — the amortization this subsystem exists
+  // for).  The per-row partial-sum shape — where the kernel config changes
+  // the numerics — is identical to coarse_row_span's, so results match
+  // apply_with_config bit-for-bit at the same config and precision axes.
+  parallel_for_2d_tiled(v, nrhs, policy, [&](long site, long k0, long k1) {
+    long nbr[9];
+    site_nbrs(site, nbr);
+    Complex<TM> scratch[9 * Stencil::kScratchRow];
+    for (long t0 = k0; t0 < k1; t0 += kCoarseRowMaxTile) {
+      const int tile =
+          static_cast<int>(std::min<long>(kCoarseRowMaxTile, k1 - t0));
+      const Complex<TX>* xin[9];
+      for (int m = 0; m < 9; ++m) xin[m] = in.site_data(nbr[m]) + t0;
+      Complex<T>* dst = out.site_data(site) + t0;
+      for (int r = 0; r < n; ++r) {
+        const Complex<TM>* rows[9];
+        for (int m = 0; m < 9; ++m)
+          rows[m] =
+              st.stencil_row(site, m, r, scratch + m * Stencil::kScratchRow);
+        coarse_row_mrhs_span<T, TM, TX>(rows, xin, nrhs, n, config, tile,
+                                        dst + static_cast<long>(r) * nrhs);
+      }
+    }
+  });
+  if (policy.backend == Backend::SimtModel)
+    SimtStats::instance().record_work(coarse_op_work(
+        v * nrhs, n_, config, sim_precision<T>(storage_)));
+}
+
+namespace {
+
+/// Shared shape validation for the batched coarse applies.
+template <typename T, typename TOut, typename TIn>
+void check_block_shapes(const CoarseDirac<T>& op, const BlockSpinor<TOut>& out,
+                        const BlockSpinor<TIn>& in) {
+  if (in.subset() != Subset::Full || out.subset() != Subset::Full)
+    throw std::invalid_argument("coarse apply_block needs full-subset blocks");
+  if (out.nrhs() != in.nrhs() || out.site_dof() != op.block_dim() ||
+      in.site_dof() != op.block_dim())
+    throw std::invalid_argument("coarse apply_block: block shape mismatch");
+}
+
+}  // namespace
 
 template <typename T>
 void CoarseDirac<T>::apply_block_with_config(BlockField& out,
                                             const BlockField& in,
                                             const CoarseKernelConfig& config,
                                             const LaunchPolicy& policy) const {
-  if (in.subset() != Subset::Full || out.subset() != Subset::Full)
-    throw std::invalid_argument("coarse apply_block needs full-subset blocks");
-  if (out.nrhs() != in.nrhs() || out.site_dof() != n_ || in.site_dof() != n_)
-    throw std::invalid_argument("coarse apply_block: block shape mismatch");
-  const long v = geom_->volume();
-  const int n = n_;
-  const int nrhs = in.nrhs();
-  // Per-item site indexing (Listing 2's arithmetic).
-  auto site_mats = [&](long site, const Complex<T>** mats, long* nbr) {
-    mats[0] = diag_data(site);
-    nbr[0] = site;
-    for (int mu = 0; mu < kNDim; ++mu) {
-      mats[1 + 2 * mu] = link_data(site, 2 * mu);
-      nbr[1 + 2 * mu] = geom_->neighbor_fwd(site, mu);
-      mats[2 + 2 * mu] = link_data(site, 2 * mu + 1);
-      nbr[2 + 2 * mu] = geom_->neighbor_bwd(site, mu);
-    }
-  };
-  // One dispatch item per site x rhs tile, rows folded into the item: each
-  // stencil matrix element is read once per tile and streamed over the rhs
-  // axis unit-stride by coarse_row_mrhs (no gather, no per-row re-read —
-  // the amortization this subsystem exists for).  The per-row partial-sum
-  // shape — where the kernel config changes the numerics — is identical to
-  // coarse_row's, so results match apply_with_config bit-for-bit at the
-  // same config.
-  parallel_for_2d_tiled(v, nrhs, policy, [&](long site, long k0, long k1) {
-    const Complex<T>* mats[9];
-    long nbr[9];
-    site_mats(site, mats, nbr);
-    for (long t0 = k0; t0 < k1; t0 += kCoarseRowMaxTile) {
-      const int tile =
-          static_cast<int>(std::min<long>(kCoarseRowMaxTile, k1 - t0));
-      const Complex<T>* xin[9];
-      for (int m = 0; m < 9; ++m) xin[m] = in.site_data(nbr[m]) + t0;
-      Complex<T>* dst = out.site_data(site) + t0;
-      for (int r = 0; r < n; ++r)
-        coarse_row_mrhs(mats, xin, nrhs, r, n, config, tile,
-                        dst + static_cast<long>(r) * nrhs);
-    }
-  });
-  if (policy.backend == Backend::SimtModel)
-    SimtStats::instance().record_work(coarse_op_work(
-        v * nrhs, n_, config,
-        sizeof(T) == 4 ? SimPrecision::Single : SimPrecision::Double));
+  check_block_shapes(*this, out, in);
+  switch (storage_) {
+    case CoarseStorage::Single:
+      apply_block_with_config_st(
+          out, in, config, policy,
+          DenseStencil<float>{links_lo_.data(), diag_lo_.data(), n_});
+      break;
+    case CoarseStorage::Half16:
+      apply_block_with_config_st(out, in, config, policy,
+                                 HalfStencil{&half_, n_});
+      break;
+    default:
+      apply_block_with_config_st(
+          out, in, config, policy,
+          DenseStencil<T>{links_.data(), diag_.data(), n_});
+  }
+}
+
+template <typename T>
+void CoarseDirac<T>::apply_block_staged(BlockField& out, const BlockField& in,
+                                        const CoarseKernelConfig& config,
+                                        const LaunchPolicy& policy) const {
+  check_block_shapes(*this, out, in);
+  // Low-precision rhs payload: one truncating copy of the block, then the
+  // kernel streams float vectors (TX = float) while accumulating in T.
+  // For T = float this degenerates to a copy of the plain batched apply.
+  const BlockSpinor<float> staged = convert_block<float>(in);
+  switch (storage_) {
+    case CoarseStorage::Single:
+      apply_block_with_config_st(
+          out, staged, config, policy,
+          DenseStencil<float>{links_lo_.data(), diag_lo_.data(), n_});
+      break;
+    case CoarseStorage::Half16:
+      apply_block_with_config_st(out, staged, config, policy,
+                                 HalfStencil{&half_, n_});
+      break;
+    default:
+      apply_block_with_config_st(
+          out, staged, config, policy,
+          DenseStencil<T>{links_.data(), diag_.data(), n_});
+  }
 }
 
 template <typename T>
@@ -71,10 +141,13 @@ void CoarseDirac<T>::apply_block(BlockField& out, const BlockField& in) const {
     return;
   }
   // Joint autotune over kernel decomposition x (backend, grain, rhs_block)
-  // for this (volume, N, nrhs) shape — the rhs-blocking is a first-class
-  // tuning dimension of the batched kernel.
+  // for this (volume, N, nrhs, precision) shape — the rhs-blocking is a
+  // first-class tuning dimension of the batched kernel, and the precision
+  // tag keeps compressed-storage kernels from replaying configs tuned for
+  // a different bytes/flop balance.
   auto& cache = TuneCache::instance();
-  const std::string key = mrhs_tune_key(geom_->volume(), n_, in.nrhs());
+  const std::string key =
+      mrhs_tune_key(geom_->volume(), n_, in.nrhs(), precision_tag());
   const auto [best, policy] = cache.tune_joint_2d(
       key, n_, in.nrhs(),
       [&](const CoarseKernelConfig& cand, const LaunchPolicy& lp) {
@@ -121,6 +194,10 @@ void MultiRhsCoarseOp<T>::apply_streamed(std::vector<Field>& out,
                                          const std::vector<Field>& in,
                                          const CoarseKernelConfig& config) const {
   validate(out, in);
+  if (!op_.has_native_storage())
+    throw std::logic_error(
+        "mrhs apply_streamed: the streamed baseline reads native storage; "
+        "the operator was compressed");
   const int nrhs = static_cast<int>(in.size());
   const auto& geom = *op_.geometry();
   const int n = op_.block_dim();
@@ -153,12 +230,18 @@ void MultiRhsCoarseOp<T>::apply_streamed(std::vector<Field>& out,
 template class MultiRhsCoarseOp<double>;
 template class MultiRhsCoarseOp<float>;
 
-// CoarseDirac is explicitly instantiated in coarse_op.cpp, where these two
+// CoarseDirac is explicitly instantiated in coarse_op.cpp, where these
 // member definitions are not visible; instantiate them here.
 template void CoarseDirac<double>::apply_block_with_config(
     BlockSpinor<double>&, const BlockSpinor<double>&,
     const CoarseKernelConfig&, const LaunchPolicy&) const;
 template void CoarseDirac<float>::apply_block_with_config(
+    BlockSpinor<float>&, const BlockSpinor<float>&, const CoarseKernelConfig&,
+    const LaunchPolicy&) const;
+template void CoarseDirac<double>::apply_block_staged(
+    BlockSpinor<double>&, const BlockSpinor<double>&,
+    const CoarseKernelConfig&, const LaunchPolicy&) const;
+template void CoarseDirac<float>::apply_block_staged(
     BlockSpinor<float>&, const BlockSpinor<float>&, const CoarseKernelConfig&,
     const LaunchPolicy&) const;
 template void CoarseDirac<double>::apply_block(BlockSpinor<double>&,

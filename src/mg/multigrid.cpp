@@ -86,6 +86,17 @@ Multigrid<T>::Multigrid(const WilsonCloverOp<T>& fine_op, MgConfig config)
       schur_coarse_.push_back(std::make_unique<SchurCoarseOp<T>>(*coarse));
   }
 
+  // Mixed-precision coarse storage (strategy (c)): truncate every coarse
+  // level's stencil once setup — which needs native blocks for recursion
+  // and adaptive refinement — is complete.  All cycle paths (K-cycle GCR,
+  // Schur smoothing, batched applies) read the compressed storage through
+  // the dispatching kernels and keep accumulating in T; the Schur operators
+  // hold references into the same CoarseDirac objects, so they follow
+  // automatically.
+  if (config_.coarse_storage != CoarseStorage::Native)
+    for (auto& coarse : coarse_ops_)
+      coarse->compress_storage(config_.coarse_storage);
+
   setup_seconds_ = setup_timer.seconds();
 }
 

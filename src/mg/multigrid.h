@@ -61,6 +61,16 @@ struct MgConfig {
   int coarsest_krylov = 10;
   bool coarsest_eo = true;  // solve the coarsest grid's Schur system
   std::uint64_t seed = 7;
+  // Storage format of every coarse level's links/diag (paper section 4,
+  // strategy (c)): Single/Half16 cut the bandwidth-bound coarse apply's
+  // stencil traffic ~2x/~4x while the kernels keep accumulating in the
+  // hierarchy precision T.  Setup (null vectors, Galerkin, adaptive
+  // refinement) always runs at full precision; the hierarchy is compressed
+  // once it is complete.  The quantization error lands inside the K-cycle
+  // preconditioner, where the restarted GCR's true-residual recomputation
+  // (solvers/gcr.h, the reliable-update step) and the flexible outer solve
+  // bound its effect on iteration counts (tested).
+  CoarseStorage coarse_storage = CoarseStorage::Native;
 };
 
 /// The multigrid hierarchy over a Wilson-Clover fine operator, in a single

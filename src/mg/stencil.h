@@ -8,6 +8,8 @@
 // recursive: the same builder coarsens level 1 -> 2 (from Wilson-Clover)
 // and level 2 -> 3 (from a coarse operator), paper section 3.4.
 
+#include <stdexcept>
+
 #include "dirac/gamma.h"
 #include "dirac/wilson.h"
 #include "lattice/geometry.h"
@@ -90,7 +92,12 @@ class WilsonStencilView : public StencilView<T> {
 template <typename T>
 class CoarseStencilView : public StencilView<T> {
  public:
-  explicit CoarseStencilView(const CoarseDirac<T>& op) : op_(op) {}
+  explicit CoarseStencilView(const CoarseDirac<T>& op) : op_(op) {
+    if (!op.has_native_storage())
+      throw std::invalid_argument(
+          "CoarseStencilView: recursive coarsening reads native link blocks; "
+          "compress_storage only after the hierarchy is built");
+  }
 
   const GeometryPtr& geometry() const override { return op_.geometry(); }
   int nspin() const override { return CoarseDirac<T>::kNSpin; }

@@ -170,7 +170,12 @@ std::pair<CoarseKernelConfig, LaunchPolicy> TuneCache::tune_joint_2d(
 }
 
 namespace {
-constexpr const char* kTuneCacheHeader = "qmg-tune-cache 2";
+// Version 3: tune keys carry the element-precision tag (/P=).  Version-2
+// files are still loadable (see load); they were written by builds whose
+// keys conflated double and float kernels, so their entries are kept
+// verbatim and simply never matched by the new precision-tagged lookups.
+constexpr const char* kTuneCacheHeader = "qmg-tune-cache 3";
+constexpr const char* kTuneCacheHeaderV2 = "qmg-tune-cache 2";
 }
 
 bool TuneCache::save(const std::string& path) const {
@@ -190,7 +195,9 @@ bool TuneCache::load(const std::string& path) {
   std::ifstream in(path);
   if (!in) return false;
   std::string line;
-  if (!std::getline(in, line) || line != kTuneCacheHeader) return false;
+  if (!std::getline(in, line) ||
+      (line != kTuneCacheHeader && line != kTuneCacheHeaderV2))
+    return false;
   // Parse into staging maps and commit only on full success, so a corrupt
   // or truncated file never half-merges into the live cache.  Every field
   // is range-checked: loaded values feed stack-array extents in the
@@ -251,22 +258,27 @@ bool TuneCache::load(const std::string& path) {
   return true;
 }
 
-std::string coarse_tune_key(long volume, int block_dim) {
+std::string coarse_tune_key(long volume, int block_dim,
+                            const std::string& precision) {
   std::ostringstream os;
   // The optimal decomposition AND backend depend on the pool size, and the
   // explored launch candidates do too — a policy tuned at one pool size
-  // must not be replayed at another.
+  // must not be replayed at another.  The precision tag keeps kernels of
+  // different element precision (double/float accumulation, compressed
+  // storage) from sharing one cached config.
   os << "coarse_apply/V=" << volume << "/N=" << block_dim
-     << "/T=" << ThreadPool::instance().num_threads();
+     << "/P=" << precision << "/T=" << ThreadPool::instance().num_threads();
   return os.str();
 }
 
-std::string mrhs_tune_key(long volume, int block_dim, int nrhs) {
+std::string mrhs_tune_key(long volume, int block_dim, int nrhs,
+                          const std::string& precision) {
   std::ostringstream os;
   // Like coarse_tune_key, plus the rhs count: the optimal rhs-blocking
   // (and whether threading pays at all) shifts with the batch width.
   os << "coarse_apply_mrhs/V=" << volume << "/N=" << block_dim
-     << "/R=" << nrhs << "/T=" << ThreadPool::instance().num_threads();
+     << "/R=" << nrhs << "/P=" << precision
+     << "/T=" << ThreadPool::instance().num_threads();
   return os.str();
 }
 

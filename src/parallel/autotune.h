@@ -82,6 +82,13 @@ class TuneCache {
   /// sweep): a versioned text file of every cached kernel config and launch
   /// policy (backend, grain, sim block, rhs-blocking).  load() merges into
   /// the current cache; both return false on I/O or format errors.
+  ///
+  /// File version 3 keys carry the element-precision tag (the /P= field of
+  /// coarse_tune_key/mrhs_tune_key).  Version-2 files — written before
+  /// precision entered the key — are still accepted: their entries merge
+  /// verbatim but can no longer be hit by precision-tagged lookups, so a
+  /// stale cache re-tunes instead of silently replaying a config tuned for
+  /// a different element precision (the bug the key change fixes).
   bool save(const std::string& path) const;
   bool load(const std::string& path);
 
@@ -90,8 +97,14 @@ class TuneCache {
   std::map<std::string, LaunchPolicy> launch_cache_;
 };
 
-/// Tune key helpers.
-std::string coarse_tune_key(long volume, int block_dim);
-std::string mrhs_tune_key(long volume, int block_dim, int nrhs);
+/// Tune key helpers.  `precision` is the operator's element-precision tag
+/// (CoarseDirac::precision_tag(): accumulation type plus storage format,
+/// e.g. "d", "f", "df", "dh") — kernels of different precision have a
+/// different bytes/flop balance, so their optimal configs must never be
+/// shared under one key.
+std::string coarse_tune_key(long volume, int block_dim,
+                            const std::string& precision);
+std::string mrhs_tune_key(long volume, int block_dim, int nrhs,
+                          const std::string& precision);
 
 }  // namespace qmg

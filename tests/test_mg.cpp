@@ -117,6 +117,39 @@ TEST(Galerkin, CoarseOperatorMatchesTripleProduct) {
   EXPECT_LT(std::sqrt(blas::norm2(rmpv) / blas::norm2(mv)), 1e-10);
 }
 
+TEST(Galerkin, MixedPrecisionCoarseApplyEquivalence) {
+  // Strategy (c): float coarse-link storage with double accumulation must
+  // equal the all-double apply on float-truncated links bit-for-bit, and
+  // sit within float truncation of the native double apply.
+  MgFixture f;
+  const WilsonStencilView<double> view(*f.op);
+  const CoarseDirac<double> native = build_coarse_operator(view, *f.transfer);
+  const CoarseDirac<double> mixed =
+      build_coarse_operator(view, *f.transfer, CoarseStorage::Single);
+  const CoarseDirac<double> truncated =
+      convert_coarse<double>(convert_coarse<float>(native));
+
+  auto v = native.create_vector();
+  v.gaussian(55);
+  auto y_native = native.create_vector();
+  auto y_mixed = native.create_vector();
+  auto y_trunc = native.create_vector();
+  const CoarseKernelConfig config{Strategy::DotProduct, 3, 2, 2};
+  native.apply_with_config(y_native, v, config);
+  mixed.apply_with_config(y_mixed, v, config);
+  truncated.apply_with_config(y_trunc, v, config);
+
+  for (long k = 0; k < y_mixed.size(); ++k) {
+    ASSERT_EQ(y_mixed.data()[k].re, y_trunc.data()[k].re) << k;
+    ASSERT_EQ(y_mixed.data()[k].im, y_trunc.data()[k].im) << k;
+  }
+  blas::axpy(-1.0, y_native, y_mixed);
+  const double gap =
+      std::sqrt(blas::norm2(y_mixed) / blas::norm2(y_native));
+  EXPECT_GT(gap, 0.0);   // the truncation is real...
+  EXPECT_LT(gap, 1e-6);  // ...and float-sized
+}
+
 TEST(Galerkin, CoarseGamma5Hermiticity) {
   // Coarse gamma5 = diag(+1, -1) over coarse spin; Mhat must satisfy
   // <u, Mhat v> = <Gamma5 Mhat Gamma5 u, v>, inherited from the fine grid.

@@ -238,6 +238,46 @@ TEST_F(MrhsEquivalenceTest, BatchedCoarseAllStrategiesBitIdentical) {
   }
 }
 
+TEST_F(MrhsEquivalenceTest, MixedStorageBatchedBitIdenticalPerRhs) {
+  // Strategy (c) under MRHS: the batched apply over float (and half)
+  // coarse-link storage with double accumulation must stay bit-identical,
+  // rhs by rhs, to the single-rhs mixed apply — across backends, thread
+  // counts and rhs-blockings, exactly like the native-storage suite.
+  const WilsonStencilView<double> view(*op_);
+  for (const auto storage : {CoarseStorage::Single, CoarseStorage::Half16}) {
+    const CoarseDirac<double> mixed =
+        build_coarse_operator(view, *transfer_, storage);
+    const CoarseKernelConfig cfg{Strategy::DotProduct, 3, 2, 2};
+    const auto in = random_rhs_set(mixed.create_vector(), 59);
+    const auto in_block = pack_block(in);
+
+    use_serial();
+    LaunchPolicy serial;
+    serial.backend = Backend::Serial;
+    std::vector<ColorSpinorField<double>> ref;
+    for (int k = 0; k < kNRhs; ++k) {
+      ref.push_back(mixed.create_vector());
+      mixed.apply_with_config(ref.back(), in[static_cast<size_t>(k)], cfg,
+                              serial);
+    }
+    for (const int t : kThreadCounts) {
+      for (const int rb : kRhsBlocks) {
+        use_threaded(t);
+        LaunchPolicy threaded;
+        threaded.backend = Backend::Threaded;
+        threaded.rhs_block = rb;
+        auto out = in_block.similar();
+        mixed.apply_block_with_config(out, in_block, cfg, threaded);
+        for (int k = 0; k < kNRhs; ++k)
+          EXPECT_TRUE(
+              bits_equal(out.extract_rhs(k), ref[static_cast<size_t>(k)]))
+              << to_string(storage) << " threads=" << t << " rhs_block=" << rb
+              << " rhs=" << k;
+      }
+    }
+  }
+}
+
 TEST_F(MrhsEquivalenceTest, BatchedCoarseSchurBitIdentical) {
   const SchurCoarseOp<double> schur(*coarse_);
   const auto b = random_rhs_set(coarse_->create_vector(), 51);
@@ -450,7 +490,7 @@ TEST(TuneCachePersistence, RoundTripsKernelAndLaunchEntries) {
   policy.grain = 64;
   policy.sim_block_dim = 256;
   policy.rhs_block = 4;
-  cache.store_launch(mrhs_tune_key(4096, 48, 12), policy);
+  cache.store_launch(mrhs_tune_key(4096, 48, 12, "d"), policy);
 
   const std::string path =
       ::testing::TempDir() + "/qmg_tune_cache_roundtrip.txt";
@@ -466,7 +506,7 @@ TEST(TuneCachePersistence, RoundTripsKernelAndLaunchEntries) {
   EXPECT_EQ(got.dot_split, cfg.dot_split);
   EXPECT_EQ(got.ilp, cfg.ilp);
   LaunchPolicy got_policy;
-  ASSERT_TRUE(cache.lookup_launch(mrhs_tune_key(4096, 48, 12), &got_policy));
+  ASSERT_TRUE(cache.lookup_launch(mrhs_tune_key(4096, 48, 12, "d"), &got_policy));
   EXPECT_EQ(got_policy.backend, Backend::Threaded);
   EXPECT_EQ(got_policy.grain, 64);
   EXPECT_EQ(got_policy.sim_block_dim, 256);

@@ -130,8 +130,13 @@ TEST(Autotune, CachesPolicyPerShape) {
 }
 
 TEST(Autotune, KeysSeparateShapes) {
-  EXPECT_NE(coarse_tune_key(16, 48), coarse_tune_key(16, 64));
-  EXPECT_NE(coarse_tune_key(16, 48), coarse_tune_key(256, 48));
+  EXPECT_NE(coarse_tune_key(16, 48, "d"), coarse_tune_key(16, 64, "d"));
+  EXPECT_NE(coarse_tune_key(16, 48, "d"), coarse_tune_key(256, 48, "d"));
+  // Element precision is part of the key: a float (or compressed-storage)
+  // kernel must never replay a config tuned for double.
+  EXPECT_NE(coarse_tune_key(16, 48, "d"), coarse_tune_key(16, 48, "f"));
+  EXPECT_NE(coarse_tune_key(16, 48, "d"), coarse_tune_key(16, 48, "df"));
+  EXPECT_NE(mrhs_tune_key(16, 48, 8, "d"), mrhs_tune_key(16, 48, 8, "df"));
 }
 
 TEST(Autotune, AutotunedApplyMatchesExplicit) {
