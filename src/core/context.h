@@ -99,14 +99,24 @@ class QmgContext {
   /// batched halo exchange per apply (all nrhs faces in one message per
   /// rank/face pair), interior compute overlapping the exchange when
   /// `mode` is Overlapped — while the batched MG cycle preconditions the
-  /// whole block.  Iterates are bit-identical to solve_mg_block(eo=false)
-  /// because the distributed apply is bit-identical to the global one.
-  /// Communication is metered into `comm` when given.
+  /// whole block WITH ITS COARSE LEVELS DISTRIBUTED TOO: every factorable
+  /// coarse level of the K-cycle dispatches its operator applications
+  /// (K-cycle GCR matvecs, block-MR Schur smoothing, the coarsest-grid
+  /// solve) through a DistributedCoarseOp split for the duration of the
+  /// solve, exercising the latency-bound coarsest-grid regime the batched
+  /// halos exist for.  Iterates are bit-identical to
+  /// solve_mg_block(eo=false) because every distributed apply is
+  /// bit-identical to the replicated one.  Communication — fine-operator
+  /// and per-coarse-level alike, each exchange counted exactly once — is
+  /// merged into `comm` when given.
+  /// `coarse_comm`, when given, receives ONLY the coarse-level share of
+  /// that traffic (already included in `comm`; do not add them) — the
+  /// breakdown the latency analysis of the coarsest grids reads.
   BlockSolverResult solve_mg_block_distributed(
       std::vector<ColorSpinorField<double>>& x,
       const std::vector<ColorSpinorField<double>>& b, double tol, int nranks,
       CommStats* comm = nullptr, int max_iter = 1000,
-      HaloMode mode = HaloMode::Overlapped);
+      HaloMode mode = HaloMode::Overlapped, CommStats* coarse_comm = nullptr);
 
   /// Persist / restore the process-wide TuneCache (kernel configs, launch
   /// backends and rhs-blockings).  Returns false on I/O or format errors.

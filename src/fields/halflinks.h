@@ -13,6 +13,7 @@
 // (CoarseDirac's Half16 apply path), so the hot loops still see contiguous
 // Complex<float> rows; only the memory traffic shrinks.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -92,6 +93,22 @@ class HalfCoarseLinks {
   void load_block(long site, int blk, Complex<float>* out) const {
     for (int r = 0; r < n_; ++r)
       load_row(site, blk, r, out + static_cast<size_t>(r) * n_);
+  }
+
+  /// Raw copy of one site's nine quantized blocks and scales from another
+  /// HalfCoarseLinks of the same block dimension — the rank-split path of
+  /// DistributedCoarseOp.  No dequantize/requantize round trip, so every
+  /// per-rank row dequantizes bit-identically to the global one.
+  void copy_site(long dst_site, const HalfCoarseLinks& src, long src_site) {
+    const size_t nn2 = static_cast<size_t>(n_) * n_ * 2;
+    for (int blk = 0; blk < kBlocksPerSite; ++blk) {
+      const size_t bd = block_index(dst_site, blk);
+      const size_t bs = src.block_index(src_site, blk);
+      scales_[bd] = src.scales_[bs];
+      std::copy(src.comps_.begin() + static_cast<long>(bs * nn2),
+                src.comps_.begin() + static_cast<long>((bs + 1) * nn2),
+                comps_.begin() + static_cast<long>(bd * nn2));
+    }
   }
 
  private:

@@ -5,6 +5,7 @@
 
 #include "fields/blas.h"
 #include "solvers/block_gcr.h"
+#include "solvers/block_mr.h"
 #include "util/logger.h"
 
 namespace qmg {
@@ -251,16 +252,36 @@ template <typename T>
 void Multigrid<T>::smooth_block(int level, BlockField& x, const BlockField& b,
                                 int iters) const {
   if (iters <= 0) return;
-  // The MR smoother's iterate state is per rhs, so stream rhs through the
-  // single-rhs smoother; residual/transfer/coarse-solve stages of the
-  // cycle stay batched.
-  auto x_k = ops_[level]->create_vector();
-  auto b_k = ops_[level]->create_vector();
-  for (int k = 0; k < b.nrhs(); ++k) {
-    x.extract_rhs(x_k, k);
-    b.extract_rhs(b_k, k);
-    smooth(level, x_k, b_k, iters);
-    x.insert_rhs(x_k, k);
+  const MgLevelConfig& lvl = config_.levels[level];
+  SolverParams params;
+  params.tol = 0;  // fixed iteration count (smoother mode)
+  params.max_iter = iters;
+  params.omega = lvl.smoother_omega;
+
+  // Masked block MR (solvers/block_mr.h): the whole batch smooths through
+  // one batched solver — per-rhs iterate state lives in the block fields,
+  // per-rhs masking freezes converged/broken-down systems — instead of
+  // streaming rhs through the single-rhs MrSolver.  Per rhs the iterates
+  // are bit-identical to that streamed path.  The even-odd form mirrors
+  // smooth(): block MR on the Schur system from the current even-site
+  // iterate, then exact batched reconstruction of the odd sites; the
+  // Schur operator applications route through the distributed adapter
+  // when this level's coarse operator is distributed.
+  auto eo_smooth = [&](const auto& schur, const LinearOperator<T>& op) {
+    BlockField b_hat = schur.create_block(b.nrhs());
+    schur.prepare_block(b_hat, b);
+    BlockField x_e = b_hat.similar();
+    extract_parity_block(x_e, x, /*parity=*/0);
+    BlockMrSolver<T>(op, params).solve(x_e, b_hat);
+    schur.reconstruct_block(x, x_e, b);
+  };
+  if (lvl.eo_smooth && level == 0 && schur_fine_) {
+    eo_smooth(*schur_fine_, *schur_fine_);
+  } else if (lvl.eo_smooth && level > 0 &&
+             static_cast<size_t>(level) <= schur_coarse_.size()) {
+    eo_smooth(*schur_coarse_[level - 1], schur_block_op(level));
+  } else {
+    BlockMrSolver<T>(block_op(level), params).solve(x, b);
   }
 }
 
@@ -268,13 +289,20 @@ template <typename T>
 void Multigrid<T>::cycle_block(int level, BlockField& x,
                                const BlockField& b) const {
   const ScopedTimer level_timer(profiler_, "level" + std::to_string(level));
-  const LinearOperator<T>& op = *ops_[level];
+  // Every operator application of the batched cycle goes through block_op /
+  // schur_block_op: the replicated operator normally, the distributed
+  // adapter (batched halos, optional overlap) when
+  // enable_distributed_coarse covered this level — bit-identical either
+  // way at a pinned kernel config.
+  const LinearOperator<T>& op = block_op(level);
   const int nrhs = b.nrhs();
   blas::block_zero(x);
 
   // Coarsest grid: block GCR to loose tolerance with per-rhs convergence
   // masking, on the Schur system when configured — every iteration is one
-  // batched coarse apply.
+  // batched coarse apply.  This is the latency-bound regime the
+  // distributed dispatch exists for: each Schur matvec nests two batched
+  // halo exchanges amortized over all nrhs.
   if (level == num_levels() - 1) {
     SolverParams params;
     params.tol = config_.coarsest_tol;
@@ -286,7 +314,7 @@ void Multigrid<T>::cycle_block(int level, BlockField& x,
       BlockField b_hat = schur.create_block(nrhs);
       schur.prepare_block(b_hat, b);
       BlockField x_e = b_hat.similar();
-      BlockGcrSolver<T>(schur, params).solve(x_e, b_hat);
+      BlockGcrSolver<T>(schur_block_op(level), params).solve(x_e, b_hat);
       schur.reconstruct_block(x, x_e, b);
     } else {
       BlockGcrSolver<T>(op, params).solve(x, b);
@@ -320,7 +348,7 @@ void Multigrid<T>::cycle_block(int level, BlockField& x,
     params.max_iter = lvl.cycle_maxiter;
     params.restart = lvl.cycle_krylov;
     BlockLevelPreconditioner precond(*this, level + 1);
-    BlockGcrSolver<T>(*ops_[level + 1], params, &precond).solve(e_c, r_c);
+    BlockGcrSolver<T>(block_op(level + 1), params, &precond).solve(e_c, r_c);
   } else {
     // Block V-cycle: single recursive batched application.
     cycle_block(level + 1, e_c, r_c);
@@ -334,6 +362,83 @@ void Multigrid<T>::cycle_block(int level, BlockField& x,
 
   // Post-smoothing.
   smooth_block(level, x, b, lvl.post_smooth);
+}
+
+template <typename T>
+int Multigrid<T>::enable_distributed_coarse(int nranks, HaloMode mode,
+                                            WirePrecision wire) {
+  dist_coarse_.clear();
+  dist_coarse_.resize(static_cast<size_t>(num_levels()));
+  if (nranks <= 1) return 0;
+  int distributed = 0;
+  for (int level = 1; level < num_levels(); ++level) {
+    const CoarseDirac<T>& cop = *coarse_ops_[level - 1];
+    DecompositionPtr dec;
+    try {
+      dec = make_decomposition(cop.geometry(), nranks);
+    } catch (const std::exception& e) {
+      // Grid not factorable at this rank count (odd extents, unit local
+      // dims): the level stays replicated and the cycle remains correct.
+      logf(LogLevel::Verbose,
+           "qmg: level %d stays replicated (%s)\n", level, e.what());
+      continue;
+    }
+    auto& entry = dist_coarse_[static_cast<size_t>(level)];
+    entry.op = std::make_unique<DistributedCoarseOp<T>>(cop, dec);
+    entry.full = std::make_unique<DistributedBlockCoarseOp<T>>(
+        cop, *entry.op, mode, wire);
+    if (static_cast<size_t>(level) <= schur_coarse_.size() &&
+        schur_coarse_[level - 1])
+      entry.schur = std::make_unique<DistributedSchurCoarseOp<T>>(
+          *schur_coarse_[level - 1], *entry.op, mode, wire);
+    ++distributed;
+    logf(LogLevel::Verbose,
+         "qmg: level %d distributed over %d ranks (local volume %ld)\n",
+         level, nranks, dec->local_volume());
+  }
+  return distributed;
+}
+
+template <typename T>
+void Multigrid<T>::disable_distributed_coarse() {
+  dist_coarse_.clear();
+}
+
+template <typename T>
+int Multigrid<T>::distributed_coarse_levels() const {
+  int n = 0;
+  for (const auto& entry : dist_coarse_)
+    if (entry.op) ++n;
+  return n;
+}
+
+template <typename T>
+const DistributedCoarseOp<T>* Multigrid<T>::distributed_coarse_op(
+    int level) const {
+  if (level < 0 || static_cast<size_t>(level) >= dist_coarse_.size())
+    return nullptr;
+  return dist_coarse_[static_cast<size_t>(level)].op.get();
+}
+
+template <typename T>
+CommStats Multigrid<T>::distributed_comm_stats() const {
+  // Each adapter meters its own exchanges exactly once (the Schur
+  // adapter's nested hops write only its counters), so the merge is a
+  // plain disjoint sum — no exchange can land in two adapters.
+  CommStats total;
+  for (const auto& entry : dist_coarse_) {
+    if (entry.full) total += entry.full->comm_stats();
+    if (entry.schur) total += entry.schur->comm_stats();
+  }
+  return total;
+}
+
+template <typename T>
+void Multigrid<T>::reset_distributed_comm_stats() {
+  for (auto& entry : dist_coarse_) {
+    if (entry.full) entry.full->reset_comm_stats();
+    if (entry.schur) entry.schur->reset_comm_stats();
+  }
 }
 
 template class Multigrid<double>;

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/dist_coarse.h"
 #include "dirac/wilson.h"
 #include "mg/coarse_op.h"
 #include "mg/galerkin.h"
@@ -102,14 +103,64 @@ class Multigrid {
   void cycle(int level, Field& x, const Field& b) const;
 
   /// Batched multigrid cycle (paper section 9): all rhs of the block
-  /// advance through one K-cycle level at a time, so every residual
-  /// computation, transfer and coarse K-cycle/coarsest GCR iteration is
-  /// one batched kernel — the coarse solves feed the multi-rhs coarse
-  /// apply with real batches.  Per-rhs results are bit-identical to
-  /// cycle() on the extracted fields when the coarse kernel configs are
-  /// pinned (set_kernel_config); smoothing runs per rhs through exactly
-  /// the single-rhs smoother.
+  /// advance through one K-cycle level at a time, so every stage —
+  /// residual computation, transfer, masked block-MR smoothing
+  /// (solvers/block_mr.h), coarse K-cycle GCR and the coarsest-grid solve
+  /// — is one batched kernel; no stage streams rhs.  Per-rhs results are
+  /// bit-identical to cycle() on the extracted fields when the coarse
+  /// kernel configs are pinned (set_kernel_config).  When
+  /// enable_distributed_coarse is active, every coarse-level operator
+  /// application additionally routes through the distributed adapters
+  /// (batched halos, optional overlap) with unchanged per-rhs bits.
   void cycle_block(int level, BlockField& x, const BlockField& b) const;
+
+  /// Push the coarse levels of the batched K-cycle onto a virtual rank
+  /// grid (paper section 6.5 applied where it matters most — the
+  /// latency-bound coarsest grids): every coarse level whose geometry
+  /// factors over `nranks` gets a DistributedCoarseOp split of its stencil
+  /// plus the solver-facing full-operator and Schur adapters, and
+  /// cycle_block dispatches that level's operator applications — K-cycle
+  /// GCR matvecs, residuals, even-odd smoothing, the coarsest-grid solve —
+  /// through them, with one batched (optionally overlapped) halo exchange
+  /// per apply.  Transfers and the prepare/reconstruct solve-setup stages
+  /// stay replicated (they run once per cycle stage, not per iteration).
+  /// With pinned coarse kernel configs the distributed cycle is
+  /// bit-identical to the replicated one (tested).  Levels that cannot be
+  /// factored (non-power-of-two nranks remainder, unit local extents) are
+  /// skipped and stay replicated.  Returns the number of levels now
+  /// running distributed.
+  int enable_distributed_coarse(int nranks,
+                                HaloMode mode = HaloMode::Overlapped,
+                                WirePrecision wire = WirePrecision::Native);
+  /// Back to fully replicated cycles (drops the distributed operators).
+  void disable_distributed_coarse();
+  /// Number of levels currently dispatching through distributed operators.
+  int distributed_coarse_levels() const;
+  /// The distributed split of a coarse level's operator (null when that
+  /// level is not distributed).
+  const DistributedCoarseOp<T>* distributed_coarse_op(int level) const;
+  /// The solver-facing adapters of a distributed level (null when not
+  /// distributed) — the objects whose comm_stats() the per-level merge
+  /// reads; exposed for the accounting tests and the K-cycle bench.
+  const DistributedBlockCoarseOp<T>* distributed_block_op(int level) const {
+    if (level < 0 || static_cast<size_t>(level) >= dist_coarse_.size())
+      return nullptr;
+    return dist_coarse_[static_cast<size_t>(level)].full.get();
+  }
+  const DistributedSchurCoarseOp<T>* distributed_schur_op(int level) const {
+    if (level < 0 || static_cast<size_t>(level) >= dist_coarse_.size())
+      return nullptr;
+    return dist_coarse_[static_cast<size_t>(level)].schur.get();
+  }
+
+  /// Communication of every distributed coarse apply since the last reset,
+  /// merged across levels and adapters.  Each halo exchange is metered
+  /// exactly once, into the adapter that ran it — the full-operator and
+  /// Schur adapters of a level have disjoint counters, and a nested Schur
+  /// apply's two exchanges land only in the Schur adapter — so this sum
+  /// never double-counts (tested).
+  CommStats distributed_comm_stats() const;
+  void reset_distributed_comm_stats();
 
   /// Per-level profiling of time spent inside cycles (feeds Fig. 4).
   const Profiler& profiler() const { return profiler_; }
@@ -130,12 +181,41 @@ class Multigrid {
   double setup_seconds_ = 0;
   mutable Profiler profiler_;
 
+  /// The distributed split of one coarse level: the rank-partitioned
+  /// stencil plus the two solver-facing adapters cycle_block dispatches
+  /// through.  Indexed by level (entry 0 — the fine grid — stays empty).
+  struct DistCoarseLevel {
+    std::unique_ptr<DistributedCoarseOp<T>> op;
+    std::unique_ptr<DistributedBlockCoarseOp<T>> full;
+    std::unique_ptr<DistributedSchurCoarseOp<T>> schur;
+  };
+  std::vector<DistCoarseLevel> dist_coarse_;
+
+  /// The operator cycle_block applies at `level`: the distributed
+  /// full-operator adapter when that level is distributed, the replicated
+  /// operator otherwise.
+  const LinearOperator<T>& block_op(int level) const {
+    if (level > 0 && static_cast<size_t>(level) < dist_coarse_.size() &&
+        dist_coarse_[static_cast<size_t>(level)].full)
+      return *dist_coarse_[static_cast<size_t>(level)].full;
+    return *ops_[static_cast<size_t>(level)];
+  }
+  /// Same dispatch for the level's even-odd Schur complement (level >= 1).
+  const LinearOperator<T>& schur_block_op(int level) const {
+    if (static_cast<size_t>(level) < dist_coarse_.size() &&
+        dist_coarse_[static_cast<size_t>(level)].schur)
+      return *dist_coarse_[static_cast<size_t>(level)].schur;
+    return *schur_coarse_[static_cast<size_t>(level - 1)];
+  }
+
   /// MR smoothing at `level`, on the Schur system when configured.
   void smooth(int level, Field& x, const Field& b, int iters) const;
 
-  /// Per-rhs smoothing of a block (extract -> smooth -> insert): the MR
-  /// smoother iterates per-rhs state, so it streams rhs through the
-  /// single-rhs path — bit-identical by construction.
+  /// Masked block-MR smoothing of a whole block (solvers/block_mr.h): all
+  /// rhs advance through one batched smoother — on the level's Schur
+  /// system when configured, through the distributed Schur adapter when
+  /// the level is distributed — with per-rhs masking keeping every rhs
+  /// bit-identical to the old streamed single-rhs path.
   void smooth_block(int level, BlockField& x, const BlockField& b,
                     int iters) const;
 

@@ -1,0 +1,185 @@
+#pragma once
+// Masked block (multi-right-hand-side) Minimal Residual iteration — the MG
+// smoother of paper section 7.1 lifted to the MRHS execution model of
+// section 9.  This was the last non-batched stage of the block K-cycle:
+// Multigrid::smooth_block used to stream every rhs through the single-rhs
+// MrSolver because MR keeps per-rhs iterate state (residual, omega-scaled
+// step).  Here that state is a vector: all N systems advance in lockstep so
+// every operator application is one batched apply_block and every reduction
+// one batched per-rhs block_norm2/block_cdot.
+//
+// Per-rhs bit-identity contract (mirrors solvers/block_gcr.h): for each rhs
+// k the arithmetic sequence — residual, <Ar,Ar>, <Ar,r>, the T-precision
+// alpha = <Ar,r>/<Ar,Ar> step scaled by omega — is exactly MrSolver's, and
+// the block BLAS reductions are bit-identical per rhs to the single-field
+// ones, so the iterates equal an independent MrSolver solve bit for bit
+// whenever the operator's apply_block is per-rhs bit-identical to apply()
+// (true of every batched operator in this codebase at a fixed kernel
+// config).
+//
+// Breakdown guard (the bug this solver also fixes): MR's step divides by
+// <Ar,Ar>.  In fixed-iteration smoother mode (tol = 0) a zero — or
+// converged — rhs reaches that division with Ar = 0; unguarded, the NaN
+// step would poison the shared block storage for every rhs.  Each rhs is
+// therefore masked out (frozen, iterate kept) the moment its denominator
+// stops being a positive finite number, matching the single-rhs solver's
+// `break` on the same condition, and a rhs with b = 0 is masked up front
+// with x = 0 exactly like MrSolver's early return.
+
+#include <cmath>
+#include <vector>
+
+#include "fields/blas.h"
+#include "solvers/solver.h"
+#include "util/timer.h"
+
+namespace qmg {
+
+template <typename T>
+class BlockMrSolver {
+ public:
+  using BlockField = BlockSpinor<T>;
+
+  BlockMrSolver(const LinearOperator<T>& op, SolverParams params)
+      : op_(op), params_(params) {}
+
+  /// Solve M x_k = b_k for every rhs starting from the current x.  When
+  /// params.tol == 0 runs exactly params.max_iter lockstep iterations
+  /// (smoother mode); otherwise each rhs is masked out once its relative
+  /// residual passes tol.
+  BlockSolverResult solve(BlockField& x, const BlockField& b) {
+    Timer timer;
+    const int nrhs = b.nrhs();
+    BlockSolverResult res;
+    res.rhs.assign(static_cast<size_t>(nrhs), SolverResult{});
+
+    auto r = b.similar();
+    op_.apply_block(r, x);
+    ++res.block_matvecs;
+    const std::vector<T> minus_one(static_cast<size_t>(nrhs), T(-1));
+    blas::block_xpay(b, minus_one, r);
+
+    const std::vector<double> b2 = blas::block_norm2(b);
+    // Mask of rhs still iterating; b_k = 0 freezes immediately with
+    // x_k = 0 (matching the single-rhs early return).
+    blas::RhsMask active(static_cast<size_t>(nrhs), 1);
+    for (int k = 0; k < nrhs; ++k) {
+      // The initial residual apply computed every rhs, zero b included —
+      // matvecs = 1 all around, matching MrSolver's accounting before its
+      // early return.
+      res.rhs[static_cast<size_t>(k)].matvecs = 1;
+      if (b2[static_cast<size_t>(k)] == 0.0) {
+        active[static_cast<size_t>(k)] = 0;
+        res.rhs[static_cast<size_t>(k)].converged = true;
+        for (long i = 0; i < x.rhs_size(); ++i) x.at(i, k) = Complex<T>{};
+      }
+    }
+
+    const T omega = static_cast<T>(params_.omega);
+    std::vector<double> r2 = blas::block_norm2(r);
+    auto iterating = [&](int k) {
+      if (active[static_cast<size_t>(k)] == 0 ||
+          res.rhs[static_cast<size_t>(k)].iterations >= params_.max_iter)
+        return false;
+      return !(params_.tol > 0 &&
+               std::sqrt(r2[static_cast<size_t>(k)] /
+                         b2[static_cast<size_t>(k)]) < params_.tol);
+    };
+    auto any_iterating = [&]() {
+      for (int k = 0; k < nrhs; ++k)
+        if (iterating(k)) return true;
+      return false;
+    };
+
+    auto mr = b.similar();
+    while (any_iterating()) {
+      // Mask snapshot for this lockstep iteration: exactly the rhs whose
+      // independent MrSolver would execute it.
+      blas::RhsMask step(static_cast<size_t>(nrhs), 0);
+      for (int k = 0; k < nrhs; ++k)
+        step[static_cast<size_t>(k)] = iterating(k) ? 1 : 0;
+
+      op_.apply_block(mr, r);
+      ++res.block_matvecs;
+      const std::vector<double> mr2 = blas::block_norm2(mr);
+      const std::vector<complexd> alpha_d = blas::block_cdot(mr, r);
+      std::vector<Complex<T>> step_coef(static_cast<size_t>(nrhs));
+      std::vector<Complex<T>> neg_coef(static_cast<size_t>(nrhs));
+      for (int k = 0; k < nrhs; ++k) {
+        if (!step[static_cast<size_t>(k)]) continue;
+        ++res.rhs[static_cast<size_t>(k)].matvecs;
+        const double d = mr2[static_cast<size_t>(k)];
+        if (!(d > 0.0) || !std::isfinite(d)) {
+          // Denominator breakdown (zero/NaN residual): freeze this rhs
+          // permanently instead of letting alpha = <Ar,r>/<Ar,Ar> go NaN
+          // and poison the whole block (single-rhs MrSolver breaks here).
+          active[static_cast<size_t>(k)] = 0;
+          step[static_cast<size_t>(k)] = 0;
+          continue;
+        }
+        const Complex<T> alpha(
+            static_cast<T>(alpha_d[static_cast<size_t>(k)].re / d),
+            static_cast<T>(alpha_d[static_cast<size_t>(k)].im / d));
+        step_coef[static_cast<size_t>(k)] = alpha * omega;
+        neg_coef[static_cast<size_t>(k)] = -(alpha * omega);
+      }
+      blas::block_caxpy(step_coef, r, x, &step);
+      blas::block_caxpy(neg_coef, mr, r, &step);
+      const std::vector<double> r2_new = blas::block_norm2(r);
+      for (int k = 0; k < nrhs; ++k) {
+        if (!step[static_cast<size_t>(k)]) continue;
+        r2[static_cast<size_t>(k)] = r2_new[static_cast<size_t>(k)];
+        auto& rk = res.rhs[static_cast<size_t>(k)];
+        rk.reductions += 3;  // |Ar|^2, <Ar,r>, |r|^2
+        ++rk.iterations;
+        if (params_.record_history)
+          rk.residual_history.push_back(
+              std::sqrt(r2[static_cast<size_t>(k)] /
+                        b2[static_cast<size_t>(k)]));
+      }
+    }
+
+    for (int k = 0; k < nrhs; ++k) {
+      auto& rk = res.rhs[static_cast<size_t>(k)];
+      rk.seconds = timer.seconds();
+      if (b2[static_cast<size_t>(k)] == 0.0) continue;  // converged above
+      rk.final_rel_residual =
+          std::sqrt(r2[static_cast<size_t>(k)] / b2[static_cast<size_t>(k)]);
+      rk.converged = params_.tol > 0
+                         ? rk.final_rel_residual < params_.tol
+                         : true;
+    }
+    res.seconds = timer.seconds();
+    return res;
+  }
+
+ private:
+  const LinearOperator<T>& op_;
+  SolverParams params_;
+};
+
+/// Batched MR iterations packaged as a BlockPreconditioner (the block MG
+/// smoother in non-Schur form).
+template <typename T>
+class BlockMrPreconditioner : public BlockPreconditioner<T> {
+ public:
+  using BlockField = typename BlockPreconditioner<T>::BlockField;
+
+  BlockMrPreconditioner(const LinearOperator<T>& op, int iters, double omega)
+      : op_(op) {
+    params_.tol = 0;  // fixed iteration count
+    params_.max_iter = iters;
+    params_.omega = omega;
+  }
+
+  void operator()(BlockField& out, const BlockField& in) override {
+    blas::block_zero(out);
+    BlockMrSolver<T>(op_, params_).solve(out, in);
+  }
+
+ private:
+  const LinearOperator<T>& op_;
+  SolverParams params_;
+};
+
+}  // namespace qmg

@@ -3,6 +3,8 @@
 // "four pre and post applications of minimal residual"), with relaxation
 // factor omega.  Also usable as a standalone (weak) solver.
 
+#include <cmath>
+
 #include "fields/blas.h"
 #include "solvers/solver.h"
 #include "util/timer.h"
@@ -42,8 +44,15 @@ class MrSolver {
       if (params_.tol > 0 && std::sqrt(r2 / b2) < params_.tol) break;
       op_.apply(mr, r);
       ++res.matvecs;
+      // Breakdown guard for the omega update's <Ar,Ar> denominator: a zero
+      // residual (fixed-iteration smoother mode on a solved/zero system)
+      // must stop the iteration, not produce alpha = 0/0 NaN iterates.  The
+      // negated comparison also freezes on a NaN-poisoned residual instead
+      // of iterating on garbage; BlockMrSolver masks per rhs on exactly
+      // this condition so the streamed and block smoothers stay
+      // bit-identical.
       const double mr2 = blas::norm2(mr);
-      if (mr2 == 0.0) break;
+      if (!(mr2 > 0.0) || !std::isfinite(mr2)) break;
       const complexd alpha_d = blas::cdot(mr, r);
       const Complex<T> alpha(static_cast<T>(alpha_d.re / mr2),
                              static_cast<T>(alpha_d.im / mr2));

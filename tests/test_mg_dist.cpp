@@ -1,0 +1,547 @@
+// Equivalence and accounting suite for the fully-batched K-cycle (masked
+// block-MR smoother, solvers/block_mr.h) and the distributed coarse levels
+// (comm/dist_coarse.h adapters dispatched by Multigrid::cycle_block):
+//
+//   * BlockMrSolver is per-rhs bit-identical to streaming every rhs through
+//     the single-rhs MrSolver — including a zero (immediately masked) rhs
+//     and tol-masked early convergence — across backends and thread counts;
+//   * the distributed K-cycle is bit-identical to the replicated one at a
+//     pinned kernel config (full-op, Schur-smoother and coarsest-solve
+//     dispatch), in Sync and Overlapped halo modes;
+//   * Half16 storage distributes: the rank-split quantized stencil applies
+//     bit-identically to the compressed single-rank operator;
+//   * CommStats of nested Schur applies merge exactly once (message counts
+//     reconcile against the per-exchange cost measured directly).
+//
+// ctest label: mg-dist.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "comm/dist_coarse.h"
+#include "core/context.h"
+#include "dirac/clover.h"
+#include "dirac/wilson.h"
+#include "fields/blas.h"
+#include "gauge/ensemble.h"
+#include "mg/galerkin.h"
+#include "mg/multigrid.h"
+#include "mg/nullspace.h"
+#include "mg/stencil.h"
+#include "mg/transfer.h"
+#include "parallel/dispatch.h"
+#include "parallel/thread_pool.h"
+#include "solvers/block_mr.h"
+#include "solvers/mr.h"
+
+namespace {
+
+using namespace qmg;
+
+constexpr int kNRhs = 4;
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+template <typename T>
+::testing::AssertionResult bits_equal(const ColorSpinorField<T>& a,
+                                      const ColorSpinorField<T>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "size mismatch";
+  for (long i = 0; i < a.size(); ++i)
+    if (a.data()[i].re != b.data()[i].re || a.data()[i].im != b.data()[i].im)
+      return ::testing::AssertionFailure()
+             << "first bit mismatch at element " << i;
+  return ::testing::AssertionSuccess();
+}
+
+/// Saves and restores the process-wide dispatch state so tests compose.
+class DispatchStateTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = default_policy(); }
+  void TearDown() override {
+    set_default_policy(saved_);
+    ThreadPool::instance().resize(1);
+  }
+
+  static void use_serial() {
+    ThreadPool::instance().resize(1);
+    LaunchPolicy p;
+    p.backend = Backend::Serial;
+    set_default_policy(p);
+  }
+
+  static void use_threaded(int threads) {
+    ThreadPool::instance().resize(threads);
+    LaunchPolicy p;
+    p.backend = Backend::Threaded;
+    p.grain = 1;  // always engage the pool, even on tiny test lattices
+    set_default_policy(p);
+  }
+
+ private:
+  LaunchPolicy saved_;
+};
+
+/// Shared small-but-real problem on 4^3 x 8 (the temporal extent keeps the
+/// 2,2,2,4 coarse grid factorable over 2 ranks): disordered Wilson-Clover
+/// plus a Galerkin coarse operator with genuine near-null vectors.
+class MgDistTest : public DispatchStateTest {
+ protected:
+  static void SetUpTestSuite() {
+    geom_ = make_geometry(Coord{4, 4, 4, 8});
+    gauge_ = new GaugeField<double>(disordered_gauge<double>(geom_, 0.4, 53));
+    clover_ = new CloverField<double>(
+        build_clover_with_inverse(*gauge_, 1.0, 0.1));
+    op_ = new WilsonCloverOp<double>(
+        *gauge_, WilsonParams<double>{.mass = 0.1, .csw = 1.0}, clover_);
+    NullSpaceParams ns;
+    ns.nvec = 4;
+    ns.iters = 10;
+    auto vecs = generate_null_vectors(*op_, ns);
+    auto map = std::make_shared<const BlockMap>(geom_, Coord{2, 2, 2, 2});
+    transfer_ = new Transfer<double>(map, 4, 3, 4);
+    transfer_->set_null_vectors(vecs);
+    const WilsonStencilView<double> view(*op_);
+    coarse_ = new CoarseDirac<double>(build_coarse_operator(view, *transfer_));
+    coarse_->compute_diag_inverse();
+    schur_ = new SchurCoarseOp<double>(*coarse_);
+  }
+
+  static void TearDownTestSuite() {
+    delete schur_;
+    delete coarse_;
+    delete transfer_;
+    delete op_;
+    delete clover_;
+    delete gauge_;
+  }
+
+  static BlockSpinor<double> random_block(const ColorSpinorField<double>& proto,
+                                          std::uint64_t seed,
+                                          int zero_rhs = -1) {
+    BlockSpinor<double> block(proto.geometry(), proto.nspin(), proto.ncolor(),
+                              kNRhs, proto.subset());
+    for (int k = 0; k < kNRhs; ++k) {
+      auto f = proto.similar();
+      if (k != zero_rhs) f.gaussian(seed + static_cast<std::uint64_t>(k));
+      block.insert_rhs(f, k);
+    }
+    return block;
+  }
+
+  static GeometryPtr geom_;
+  static GaugeField<double>* gauge_;
+  static CloverField<double>* clover_;
+  static WilsonCloverOp<double>* op_;
+  static Transfer<double>* transfer_;
+  static CoarseDirac<double>* coarse_;
+  static SchurCoarseOp<double>* schur_;
+};
+
+GeometryPtr MgDistTest::geom_;
+GaugeField<double>* MgDistTest::gauge_ = nullptr;
+CloverField<double>* MgDistTest::clover_ = nullptr;
+WilsonCloverOp<double>* MgDistTest::op_ = nullptr;
+Transfer<double>* MgDistTest::transfer_ = nullptr;
+CoarseDirac<double>* MgDistTest::coarse_ = nullptr;
+SchurCoarseOp<double>* MgDistTest::schur_ = nullptr;
+
+// --- masked block MR vs the streamed single-rhs smoother --------------------
+
+TEST_F(MgDistTest, BlockMrMatchesStreamedSingleRhsMr) {
+  coarse_->set_kernel_config({Strategy::ColorSpin, 1, 1, 2});
+  SolverParams params;
+  params.tol = 0;  // fixed-iteration smoother mode
+  params.max_iter = 4;
+  params.omega = 0.85;
+
+  // One rhs is identically zero: the streamed MrSolver returns x = 0
+  // immediately; the block solver must mask it instead of feeding the
+  // 0/0 omega update that would poison the batch.
+  const auto b = random_block(coarse_->create_vector(), 211, /*zero_rhs=*/2);
+
+  use_serial();
+  std::vector<ColorSpinorField<double>> ref;
+  for (int k = 0; k < kNRhs; ++k) {
+    auto b_k = coarse_->create_vector();
+    b.extract_rhs(b_k, k);
+    auto x_k = coarse_->create_vector();
+    MrSolver<double>(*coarse_, params).solve(x_k, b_k);
+    ref.push_back(std::move(x_k));
+  }
+
+  for (const int t : kThreadCounts) {
+    use_threaded(t);
+    auto x = b.similar();
+    const auto res = BlockMrSolver<double>(*coarse_, params).solve(x, b);
+    for (int k = 0; k < kNRhs; ++k) {
+      EXPECT_TRUE(bits_equal(x.extract_rhs(k), ref[static_cast<size_t>(k)]))
+          << "threads=" << t << " rhs=" << k;
+      for (long i = 0; i < x.rhs_size(); ++i) {
+        ASSERT_TRUE(std::isfinite(x.at(i, k).re) &&
+                    std::isfinite(x.at(i, k).im))
+            << "non-finite iterate at rhs " << k;
+      }
+    }
+    EXPECT_TRUE(res.rhs[2].converged);  // the zero rhs
+  }
+}
+
+TEST_F(MgDistTest, BlockMrWithToleranceMasksEachRhsLikeIndependentSolves) {
+  coarse_->set_kernel_config({Strategy::ColorSpin, 1, 1, 2});
+  SolverParams params;
+  params.tol = 0.3;  // loose: rhs converge at different iteration counts
+  params.max_iter = 25;
+  params.omega = 0.85;
+
+  const auto b = random_block(coarse_->create_vector(), 223);
+  use_serial();
+  std::vector<ColorSpinorField<double>> ref;
+  std::vector<SolverResult> ref_res;
+  for (int k = 0; k < kNRhs; ++k) {
+    auto b_k = coarse_->create_vector();
+    b.extract_rhs(b_k, k);
+    auto x_k = coarse_->create_vector();
+    ref_res.push_back(MrSolver<double>(*coarse_, params).solve(x_k, b_k));
+    ref.push_back(std::move(x_k));
+  }
+
+  auto x = b.similar();
+  const auto res = BlockMrSolver<double>(*coarse_, params).solve(x, b);
+  for (int k = 0; k < kNRhs; ++k) {
+    EXPECT_TRUE(bits_equal(x.extract_rhs(k), ref[static_cast<size_t>(k)]))
+        << "rhs=" << k;
+    EXPECT_EQ(res.rhs[static_cast<size_t>(k)].iterations,
+              ref_res[static_cast<size_t>(k)].iterations)
+        << "rhs=" << k;
+  }
+}
+
+TEST_F(MgDistTest, BlockMrOnSchurSystemMatchesStreamed) {
+  coarse_->set_kernel_config({Strategy::ColorSpin, 1, 1, 2});
+  SolverParams params;
+  params.tol = 0;
+  params.max_iter = 4;
+  params.omega = 0.85;
+
+  // Even-odd form: the smoother's actual configuration on every level.
+  const auto b_full = random_block(coarse_->create_vector(), 239);
+  BlockSpinor<double> b_hat = schur_->create_block(kNRhs);
+  schur_->prepare_block(b_hat, b_full);
+
+  use_serial();
+  std::vector<ColorSpinorField<double>> ref;
+  for (int k = 0; k < kNRhs; ++k) {
+    auto b_k = schur_->create_vector();
+    b_hat.extract_rhs(b_k, k);
+    auto x_k = schur_->create_vector();
+    MrSolver<double>(*schur_, params).solve(x_k, b_k);
+    ref.push_back(std::move(x_k));
+  }
+
+  for (const int t : kThreadCounts) {
+    use_threaded(t);
+    auto x = b_hat.similar();
+    BlockMrSolver<double>(*schur_, params).solve(x, b_hat);
+    for (int k = 0; k < kNRhs; ++k)
+      EXPECT_TRUE(bits_equal(x.extract_rhs(k), ref[static_cast<size_t>(k)]))
+          << "threads=" << t << " rhs=" << k;
+  }
+}
+
+// --- distributed Schur complement -------------------------------------------
+
+class MgDistHaloModes
+    : public MgDistTest,
+      public ::testing::WithParamInterface<HaloMode> {};
+
+TEST_P(MgDistHaloModes, DistributedSchurApplyBitIdentical) {
+  const HaloMode mode = GetParam();
+  coarse_->set_kernel_config({Strategy::ColorSpin, 1, 1, 2});
+
+  const auto b_full = random_block(coarse_->create_vector(), 307);
+  BlockSpinor<double> in = schur_->create_block(kNRhs);
+  schur_->prepare_block(in, b_full);
+  BlockSpinor<double> ref = in.similar();
+  schur_->apply_block(ref, in);
+
+  // The 2,2,2,4 coarse grid factors over 2 ranks only (4 would need a
+  // unit local extent, which the decomposition rejects).
+  for (const int nranks : {2}) {
+    const auto dec = make_decomposition(coarse_->geometry(), nranks);
+    const DistributedCoarseOp<double> dist(*coarse_, dec);
+    const DistributedSchurCoarseOp<double> dist_schur(*schur_, dist, mode);
+    BlockSpinor<double> out = in.similar();
+    dist_schur.apply_block(out, in);
+    for (int k = 0; k < kNRhs; ++k)
+      EXPECT_TRUE(bits_equal(out.extract_rhs(k), ref.extract_rhs(k)))
+          << "nranks=" << nranks << " rhs=" << k;
+
+    // Single-rhs apply rides the batched path with the same bits.
+    auto in_0 = schur_->create_vector();
+    in.extract_rhs(in_0, 0);
+    auto out_0 = schur_->create_vector();
+    dist_schur.apply(out_0, in_0);
+    EXPECT_TRUE(bits_equal(out_0, ref.extract_rhs(0)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HaloModes, MgDistHaloModes,
+                         ::testing::Values(HaloMode::Sync,
+                                           HaloMode::Overlapped));
+
+// --- distributed K-cycle vs replicated --------------------------------------
+
+TEST_F(MgDistTest, DistributedKCycleBitIdenticalToReplicated) {
+  MgConfig mg_config;
+  MgLevelConfig level;
+  level.block = {2, 2, 2, 2};
+  level.nvec = 4;
+  level.null_iters = 8;
+  level.adaptive_passes = 0;
+  mg_config.levels = {level};
+  use_serial();
+  Multigrid<double> mg(*op_, mg_config);
+  // Pin the coarse kernel config so the replicated and distributed cycles
+  // run the same decomposition (the bit-identity contract is per-config).
+  mg.coarse_op_mutable(0).set_kernel_config({Strategy::ColorSpin, 1, 1, 2});
+
+  const auto b = random_block(op_->create_vector(), 401);
+  auto x_ref = b.similar();
+  mg.cycle_block(0, x_ref, b);
+
+  for (const HaloMode mode : {HaloMode::Sync, HaloMode::Overlapped}) {
+    ASSERT_EQ(mg.enable_distributed_coarse(2, mode), 1);
+    ASSERT_NE(mg.distributed_coarse_op(1), nullptr);
+    for (const int t : kThreadCounts) {
+      use_threaded(t);
+      auto x = b.similar();
+      mg.cycle_block(0, x, b);
+      for (int k = 0; k < kNRhs; ++k)
+        EXPECT_TRUE(bits_equal(x.extract_rhs(k), x_ref.extract_rhs(k)))
+            << "mode=" << (mode == HaloMode::Sync ? "sync" : "overlapped")
+            << " threads=" << t << " rhs=" << k;
+    }
+    use_serial();
+    mg.disable_distributed_coarse();
+    EXPECT_EQ(mg.distributed_coarse_levels(), 0);
+  }
+
+  // After disabling, the cycle is the plain replicated one again.
+  auto x_after = b.similar();
+  mg.cycle_block(0, x_after, b);
+  for (int k = 0; k < kNRhs; ++k)
+    EXPECT_TRUE(bits_equal(x_after.extract_rhs(k), x_ref.extract_rhs(k)));
+}
+
+TEST_F(MgDistTest, UnfactorableLevelsFallBackToReplicated) {
+  MgConfig mg_config;
+  MgLevelConfig level;
+  level.block = {2, 2, 2, 2};
+  level.nvec = 4;
+  level.null_iters = 8;
+  level.adaptive_passes = 0;
+  mg_config.levels = {level};
+  use_serial();
+  Multigrid<double> mg(*op_, mg_config);
+  mg.coarse_op_mutable(0).set_kernel_config({Strategy::ColorSpin, 1, 1, 2});
+
+  const auto b = random_block(op_->create_vector(), 421);
+  auto x_ref = b.similar();
+  mg.cycle_block(0, x_ref, b);
+
+  // 4 ranks would need a unit local extent on the 2,2,2,4 coarse grid: the
+  // level is skipped (no distributed ops) and the cycle stays correct.
+  EXPECT_EQ(mg.enable_distributed_coarse(4), 0);
+  EXPECT_EQ(mg.distributed_coarse_op(1), nullptr);
+  auto x = b.similar();
+  mg.cycle_block(0, x, b);
+  for (int k = 0; k < kNRhs; ++k)
+    EXPECT_TRUE(bits_equal(x.extract_rhs(k), x_ref.extract_rhs(k)));
+  mg.disable_distributed_coarse();
+}
+
+// --- Half16 across the rank split -------------------------------------------
+
+TEST_F(MgDistTest, Half16DistributedApplyMatchesCompressedSingleRank) {
+  // Rebuild a compressed copy (the fixture operator stays native for the
+  // other suites).
+  const WilsonStencilView<double> view(*op_);
+  CoarseDirac<double> half(build_coarse_operator(view, *transfer_,
+                                                 CoarseStorage::Half16));
+  const CoarseKernelConfig config{Strategy::DotProduct, 3, 2, 2};
+
+  auto x = half.create_vector();
+  x.gaussian(431);
+  auto y_ref = half.create_vector();
+  half.apply_with_config(y_ref, x, config);
+
+  const auto dec = make_decomposition(half.geometry(), 2);
+  const DistributedCoarseOp<double> dist(half, dec);
+  EXPECT_EQ(dist.storage(), CoarseStorage::Half16);
+
+  // Single-rhs distributed apply == compressed global apply, bitwise.
+  auto dx = dist.create_vector();
+  dx.scatter(x);
+  auto dy = dist.create_vector();
+  dist.apply(dy, dx, config);
+  auto y = half.create_vector();
+  dy.gather(y);
+  EXPECT_TRUE(bits_equal(y, y_ref));
+
+  // Batched distributed apply == batched compressed global apply, per rhs.
+  const auto xb = random_block(half.create_vector(), 433);
+  auto yb_ref = xb.similar();
+  half.apply_block_with_config(yb_ref, xb, config, default_policy());
+  auto dxb = dist.create_block(kNRhs);
+  dxb.scatter(xb);
+  auto dyb = dist.create_block(kNRhs);
+  dist.apply_block(dyb, dxb, config);
+  auto yb = xb.similar();
+  dyb.gather(yb);
+  for (int k = 0; k < kNRhs; ++k)
+    EXPECT_TRUE(bits_equal(yb.extract_rhs(k), yb_ref.extract_rhs(k)))
+        << "rhs=" << k;
+
+  // The distributed Schur on Half16 reads the same float diag-inverse and
+  // dequantized link rows as the compressed global Schur.
+  if (!half.has_diag_inverse()) half.compute_diag_inverse();
+  const SchurCoarseOp<double> half_schur(half);
+  const DistributedCoarseOp<double> dist_inv(half, dec);
+  const DistributedSchurCoarseOp<double> dist_schur(half_schur, dist_inv,
+                                                    HaloMode::Sync);
+  const auto b_full = random_block(half.create_vector(), 439);
+  BlockSpinor<double> in = half_schur.create_block(kNRhs);
+  half_schur.prepare_block(in, b_full);
+  BlockSpinor<double> ref = in.similar();
+  half_schur.apply_block(ref, in);
+  BlockSpinor<double> out = in.similar();
+  dist_schur.apply_block(out, in);
+  for (int k = 0; k < kNRhs; ++k)
+    EXPECT_TRUE(bits_equal(out.extract_rhs(k), ref.extract_rhs(k)))
+        << "rhs=" << k;
+}
+
+// --- CommStats accounting ----------------------------------------------------
+
+TEST_F(MgDistTest, CommStatsOfNestedSchurAppliesMergeExactlyOnce) {
+  use_serial();
+  coarse_->set_kernel_config({Strategy::ColorSpin, 1, 1, 2});
+  const auto dec = make_decomposition(coarse_->geometry(), 2);
+  const DistributedCoarseOp<double> dist(*coarse_, dec);
+
+  // Cost of ONE batched halo exchange at this decomposition, measured
+  // directly (the reconciliation unit).
+  CommStats one;
+  {
+    auto probe = dist.create_block(kNRhs);
+    probe.exchange_halos(&one);
+  }
+  ASSERT_GT(one.messages, 0);
+
+  // A nested Schur apply runs exactly two exchanges — each metered once.
+  const DistributedSchurCoarseOp<double> dist_schur(*schur_, dist,
+                                                    HaloMode::Sync);
+  const auto b_full = random_block(coarse_->create_vector(), 443);
+  BlockSpinor<double> in = schur_->create_block(kNRhs);
+  schur_->prepare_block(in, b_full);
+  BlockSpinor<double> out = in.similar();
+  dist_schur.apply_block(out, in);
+  EXPECT_EQ(dist_schur.comm_stats().messages, 2 * one.messages);
+  EXPECT_EQ(dist_schur.comm_stats().message_bytes, 2 * one.message_bytes);
+
+  // Through a whole distributed K-cycle, the context-wide merge equals
+  // (full-op applies) x one exchange + (Schur applies) x two exchanges —
+  // i.e. nothing is counted twice through the nesting.
+  MgConfig mg_config;
+  MgLevelConfig level;
+  level.block = {2, 2, 2, 2};
+  level.nvec = 4;
+  level.null_iters = 8;
+  level.adaptive_passes = 0;
+  mg_config.levels = {level};
+  Multigrid<double> mg(*op_, mg_config);
+  mg.coarse_op_mutable(0).set_kernel_config({Strategy::ColorSpin, 1, 1, 2});
+  ASSERT_EQ(mg.enable_distributed_coarse(2, HaloMode::Sync), 1);
+
+  const auto* full_op = mg.distributed_block_op(1);
+  const auto* schur_op = mg.distributed_schur_op(1);
+  ASSERT_NE(full_op, nullptr);
+  ASSERT_NE(schur_op, nullptr);
+  full_op->reset_apply_count();
+  schur_op->reset_apply_count();
+  mg.reset_distributed_comm_stats();
+
+  const auto b = random_block(op_->create_vector(), 449);
+  auto x = b.similar();
+  mg.cycle_block(0, x, b);
+
+  // apply_count counts per rhs; each block apply ran one batched exchange
+  // (two for Schur).  The level geometry matches the probe's, so the
+  // per-exchange unit is `one`.
+  const long full_applies = full_op->apply_count() / kNRhs;
+  const long schur_applies = schur_op->apply_count() / kNRhs;
+  ASSERT_GT(schur_applies, 0);
+  const CommStats total = mg.distributed_comm_stats();
+  EXPECT_EQ(total.messages,
+            (full_applies + 2 * schur_applies) * one.messages);
+  EXPECT_EQ(total.message_bytes,
+            (full_applies + 2 * schur_applies) * one.message_bytes);
+
+  mg.reset_distributed_comm_stats();
+  EXPECT_EQ(mg.distributed_comm_stats().messages, 0);
+}
+
+// --- end to end through the context ------------------------------------------
+
+TEST(MgDistEndToEnd, DistributedBlockSolveMatchesReplicatedBlockSolve) {
+  ContextOptions options;
+  options.dims = {4, 4, 4, 8};
+  options.mass = -0.01;
+  options.roughness = 0.4;
+  options.backend = Backend::Serial;
+  options.threads = 1;
+  QmgContext ctx(options);
+
+  MgConfig mg;
+  MgLevelConfig level;
+  level.block = {2, 2, 2, 2};
+  level.nvec = 4;
+  level.null_iters = 10;
+  level.adaptive_passes = 0;
+  mg.levels = {level};
+  ctx.setup_multigrid(mg);
+  // Pin the coarse kernel config so the replicated and distributed cycles
+  // share one decomposition (per-config bit-identity contract).
+  ctx.multigrid().coarse_op_mutable(0).set_kernel_config(
+      {Strategy::ColorSpin, 1, 1, 2});
+
+  const double tol = 1e-6;
+  std::vector<ColorSpinorField<double>> b, x_ref, x_dist;
+  for (int k = 0; k < 3; ++k) {
+    b.push_back(ctx.create_vector());
+    b.back().point_source(k, k % 4, k % 3);
+    x_ref.push_back(ctx.create_vector());
+    x_dist.push_back(ctx.create_vector());
+  }
+  const auto ref = ctx.solve_mg_block(x_ref, b, tol, 1000, /*eo=*/false);
+
+  CommStats comm, coarse_comm;
+  const auto res = ctx.solve_mg_block_distributed(
+      x_dist, b, tol, /*nranks=*/2, &comm, 1000, HaloMode::Overlapped,
+      &coarse_comm);
+
+  ASSERT_TRUE(res.all_converged());
+  for (size_t k = 0; k < b.size(); ++k) {
+    EXPECT_EQ(res.rhs[k].iterations, ref.rhs[k].iterations) << "rhs " << k;
+    EXPECT_TRUE(bits_equal(x_dist[k], x_ref[k])) << "rhs " << k;
+  }
+  // The coarse levels really ran distributed, their traffic landed in both
+  // counters consistently, and the hierarchy is back to replicated.
+  EXPECT_GT(coarse_comm.messages, 0);
+  EXPECT_GE(comm.messages, coarse_comm.messages);
+  EXPECT_EQ(ctx.multigrid().distributed_coarse_levels(), 0);
+}
+
+}  // namespace

@@ -459,9 +459,22 @@ TEST_F(PrecisionDistTest, DistributedInheritsSingleStorage) {
   dy.gather(y);
   EXPECT_TRUE(bits_equal(y, y_ref));
 
-  // Half16 globals are rejected with a clear contract, not silently read.
-  EXPECT_THROW(DistributedCoarseOp<double>(*half_, dec),
-               std::invalid_argument);
+  // Half16 globals split too: the per-rank quantized blocks are raw copies
+  // of the global ones, so the dequantize-row stencil views resolve
+  // bit-identically across the rank split (the full equivalence suite is
+  // tests/test_mg_dist.cpp).
+  const DistributedCoarseOp<double> dist_half(*half_, dec);
+  EXPECT_EQ(dist_half.storage(), CoarseStorage::Half16);
+  EXPECT_EQ(dist_half.precision_tag(), "dh");
+  auto yh_ref = native_->create_vector();
+  half_->apply_with_config(yh_ref, x, config);
+  auto dxh = dist_half.create_vector();
+  dxh.scatter(x);
+  auto dyh = dist_half.create_vector();
+  dist_half.apply(dyh, dxh, config);
+  auto yh = native_->create_vector();
+  dyh.gather(yh);
+  EXPECT_TRUE(bits_equal(yh, yh_ref));
 }
 
 TEST_F(PrecisionDistTest, SingleWireHalvesHaloBytes) {
