@@ -16,6 +16,7 @@ const ContextOptions& apply_dispatch_options(const ContextOptions& options) {
   ThreadPool::instance().resize(options.threads);
   LaunchPolicy policy = default_policy();
   policy.backend = options.backend;
+  policy.simd_width = options.simd_width;
   set_default_policy(policy);
   return options;
 }

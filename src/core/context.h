@@ -35,6 +35,11 @@ struct ContextOptions {
   // override the backend per shape via the TuneCache.
   Backend backend = Backend::Threaded;
   int threads = 0;
+  // Lane width for the process default policy (LaunchPolicy::simd_width):
+  // 0 = auto — the build's native pack width under Backend::Simd, scalar
+  // under Threaded.  Set explicitly (1/2/4/8) to pin the width of the
+  // width-aware kernels, e.g. to vectorize the Threaded backend.
+  int simd_width = 0;
   // Launch-policy persistence: when non-empty, the TuneCache (kernel
   // configs + launch backends + rhs-blockings) is loaded from this file at
   // context construction and saved back at destruction, so production runs

@@ -16,28 +16,32 @@ namespace qmg {
 /// down to two spin components, apply the SU(3) link to the half spinor, and
 /// reconstruct — halving the link matrix-vector work per hop.  This is the
 /// same dataflow the fine-grained GPU kernels use.
-template <typename T>
-inline void accumulate_hop(Complex<T>* accum, const Su3<T>& u,
-                           const Complex<T>* in_site, const HalfSpinForm& hs,
-                           T coef) {
+///
+/// V is the site value type: Complex<T> for single-rhs applies, or an
+/// rhs-lane pack (simd::cpack<T, W>, see fields/lanes.h) for the batched
+/// SIMD paths.  Every lane evaluates this exact scalar expression tree, so
+/// a lane's result is bit-identical to the Complex<T> instantiation.
+template <typename T, typename V>
+inline void accumulate_hop(V* accum, const Su3<T>& u, const V* in_site,
+                           const HalfSpinForm& hs, T coef) {
   for (int a = 0; a < 2; ++a) {
-    const Complex<T>* x_up = in_site + 3 * a;
-    const Complex<T>* x_dn = in_site + 3 * hs.pair[a];
+    const V* x_up = in_site + 3 * a;
+    const V* x_dn = in_site + 3 * hs.pair[a];
     const Complex<T> pc(static_cast<T>(hs.proj_coeff[a].re),
                         static_cast<T>(hs.proj_coeff[a].im));
-    Complex<T> h[3];
+    V h[3];
     for (int c = 0; c < 3; ++c) h[c] = x_up[c] + pc * x_dn[c];
-    Complex<T> uh[3];
+    V uh[3];
     for (int r = 0; r < 3; ++r) {
-      Complex<T> acc{};
+      V acc{};
       for (int c = 0; c < 3; ++c) acc += u(r, c) * h[c];
       uh[r] = acc;
     }
     const Complex<T> rc = Complex<T>(static_cast<T>(hs.recon_coeff[a].re),
                                      static_cast<T>(hs.recon_coeff[a].im)) *
                           coef;
-    Complex<T>* dst_up = accum + 3 * a;
-    Complex<T>* dst_dn = accum + 3 * hs.pair[a];
+    V* dst_up = accum + 3 * a;
+    V* dst_dn = accum + 3 * hs.pair[a];
     for (int c = 0; c < 3; ++c) {
       dst_up[c] += coef * uh[c];
       dst_dn[c] += rc * uh[c];

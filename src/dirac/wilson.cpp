@@ -5,6 +5,7 @@
 
 #include "dirac/gamma.h"
 #include "dirac/hop.h"
+#include "fields/lanes.h"
 #include "parallel/dispatch.h"
 
 namespace qmg {
@@ -42,24 +43,57 @@ void hopping_kernel(ColorSpinorField<T>& out, const ColorSpinorField<T>& in,
 }
 
 /// Clover block application: out_site += A(block) * in_site per chirality.
-template <typename T>
+/// V is Complex<T> or an rhs-lane pack (see accumulate_hop) — every lane
+/// runs the identical scalar expression tree.
+template <typename T, typename V>
 inline void clover_multiply_add(const typename CloverField<T>::Block& a,
-                                const Complex<T>* in, Complex<T>* out) {
+                                const V* in, V* out) {
   for (int r = 0; r < 6; ++r) {
-    Complex<T> acc{};
+    V acc{};
     for (int c = 0; c < 6; ++c) acc += a(r, c) * in[c];
     out[r] += acc;
   }
 }
 
-template <typename T>
+template <typename T, typename V>
 inline void block_multiply(const typename CloverField<T>::Block& a,
-                           const Complex<T>* in, Complex<T>* out) {
+                           const V* in, V* out) {
   for (int r = 0; r < 6; ++r) {
-    Complex<T> acc{};
+    V acc{};
     for (int c = 0; c < 6; ++c) acc += a(r, c) * in[c];
     out[r] = acc;
   }
+}
+
+/// Resolved lane width of the default policy for an nrhs-wide batched
+/// kernel (1 = take the scalar path).
+inline int block_kernel_width(const LaunchPolicy& policy, int nrhs) {
+  return simd::width_for(effective_simd_width(policy), static_cast<long>(nrhs));
+}
+
+/// Dispatch the width path of a batched (site x rhs) kernel: runs
+/// pack_site(i, k0, width_tag<W>) for every site and full lane group of W
+/// consecutive rhs, then scalar_site(i, k) for the nrhs % W tail.  The
+/// policy's rhs_block is clamped to a multiple of W and converted to PACK
+/// GROUPS, so a dispatch item never splits a pack and Threaded partitions
+/// over pack groups.
+template <typename PackSite, typename ScalarSite>
+void block_lanes_2d(long n_out, int nrhs, const LaunchPolicy& policy, int w,
+                    PackSite&& pack_site, ScalarSite&& scalar_site) {
+  simd::dispatch_width(w, [&](auto wc) {
+    constexpr int W = decltype(wc)::value;
+    const int ngroups = nrhs / W;
+    LaunchPolicy p = align_rhs_block(policy, W);
+    if (p.rhs_block > 0) p.rhs_block /= W;
+    parallel_for_2d(n_out, ngroups, p, [&](long i, long g) {
+      pack_site(i, static_cast<int>(g) * W, wc);
+    });
+    const int ktail = ngroups * W;
+    if (ktail < nrhs)
+      parallel_for_2d(n_out, nrhs - ktail, policy, [&](long i, long kk) {
+        scalar_site(i, ktail + static_cast<int>(kk));
+      });
+  });
 }
 
 /// Batched hopping term over a site range and all rhs of a block spinor.
@@ -74,8 +108,8 @@ void block_hopping_kernel(BlockSpinor<T>& out, const BlockSpinor<T>& in,
                           long n_out, SiteOf site_of, InIndexOf in_index_of,
                           T anisotropy) {
   const auto& algebra = GammaAlgebra::instance();
-  parallel_for_2d(n_out, in.nrhs(), default_policy(), [&](long i, long kk) {
-    const int k = static_cast<int>(kk);
+  const LaunchPolicy policy = default_policy();
+  auto scalar_site = [&](long i, int k) {
     const long x = site_of(i);
     Complex<T> accum[12] = {};
     Complex<T> nbr[12];
@@ -91,6 +125,34 @@ void block_hopping_kernel(BlockSpinor<T>& out, const BlockSpinor<T>& in,
                      algebra.half_spin(mu, 1), coef);
     }
     out.scatter_site_rhs(i, k, accum);
+  };
+  const int w = block_kernel_width(policy, in.nrhs());
+  if (w > 1) {
+    block_lanes_2d(
+        n_out, in.nrhs(), policy, w,
+        [&](long i, int k0, auto wc) {
+          constexpr int W = decltype(wc)::value;
+          const long x = site_of(i);
+          simd::cpack<T, W> accum[12] = {};
+          simd::cpack<T, W> nbr[12];
+          for (int mu = 0; mu < kNDim; ++mu) {
+            const T coef = (mu == 3 ? anisotropy : T(1)) * T(0.5);
+            const long xf = geom.neighbor_fwd(x, mu);
+            simd::gather_site_lanes<W>(in, in_index_of(xf), k0, nbr);
+            accumulate_hop(accum, gauge.link(mu, x), nbr,
+                           algebra.half_spin(mu, 0), coef);
+            const long xb = geom.neighbor_bwd(x, mu);
+            simd::gather_site_lanes<W>(in, in_index_of(xb), k0, nbr);
+            accumulate_hop(accum, adjoint(gauge.link(mu, xb)), nbr,
+                           algebra.half_spin(mu, 1), coef);
+          }
+          simd::scatter_site_lanes<W>(out, i, k0, accum);
+        },
+        scalar_site);
+    return;
+  }
+  parallel_for_2d(n_out, in.nrhs(), policy, [&](long i, long kk) {
+    scalar_site(i, static_cast<int>(kk));
   });
 }
 
@@ -102,9 +164,8 @@ void block_dslash_kernel(BlockSpinor<T>& out, const BlockSpinor<T>& in,
                          const Gauge& gauge, const CloverField<T>* clover,
                          const LatticeGeometry& geom, T shift, T anisotropy) {
   const auto& algebra = GammaAlgebra::instance();
-  parallel_for_2d(geom.volume(), in.nrhs(), default_policy(),
-                  [&](long x, long kk) {
-    const int k = static_cast<int>(kk);
+  const LaunchPolicy policy = default_policy();
+  auto scalar_site = [&](long x, int k) {
     Complex<T> accum[12] = {};
     Complex<T> nbr[12];
     for (int mu = 0; mu < kNDim; ++mu) {
@@ -128,6 +189,43 @@ void block_dslash_kernel(BlockSpinor<T>& out, const BlockSpinor<T>& in,
     }
     for (int d = 0; d < 12; ++d) diag[d] = diag[d] - accum[d];
     out.scatter_site_rhs(x, k, diag);
+  };
+  const int w = block_kernel_width(policy, in.nrhs());
+  if (w > 1) {
+    block_lanes_2d(
+        geom.volume(), in.nrhs(), policy, w,
+        [&](long x, int k0, auto wc) {
+          constexpr int W = decltype(wc)::value;
+          using V = simd::cpack<T, W>;
+          V accum[12] = {};
+          V nbr[12];
+          for (int mu = 0; mu < kNDim; ++mu) {
+            const T coef = (mu == 3 ? anisotropy : T(1)) * T(0.5);
+            const long xf = geom.neighbor_fwd(x, mu);
+            simd::gather_site_lanes<W>(in, xf, k0, nbr);
+            accumulate_hop(accum, gauge.link(mu, x), nbr,
+                           algebra.half_spin(mu, 0), coef);
+            const long xb = geom.neighbor_bwd(x, mu);
+            simd::gather_site_lanes<W>(in, xb, k0, nbr);
+            accumulate_hop(accum, adjoint(gauge.link(mu, xb)), nbr,
+                           algebra.half_spin(mu, 1), coef);
+          }
+          V src[12];
+          simd::gather_site_lanes<W>(in, x, k0, src);
+          V diag[12];
+          for (int d = 0; d < 12; ++d) diag[d] = shift * src[d];
+          if (clover) {
+            clover_multiply_add<T>(clover->block(x, 0), src, diag);
+            clover_multiply_add<T>(clover->block(x, 1), src + 6, diag + 6);
+          }
+          for (int d = 0; d < 12; ++d) diag[d] = diag[d] - accum[d];
+          simd::scatter_site_lanes<W>(out, x, k0, diag);
+        },
+        scalar_site);
+    return;
+  }
+  parallel_for_2d(geom.volume(), in.nrhs(), policy, [&](long x, long kk) {
+    scalar_site(x, static_cast<int>(kk));
   });
 }
 
@@ -322,9 +420,8 @@ void WilsonCloverOp<T>::apply_diag_block(BlockField& out, const BlockField& in,
   check_block_pair(out, in, gauge_.geometry());
   const auto& geom = *gauge_.geometry();
   const T shift = T(4) + params_.mass;
-  parallel_for_2d(in.nsites(), in.nrhs(), default_policy(),
-                  [&](long i, long kk) {
-    const int k = static_cast<int>(kk);
+  const LaunchPolicy policy = default_policy();
+  auto scalar_site = [&](long i, int k) {
     Complex<T> src[12], dst[12];
     in.gather_site_rhs(i, k, src);
     for (int d = 0; d < 12; ++d) dst[d] = shift * src[d];
@@ -334,6 +431,29 @@ void WilsonCloverOp<T>::apply_diag_block(BlockField& out, const BlockField& in,
       clover_multiply_add<T>(clover_->block(full, 1), src + 6, dst + 6);
     }
     out.scatter_site_rhs(i, k, dst);
+  };
+  const int w = block_kernel_width(policy, in.nrhs());
+  if (w > 1) {
+    block_lanes_2d(
+        in.nsites(), in.nrhs(), policy, w,
+        [&](long i, int k0, auto wc) {
+          constexpr int W = decltype(wc)::value;
+          using V = simd::cpack<T, W>;
+          V src[12], dst[12];
+          simd::gather_site_lanes<W>(in, i, k0, src);
+          for (int d = 0; d < 12; ++d) dst[d] = shift * src[d];
+          if (clover_) {
+            const long full = parity >= 0 ? geom.full_index(parity, i) : i;
+            clover_multiply_add<T>(clover_->block(full, 0), src, dst);
+            clover_multiply_add<T>(clover_->block(full, 1), src + 6, dst + 6);
+          }
+          simd::scatter_site_lanes<W>(out, i, k0, dst);
+        },
+        scalar_site);
+    return;
+  }
+  parallel_for_2d(in.nsites(), in.nrhs(), policy, [&](long i, long kk) {
+    scalar_site(i, static_cast<int>(kk));
   });
 }
 
@@ -343,27 +463,62 @@ void WilsonCloverOp<T>::apply_diag_inverse_block(BlockField& out,
                                                  int parity) const {
   check_block_pair(out, in, gauge_.geometry());
   const auto& geom = *gauge_.geometry();
+  const LaunchPolicy policy = default_policy();
+  const int w = block_kernel_width(policy, in.nrhs());
   if (clover_) {
     assert(clover_->has_inverse());
-    parallel_for_2d(in.nsites(), in.nrhs(), default_policy(),
-                    [&](long i, long kk) {
-      const int k = static_cast<int>(kk);
+    auto scalar_site = [&](long i, int k) {
       const long full = parity >= 0 ? geom.full_index(parity, i) : i;
       Complex<T> src[12], dst[12];
       in.gather_site_rhs(i, k, src);
       block_multiply<T>(clover_->inverse_block(full, 0), src, dst);
       block_multiply<T>(clover_->inverse_block(full, 1), src + 6, dst + 6);
       out.scatter_site_rhs(i, k, dst);
+    };
+    if (w > 1) {
+      block_lanes_2d(
+          in.nsites(), in.nrhs(), policy, w,
+          [&](long i, int k0, auto wc) {
+            constexpr int W = decltype(wc)::value;
+            using V = simd::cpack<T, W>;
+            const long full = parity >= 0 ? geom.full_index(parity, i) : i;
+            V src[12], dst[12];
+            simd::gather_site_lanes<W>(in, i, k0, src);
+            block_multiply<T>(clover_->inverse_block(full, 0), src, dst);
+            block_multiply<T>(clover_->inverse_block(full, 1), src + 6,
+                              dst + 6);
+            simd::scatter_site_lanes<W>(out, i, k0, dst);
+          },
+          scalar_site);
+      return;
+    }
+    parallel_for_2d(in.nsites(), in.nrhs(), policy, [&](long i, long kk) {
+      scalar_site(i, static_cast<int>(kk));
     });
   } else {
     const T inv = T(1) / (T(4) + params_.mass);
-    parallel_for_2d(in.nsites(), in.nrhs(), default_policy(),
-                    [&](long i, long kk) {
-      const int k = static_cast<int>(kk);
+    auto scalar_site = [&](long i, int k) {
       Complex<T> src[12], dst[12];
       in.gather_site_rhs(i, k, src);
       for (int d = 0; d < 12; ++d) dst[d] = inv * src[d];
       out.scatter_site_rhs(i, k, dst);
+    };
+    if (w > 1) {
+      block_lanes_2d(
+          in.nsites(), in.nrhs(), policy, w,
+          [&](long i, int k0, auto wc) {
+            constexpr int W = decltype(wc)::value;
+            using V = simd::cpack<T, W>;
+            V src[12], dst[12];
+            simd::gather_site_lanes<W>(in, i, k0, src);
+            for (int d = 0; d < 12; ++d) dst[d] = inv * src[d];
+            simd::scatter_site_lanes<W>(out, i, k0, dst);
+          },
+          scalar_site);
+      return;
+    }
+    parallel_for_2d(in.nsites(), in.nrhs(), policy, [&](long i, long kk) {
+      scalar_site(i, static_cast<int>(kk));
     });
   }
 }

@@ -16,10 +16,12 @@
 // kernels are bit-identical to N single-rhs applies whenever their per-rhs
 // arithmetic is.
 
+#include <cassert>
 #include <stdexcept>
 #include <vector>
 
 #include "fields/colorspinor.h"
+#include "linalg/aligned.h"
 
 namespace qmg {
 
@@ -42,6 +44,7 @@ class BlockSpinor {
     nsites_ = subset == Subset::Full ? geom_->volume() : geom_->half_volume();
     data_.assign(static_cast<size_t>(nsites_) * nspin_ * ncolor_ * nrhs_,
                  value_type{});
+    assert(data_.empty() || is_field_aligned(data_.data()));
   }
 
   /// A new zero block with the same shape as this one.
@@ -148,7 +151,9 @@ class BlockSpinor {
   int nrhs_ = 0;
   long nsites_ = 0;
   Subset subset_ = Subset::Full;
-  std::vector<value_type> data_;
+  // Aligned so rhs-axis pack loads start on a cache-line boundary
+  // (linalg/aligned.h).
+  aligned_vector<value_type> data_;
 };
 
 /// Pack N same-shaped fields into one block spinor (exact copies).

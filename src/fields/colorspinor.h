@@ -18,6 +18,7 @@
 
 #include "fields/location.h"
 #include "lattice/geometry.h"
+#include "linalg/aligned.h"
 #include "linalg/complex.h"
 #include "util/rng.h"
 
@@ -57,6 +58,7 @@ class ColorSpinorField {
         location_(location) {
     nsites_ = subset == Subset::Full ? geom_->volume() : geom_->half_volume();
     data_.assign(static_cast<size_t>(nsites_) * nspin_ * ncolor_, value_type{});
+    assert(data_.empty() || is_field_aligned(data_.data()));
   }
 
   /// A new zero field with the same shape as this one.
@@ -153,7 +155,9 @@ class ColorSpinorField {
   Subset subset_ = Subset::Full;
   FieldOrder order_ = FieldOrder::SiteMajor;
   Location location_ = Location::Host;
-  std::vector<value_type> data_;
+  // Aligned so the SIMD lane kernels' pack loads start on a cache-line
+  // boundary (linalg/aligned.h).
+  aligned_vector<value_type> data_;
 };
 
 /// Copy the given parity's sites of a full field into a parity field.

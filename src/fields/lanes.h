@@ -1,0 +1,42 @@
+#pragma once
+// Lane views over block-spinor storage: the bridge between the
+// rhs-contiguous BlockSpinor layout (fields/blockspinor.h) and the SoA
+// lane packs (linalg/simd.h).  Because the rhs axis is unit stride at a
+// fixed (site, spin, color), a pack of W consecutive rhs is one
+// deinterleaving load per dof component — these helpers are the pack
+// analog of BlockSpinor::gather_site_rhs / scatter_site_rhs, and a
+// width-aware kernel swaps Complex<T> site buffers for cpack<T, W> site
+// buffers without any other structural change.
+
+#include "fields/blockspinor.h"
+#include "linalg/simd.h"
+
+namespace qmg {
+namespace simd {
+
+/// Gather one site's dof vector of rhs lanes [k0, k0+W) into pack buffers;
+/// buf must hold site_dof() packs.  Lane j of buf[d] is the value
+/// gather_site_rhs(site, k0+j) would place at buf[d].
+template <int W, typename T>
+inline void gather_site_lanes(const BlockSpinor<T>& f, long site, int k0,
+                              cpack<T, W>* buf) {
+  const Complex<T>* p = f.site_data(site) + k0;
+  const long stride = f.nrhs();
+  const int dof = f.site_dof();
+  for (int d = 0; d < dof; ++d)
+    buf[d] = cpack<T, W>::load(p + static_cast<long>(d) * stride);
+}
+
+/// Scatter pack site buffers back into rhs lanes [k0, k0+W).
+template <int W, typename T>
+inline void scatter_site_lanes(BlockSpinor<T>& f, long site, int k0,
+                               const cpack<T, W>* buf) {
+  Complex<T>* p = f.site_data(site) + k0;
+  const long stride = f.nrhs();
+  const int dof = f.site_dof();
+  for (int d = 0; d < dof; ++d)
+    buf[d].store(p + static_cast<long>(d) * stride);
+}
+
+}  // namespace simd
+}  // namespace qmg

@@ -1,0 +1,63 @@
+#pragma once
+// Aligned storage for field data.  The SIMD lane kernels (linalg/simd.h)
+// deinterleave packs straight out of field storage; a 64-byte base keeps
+// every pack load inside naturally-aligned cache lines for any supported
+// width (8 double lanes per SoA side = 64 bytes) and matches the common
+// x86 cache-line/AVX-512 alignment.  std::vector's default allocator only
+// guarantees alignof(std::max_align_t) (typically 16), so the fields use
+// this allocator instead.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace qmg {
+
+/// Alignment of BlockSpinor / ColorSpinorField storage, in bytes.
+inline constexpr std::size_t kFieldAlignment = 64;
+
+template <typename T, std::size_t Align = kFieldAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+};
+
+template <typename T, typename U, std::size_t A>
+inline bool operator==(const AlignedAllocator<T, A>&,
+                       const AlignedAllocator<U, A>&) {
+  return true;
+}
+template <typename T, typename U, std::size_t A>
+inline bool operator!=(const AlignedAllocator<T, A>&,
+                       const AlignedAllocator<U, A>&) {
+  return false;
+}
+
+/// std::vector with kFieldAlignment-aligned data().
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+/// True when p sits on a kFieldAlignment boundary (debug assertions).
+inline bool is_field_aligned(const void* p) {
+  return reinterpret_cast<std::size_t>(p) % kFieldAlignment == 0;
+}
+
+}  // namespace qmg

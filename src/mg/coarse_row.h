@@ -17,6 +17,7 @@
 #include <algorithm>
 
 #include "linalg/complex.h"
+#include "linalg/simd.h"
 #include "parallel/strategy.h"
 
 namespace qmg {
@@ -182,6 +183,111 @@ inline void coarse_row_mrhs_span(const Complex<TM>* const rows[9],
       total += dir_partial[chunk][k];
     out[k] = total;
   }
+}
+
+/// SIMD-lane variant of coarse_row_mrhs_span: GROUPS W-lane packs of
+/// consecutive rhs instead of a scalar tile (GROUPS*W <= kCoarseRowMaxTile
+/// lanes total).  Lane k evaluates exactly the scalar per-rhs tree — loads
+/// promote each storage element to Tacc before the multiply
+/// (cpack::load_from mirrors Complex<Tacc>(xk[k])), the stencil element is
+/// broadcast across lanes, and the dir/dot/ILP/cascade accumulation
+/// sequence is unchanged — so per-rhs results are bit-identical to
+/// coarse_row_mrhs_span at the same precision axes.  The group axis lives
+/// INSIDE the column loop for the same reason the span kernel carries a
+/// tile: the kernel is bandwidth-bound on the stencil rows, so each row
+/// element must be read once for the whole rhs tile, not once per pack.
+/// The group count is a TEMPLATE parameter, not a runtime argument: with a
+/// compile-time trip every lane loop unrolls into straight-line pack code,
+/// which measured ~1.2-1.6x over the runtime-trip form (the split/ilp
+/// config stays runtime, so the win is purely the lane-loop trips; callers
+/// dispatch via coarse_row_mrhs_pack_groups below).  Works unchanged for
+/// both scratch-row layouts (dense zero-copy rows and Half16 dequantized
+/// scratch): rows[m] is a resolved Complex<TM> row either way.
+template <typename Tacc, typename TM, typename TX, int W, int GROUPS>
+inline void coarse_row_mrhs_pack(const Complex<TM>* const rows[9],
+                                 const Complex<TX>* const xin[9], long stride,
+                                 int n, const CoarseKernelConfig& cfg,
+                                 Complex<Tacc>* out) {
+  using V = simd::cpack<Tacc, W>;
+  // GROUPS * W lanes never exceed the span kernel's tile, so the stack
+  // accumulator budget is the same kCoarseRowMaxTile lanes regardless of W.
+  static_assert(GROUPS >= 1 && GROUPS * W <= kCoarseRowMaxTile,
+                "lane tile exceeds the row kernel's accumulator budget");
+  const int dir_split =
+      cfg.strategy >= Strategy::StencilDir ? cfg.dir_split : 1;
+  const int dot_split =
+      cfg.strategy >= Strategy::DotProduct ? std::min(cfg.dot_split, 8) : 1;
+  const int ilp = std::min(cfg.ilp, 4);  // accumulator register budget
+
+  V dir_partial[9][GROUPS];
+  for (int chunk = 0; chunk < dir_split; ++chunk) {
+    V dot_partial[8][GROUPS] = {};
+    for (int m = chunk; m < 9; m += dir_split) {
+      const Complex<TM>* row_data = rows[m];
+      const Complex<TX>* x = xin[m];
+      for (int ds = 0; ds < dot_split; ++ds) {
+        const int begin = static_cast<int>((static_cast<long>(n) * ds) /
+                                           dot_split);
+        const int end = static_cast<int>((static_cast<long>(n) * (ds + 1)) /
+                                         dot_split);
+        V acc[4][GROUPS] = {};
+        int i = begin;
+        for (; i + ilp <= end; i += ilp)
+          for (int j = 0; j < ilp; ++j) {
+            const Complex<Tacc> a(row_data[i + j]);
+            const Complex<TX>* xk = x + static_cast<long>(i + j) * stride;
+            for (int g = 0; g < GROUPS; ++g)
+              acc[j][g] += a * V::load_from(xk + g * W);
+          }
+        for (; i < end; ++i) {
+          const Complex<Tacc> a(row_data[i]);
+          const Complex<TX>* xk = x + static_cast<long>(i) * stride;
+          for (int g = 0; g < GROUPS; ++g)
+            acc[0][g] += a * V::load_from(xk + g * W);
+        }
+        V strip[GROUPS] = {};
+        for (int j = 0; j < ilp; ++j)
+          for (int g = 0; g < GROUPS; ++g) strip[g] += acc[j][g];
+        for (int g = 0; g < GROUPS; ++g) dot_partial[ds][g] += strip[g];
+      }
+    }
+    int span = 1;
+    while (span < dot_split) span <<= 1;
+    for (int offset = span / 2; offset >= 1; offset /= 2)
+      for (int i = 0; i < offset && i + offset < 8; ++i)
+        for (int g = 0; g < GROUPS; ++g)
+          dot_partial[i][g] += dot_partial[i + offset][g];
+    for (int g = 0; g < GROUPS; ++g)
+      dir_partial[chunk][g] = dot_partial[0][g];
+  }
+  for (int g = 0; g < GROUPS; ++g) {
+    V total{};
+    for (int chunk = 0; chunk < dir_split; ++chunk)
+      total += dir_partial[chunk][g];
+    total.store(out + g * W);
+  }
+}
+
+/// Runtime -> compile-time group-count dispatch for the pack kernel: an
+/// if-chain from the largest group count that fits the row tile down to 1
+/// (at most kCoarseRowMaxTile / W compares, trivial next to one row's
+/// arithmetic).  groups outside [1, kCoarseRowMaxTile / W] is a caller bug
+/// and falls through to a no-op.
+template <typename Tacc, typename TM, typename TX, int W,
+          int G = kCoarseRowMaxTile / W>
+inline void coarse_row_mrhs_pack_groups(const Complex<TM>* const rows[9],
+                                        const Complex<TX>* const xin[9],
+                                        long stride, int n,
+                                        const CoarseKernelConfig& cfg,
+                                        int groups, Complex<Tacc>* out) {
+  static_assert(G >= 1, "group dispatch needs at least one candidate");
+  if (groups == G) {
+    coarse_row_mrhs_pack<Tacc, TM, TX, W, G>(rows, xin, stride, n, cfg, out);
+    return;
+  }
+  if constexpr (G > 1)
+    coarse_row_mrhs_pack_groups<Tacc, TM, TX, W, G - 1>(rows, xin, stride, n,
+                                                        cfg, groups, out);
 }
 
 /// Uniform-precision MRHS kernel over block-base pointers (the historical

@@ -44,26 +44,74 @@ void CoarseDirac<T>::apply_block_with_config_st(BlockField& out,
   // for).  The per-row partial-sum shape — where the kernel config changes
   // the numerics — is identical to coarse_row_span's, so results match
   // apply_with_config bit-for-bit at the same config and precision axes.
-  parallel_for_2d_tiled(v, nrhs, policy, [&](long site, long k0, long k1) {
-    long nbr[9];
-    site_nbrs(site, nbr);
-    Complex<TM> scratch[9 * Stencil::kScratchRow];
-    for (long t0 = k0; t0 < k1; t0 += kCoarseRowMaxTile) {
-      const int tile =
-          static_cast<int>(std::min<long>(kCoarseRowMaxTile, k1 - t0));
-      const Complex<TX>* xin[9];
-      for (int m = 0; m < 9; ++m) xin[m] = in.site_data(nbr[m]) + t0;
-      Complex<T>* dst = out.site_data(site) + t0;
-      for (int r = 0; r < n; ++r) {
-        const Complex<TM>* rows[9];
-        for (int m = 0; m < 9; ++m)
-          rows[m] =
-              st.stencil_row(site, m, r, scratch + m * Stencil::kScratchRow);
-        coarse_row_mrhs_span<T, TM, TX>(rows, xin, nrhs, n, config, tile,
-                                        dst + static_cast<long>(r) * nrhs);
+  //
+  // Width path: the scalar sub-tile walk becomes a pack-group walk — the
+  // whole sub-tile's full packs go through ONE coarse_row_mrhs_pack call
+  // (stencil elements read once per sub-tile, exactly like the scalar
+  // span), per-lane arithmetic identical to the scalar tile's per-k
+  // arithmetic, the tile % W remainder through the scalar span.
+  // rhs_block is clamped to a pack multiple first so no dispatch item
+  // ever splits a pack.
+  const int w = simd::width_for(effective_simd_width(policy),
+                                static_cast<long>(nrhs));
+  if (w > 1) {
+    simd::dispatch_width(w, [&](auto wc) {
+      constexpr int W = decltype(wc)::value;
+      const LaunchPolicy p = align_rhs_block(policy, W);
+      parallel_for_2d_tiled(v, nrhs, p, [&](long site, long k0, long k1) {
+        long nbr[9];
+        site_nbrs(site, nbr);
+        Complex<TM> scratch[9 * Stencil::kScratchRow];
+        for (long t0 = k0; t0 < k1; t0 += kCoarseRowMaxTile) {
+          const int tile =
+              static_cast<int>(std::min<long>(kCoarseRowMaxTile, k1 - t0));
+          const int groups = tile / W;
+          const int rem = tile - groups * W;
+          const Complex<TX>* xin[9];
+          const Complex<TX>* xin_rem[9];
+          for (int m = 0; m < 9; ++m) {
+            xin[m] = in.site_data(nbr[m]) + t0;
+            xin_rem[m] = xin[m] + groups * W;
+          }
+          Complex<T>* dst = out.site_data(site) + t0;
+          for (int r = 0; r < n; ++r) {
+            const Complex<TM>* rows[9];
+            for (int m = 0; m < 9; ++m)
+              rows[m] = st.stencil_row(site, m, r,
+                                       scratch + m * Stencil::kScratchRow);
+            Complex<T>* const dr = dst + static_cast<long>(r) * nrhs;
+            if (groups > 0)
+              coarse_row_mrhs_pack_groups<T, TM, TX, W>(rows, xin, nrhs, n,
+                                                        config, groups, dr);
+            if (rem > 0)
+              coarse_row_mrhs_span<T, TM, TX>(rows, xin_rem, nrhs, n, config,
+                                              rem, dr + groups * W);
+          }
+        }
+      });
+    });
+  } else {
+    parallel_for_2d_tiled(v, nrhs, policy, [&](long site, long k0, long k1) {
+      long nbr[9];
+      site_nbrs(site, nbr);
+      Complex<TM> scratch[9 * Stencil::kScratchRow];
+      for (long t0 = k0; t0 < k1; t0 += kCoarseRowMaxTile) {
+        const int tile =
+            static_cast<int>(std::min<long>(kCoarseRowMaxTile, k1 - t0));
+        const Complex<TX>* xin[9];
+        for (int m = 0; m < 9; ++m) xin[m] = in.site_data(nbr[m]) + t0;
+        Complex<T>* dst = out.site_data(site) + t0;
+        for (int r = 0; r < n; ++r) {
+          const Complex<TM>* rows[9];
+          for (int m = 0; m < 9; ++m)
+            rows[m] =
+                st.stencil_row(site, m, r, scratch + m * Stencil::kScratchRow);
+          coarse_row_mrhs_span<T, TM, TX>(rows, xin, nrhs, n, config, tile,
+                                          dst + static_cast<long>(r) * nrhs);
+        }
       }
-    }
-  });
+    });
+  }
   if (policy.backend == Backend::SimtModel)
     SimtStats::instance().record_work(coarse_op_work(
         v * nrhs, n_, config, sim_precision<T>(storage_)));

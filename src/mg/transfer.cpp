@@ -130,10 +130,14 @@ void Transfer<T>::prolongate(BlockField& fine, const BlockField& coarse) const {
     throw std::invalid_argument("block prolongate: shape mismatch");
   const long vf = map_->fine()->volume();
   const int half_spin = fine_nspin_ / 2;
+  const int nrhs = fine.nrhs();
+  const LaunchPolicy policy = default_policy();
   // Gather per (fine site, rhs); the per-rhs accumulation order is exactly
-  // the single-rhs kernel's, so results are bit-identical per rhs.
-  parallel_for_2d(vf, fine.nrhs(), default_policy(), [&](long x, long kk) {
-    const int rhs = static_cast<int>(kk);
+  // the single-rhs kernel's, so results are bit-identical per rhs.  The
+  // width path packs W consecutive rhs per lane group (both block fields
+  // are rhs-contiguous, so loads/stores are one deinterleave per dof) and
+  // runs the nrhs % W tail through the scalar body.
+  auto scalar_site = [&](long x, int rhs) {
     const long b = map_->coarse_site(x);
     for (int s = 0; s < fine_nspin_; ++s) {
       const int ch = s / half_spin;
@@ -144,6 +148,39 @@ void Transfer<T>::prolongate(BlockField& fine, const BlockField& coarse) const {
         fine(x, s, c, rhs) = acc;
       }
     }
+  };
+  const int w = simd::width_for(effective_simd_width(policy),
+                                static_cast<long>(nrhs));
+  if (w > 1) {
+    simd::dispatch_width(w, [&](auto wc) {
+      constexpr int W = decltype(wc)::value;
+      using V = simd::cpack<T, W>;
+      const int ngroups = nrhs / W;
+      LaunchPolicy p = align_rhs_block(policy, W);
+      if (p.rhs_block > 0) p.rhs_block /= W;
+      parallel_for_2d(vf, ngroups, p, [&](long x, long g) {
+        const int k0 = static_cast<int>(g) * W;
+        const long b = map_->coarse_site(x);
+        for (int s = 0; s < fine_nspin_; ++s) {
+          const int ch = s / half_spin;
+          for (int c = 0; c < fine_ncolor_; ++c) {
+            V acc{};
+            for (int k = 0; k < nvec_; ++k)
+              acc += vecs_[k](x, s, c) * V::load(&coarse(b, ch, k, k0));
+            acc.store(&fine(x, s, c, k0));
+          }
+        }
+      });
+      const int ktail = ngroups * W;
+      if (ktail < nrhs)
+        parallel_for_2d(vf, nrhs - ktail, policy, [&](long x, long kk) {
+          scalar_site(x, ktail + static_cast<int>(kk));
+        });
+    });
+    return;
+  }
+  parallel_for_2d(vf, nrhs, policy, [&](long x, long kk) {
+    scalar_site(x, static_cast<int>(kk));
   });
 }
 
@@ -156,11 +193,14 @@ void Transfer<T>::restrict_to_coarse(BlockField& coarse,
     throw std::invalid_argument("block restrict: shape mismatch");
   const long n_blocks = map_->coarse()->volume();
   const int half_spin = fine_nspin_ / 2;
+  const int nrhs = fine.nrhs();
+  const LaunchPolicy policy = default_policy();
   // One (aggregate, rhs) pair per dispatch item; the aggregate's null-vector
-  // data is reused across consecutive rhs of its tile.
-  parallel_for_2d(n_blocks, fine.nrhs(), default_policy(),
-                  [&](long b, long kk) {
-    const int rhs = static_cast<int>(kk);
+  // data is reused across consecutive rhs of its tile.  The width path
+  // reduces W rhs lanes at once — the per-lane accumulation walks the
+  // aggregate in exactly the scalar order, so per-rhs coarse values are
+  // bit-identical; the nrhs % W tail runs the scalar body.
+  auto scalar_site = [&](long b, int rhs) {
     const auto& sites = map_->block_sites(b);
     for (int ch = 0; ch < 2; ++ch) {
       const int s0 = ch * half_spin;
@@ -173,6 +213,42 @@ void Transfer<T>::restrict_to_coarse(BlockField& coarse,
         coarse(b, ch, k, rhs) = acc;
       }
     }
+  };
+  const int w = simd::width_for(effective_simd_width(policy),
+                                static_cast<long>(nrhs));
+  if (w > 1) {
+    simd::dispatch_width(w, [&](auto wc) {
+      constexpr int W = decltype(wc)::value;
+      using V = simd::cpack<T, W>;
+      const int ngroups = nrhs / W;
+      LaunchPolicy p = align_rhs_block(policy, W);
+      if (p.rhs_block > 0) p.rhs_block /= W;
+      parallel_for_2d(n_blocks, ngroups, p, [&](long b, long g) {
+        const int k0 = static_cast<int>(g) * W;
+        const auto& sites = map_->block_sites(b);
+        for (int ch = 0; ch < 2; ++ch) {
+          const int s0 = ch * half_spin;
+          for (int k = 0; k < nvec_; ++k) {
+            V acc{};
+            for (const long x : sites)
+              for (int s = s0; s < s0 + half_spin; ++s)
+                for (int c = 0; c < fine_ncolor_; ++c)
+                  acc += simd::conj_mul(vecs_[k](x, s, c),
+                                        V::load(&fine(x, s, c, k0)));
+            acc.store(&coarse(b, ch, k, k0));
+          }
+        }
+      });
+      const int ktail = ngroups * W;
+      if (ktail < nrhs)
+        parallel_for_2d(n_blocks, nrhs - ktail, policy, [&](long b, long kk) {
+          scalar_site(b, ktail + static_cast<int>(kk));
+        });
+    });
+    return;
+  }
+  parallel_for_2d(n_blocks, nrhs, policy, [&](long b, long kk) {
+    scalar_site(b, static_cast<int>(kk));
   });
 }
 

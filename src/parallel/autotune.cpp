@@ -61,6 +61,12 @@ std::vector<LaunchPolicy> TuneCache::launch_candidates() {
   LaunchPolicy serial;
   serial.backend = Backend::Serial;
   cands.push_back(serial);
+  if (simd::kMaxSimdWidth > 1) {
+    // Native-width lanes (simd_width 0 = auto under Backend::Simd).
+    LaunchPolicy lanes;
+    lanes.backend = Backend::Simd;
+    cands.push_back(lanes);
+  }
   if (ThreadPool::instance().num_threads() > 1) {
     for (long grain : {1L, 64L}) {
       LaunchPolicy threaded;
@@ -77,8 +83,22 @@ std::vector<LaunchPolicy> TuneCache::launch_candidates_2d(int nrhs) {
   std::vector<int> rhs_blocks{0};
   if (nrhs > 1) rhs_blocks.push_back(1);
   if (nrhs >= 8) rhs_blocks.push_back(4);
-  for (const auto& base : launch_candidates()) {
+  std::vector<LaunchPolicy> bases = launch_candidates();
+  if (ThreadPool::instance().num_threads() > 1 && simd::kMaxSimdWidth > 1) {
+    // Threads partitioning pack groups: the composed Threaded+lanes policy.
+    LaunchPolicy tw;
+    tw.backend = Backend::Threaded;
+    tw.grain = 1;
+    tw.simd_width = simd::kMaxSimdWidth;
+    bases.push_back(tw);
+  }
+  for (const auto& base : bases) {
+    const int w = effective_simd_width(base);
     for (const int rb : rhs_blocks) {
+      // Never emit an rhs-blocking that would split a lane pack across
+      // dispatch items (align_rhs_block guards hand-set policies; the
+      // tuner simply doesn't explore disagreeing pairs).
+      if (w > 1 && rb > 0 && rb % w != 0) continue;
       LaunchPolicy p = base;
       p.rhs_block = rb;
       cands.push_back(p);
@@ -170,12 +190,20 @@ std::pair<CoarseKernelConfig, LaunchPolicy> TuneCache::tune_joint_2d(
 }
 
 namespace {
-// Version 3: tune keys carry the element-precision tag (/P=).  Version-2
-// files are still loadable (see load); they were written by builds whose
-// keys conflated double and float kernels, so their entries are kept
-// verbatim and simply never matched by the new precision-tagged lookups.
-constexpr const char* kTuneCacheHeader = "qmg-tune-cache 3";
+// Version 4: L lines carry the tuned simd_width and tune keys carry the
+// compile-time pack-width tag (/W=).  Version-3 files (no width field,
+// keys without /W=) and version-2 files (additionally no /P= precision
+// tag) are still loadable (see load): their entries merge verbatim —
+// six-token L lines get simd_width 0 — and simply never match the new
+// width-tagged lookups, so a cache written by a build with a different
+// native pack width re-tunes instead of replaying its policies.
+constexpr const char* kTuneCacheHeader = "qmg-tune-cache 4";
+constexpr const char* kTuneCacheHeaderV3 = "qmg-tune-cache 3";
 constexpr const char* kTuneCacheHeaderV2 = "qmg-tune-cache 2";
+
+bool valid_simd_width(int w) {
+  return w == 0 || w == 1 || w == 2 || w == 4 || w == 8;
+}
 }
 
 bool TuneCache::save(const std::string& path) const {
@@ -187,7 +215,8 @@ bool TuneCache::save(const std::string& path) const {
         << cfg.dir_split << "\t" << cfg.dot_split << "\t" << cfg.ilp << "\n";
   for (const auto& [key, p] : launch_cache_)
     out << "L\t" << key << "\t" << static_cast<int>(p.backend) << "\t"
-        << p.grain << "\t" << p.sim_block_dim << "\t" << p.rhs_block << "\n";
+        << p.grain << "\t" << p.sim_block_dim << "\t" << p.rhs_block << "\t"
+        << p.simd_width << "\n";
   return static_cast<bool>(out);
 }
 
@@ -196,7 +225,8 @@ bool TuneCache::load(const std::string& path) {
   if (!in) return false;
   std::string line;
   if (!std::getline(in, line) ||
-      (line != kTuneCacheHeader && line != kTuneCacheHeaderV2))
+      (line != kTuneCacheHeader && line != kTuneCacheHeaderV3 &&
+       line != kTuneCacheHeaderV2))
     return false;
   // Parse into staging maps and commit only on full success, so a corrupt
   // or truncated file never half-merges into the live cache.  Every field
@@ -234,17 +264,25 @@ bool TuneCache::load(const std::string& path) {
             cfg.dot_split > 8 || cfg.ilp < 1 || cfg.ilp > 4)
           return false;
         staged[tok[1]] = cfg;
-      } else if (tok.size() == 6 && tok[0] == "L") {
+      } else if ((tok.size() == 6 || tok.size() == 7) && tok[0] == "L") {
         const int backend = std::stoi(tok[2]);
         LaunchPolicy p;
         p.backend = static_cast<Backend>(backend);
         p.grain = std::stol(tok[3]);
         p.sim_block_dim = std::stoi(tok[4]);
         p.rhs_block = std::stoi(tok[5]);
+        // Six-token lines are v3/v2 entries written before lane widths
+        // existed: scalar by construction.
+        p.simd_width = tok.size() == 7 ? std::stoi(tok[6]) : 0;
         if (backend < static_cast<int>(Backend::Serial) ||
-            backend > static_cast<int>(Backend::SimtModel) || p.grain < 0 ||
-            p.sim_block_dim < 1 || p.rhs_block < 0)
+            backend > static_cast<int>(Backend::Simd) || p.grain < 0 ||
+            p.sim_block_dim < 1 || p.rhs_block < 0 ||
+            !valid_simd_width(p.simd_width))
           return false;
+        // A policy whose rhs-blocking would split a lane pack across
+        // dispatch items is invalid however it got into a file.
+        const int w = effective_simd_width(p);
+        if (w > 1 && p.rhs_block > 0 && p.rhs_block % w != 0) return false;
         staged_launch[tok[1]] = p;
       } else {
         return false;
@@ -267,7 +305,8 @@ std::string coarse_tune_key(long volume, int block_dim,
   // different element precision (double/float accumulation, compressed
   // storage) from sharing one cached config.
   os << "coarse_apply/V=" << volume << "/N=" << block_dim
-     << "/P=" << precision << "/T=" << ThreadPool::instance().num_threads();
+     << "/P=" << precision << "/W=" << simd::kMaxSimdWidth
+     << "/T=" << ThreadPool::instance().num_threads();
   return os.str();
 }
 
@@ -278,6 +317,7 @@ std::string mrhs_tune_key(long volume, int block_dim, int nrhs,
   // (and whether threading pays at all) shifts with the batch width.
   os << "coarse_apply_mrhs/V=" << volume << "/N=" << block_dim
      << "/R=" << nrhs << "/P=" << precision
+     << "/W=" << simd::kMaxSimdWidth
      << "/T=" << ThreadPool::instance().num_threads();
   return os.str();
 }

@@ -37,15 +37,18 @@ class TuneCache {
   /// cumulative strategies with representative split factors.
   static std::vector<CoarseKernelConfig> coarse_candidates(int block_dim);
 
-  /// Candidate execution backends for a host kernel: Serial plus the
-  /// Threaded pool at representative grains.  (SimtModel is a modeling
-  /// backend, never selected by timing.)
+  /// Candidate execution backends for a host kernel: Serial, native-width
+  /// Simd lanes (when the build has them), plus the Threaded pool at
+  /// representative grains.  (SimtModel is a modeling backend, never
+  /// selected by timing.)
   static std::vector<LaunchPolicy> launch_candidates();
 
-  /// Candidates for a 2D (site x rhs) launch: launch_candidates() crossed
-  /// with representative rhs-blockings — 0 (whole rhs axis in one item:
-  /// maximum stencil reuse), 1 (one item per (site, rhs): maximum
-  /// parallelism), and a middle tile when nrhs is large enough.
+  /// Candidates for a 2D (site x rhs) launch: launch_candidates() — plus a
+  /// composed Threaded+lanes policy — crossed with representative
+  /// rhs-blockings: 0 (whole rhs axis in one item: maximum stencil reuse),
+  /// 1 (one item per (site, rhs): maximum parallelism), and a middle tile
+  /// when nrhs is large enough.  Pairs whose rhs_block would split a lane
+  /// pack across dispatch items are never emitted.
   static std::vector<LaunchPolicy> launch_candidates_2d(int nrhs);
 
   /// Time each candidate with `run` (seconds) and return the fastest,
@@ -80,15 +83,18 @@ class TuneCache {
 
   /// Launch-policy persistence (production runs skip the first-call tuning
   /// sweep): a versioned text file of every cached kernel config and launch
-  /// policy (backend, grain, sim block, rhs-blocking).  load() merges into
-  /// the current cache; both return false on I/O or format errors.
+  /// policy (backend, grain, sim block, rhs-blocking, lane width).  load()
+  /// merges into the current cache; both return false on I/O or format
+  /// errors.
   ///
-  /// File version 3 keys carry the element-precision tag (the /P= field of
-  /// coarse_tune_key/mrhs_tune_key).  Version-2 files — written before
-  /// precision entered the key — are still accepted: their entries merge
-  /// verbatim but can no longer be hit by precision-tagged lookups, so a
-  /// stale cache re-tunes instead of silently replaying a config tuned for
-  /// a different element precision (the bug the key change fixes).
+  /// File version 4 L lines carry the tuned simd_width and keys carry the
+  /// build's native pack-width tag (the /W= field of coarse_tune_key /
+  /// mrhs_tune_key).  Version-3 files (precision-tagged keys, no width) and
+  /// version-2 files (neither) are still accepted: their entries merge
+  /// verbatim but can no longer be hit by the tagged lookups, so a stale
+  /// cache re-tunes instead of silently replaying a config tuned for a
+  /// different element precision or pack width.  Entries whose rhs_block
+  /// would split a lane pack across dispatch items are rejected outright.
   bool save(const std::string& path) const;
   bool load(const std::string& path);
 

@@ -8,7 +8,7 @@
 //
 // with the decomposition of that index space a pluggable LaunchPolicy
 // rather than hard-coded loop structure (the paper's central idea, applied
-// host-side).  Three backends:
+// host-side).  Four backends:
 //
 //   Serial    — plain ascending loop; the reference numerics.
 //   Threaded  — persistent std::thread pool (parallel/thread_pool.h) with a
@@ -21,25 +21,34 @@
 //               (blockIdx/threadIdx arithmetic) and records each launch
 //               shape in SimtStats, which routes it through the
 //               gpusim::DeviceSpec performance model (Fig. 2 regeneration).
+//   Simd      — serial item loop, but width-aware kernels process
+//               policy.simd_width independent lanes per step with the SoA
+//               packs of linalg/simd.h (rhs lanes for batched kernels,
+//               chunk lanes for reductions).  Generic bodies run exactly
+//               like Serial.  Composes with Threaded: a Threaded policy
+//               with simd_width > 1 partitions the pack-group loop over
+//               the pool.
 //
 // parallel_reduce computes the same chunk decomposition under every
 // backend, so a reduction's value depends only on (n, body) — never on the
-// backend or thread count.
+// backend, thread count or lane width.
 
 #include <algorithm>
 #include <vector>
 
 #include "gpusim/device.h"
+#include "linalg/simd.h"
 #include "parallel/thread_pool.h"
 
 namespace qmg {
 
-enum class Backend : int { Serial = 0, Threaded = 1, SimtModel = 2 };
+enum class Backend : int { Serial = 0, Threaded = 1, SimtModel = 2, Simd = 3 };
 
 inline const char* to_string(Backend b) {
   switch (b) {
     case Backend::Serial: return "serial";
     case Backend::Threaded: return "threaded";
+    case Backend::Simd: return "simd";
     default: return "simt-model";
   }
 }
@@ -58,7 +67,44 @@ struct LaunchPolicy {
   /// per item); 1 = one item per (site, rhs) (maximum parallelism, stencil
   /// re-read per rhs).  Tuned jointly with the kernel decomposition.
   int rhs_block = 0;
+  /// Lane width width-aware kernels vectorize with (linalg/simd.h packs).
+  /// Read only under Backend::Simd and Backend::Threaded (see
+  /// effective_simd_width); 0 = auto (the build's native width under Simd,
+  /// scalar under Threaded).  Tuned jointly with backend/grain/rhs_block.
+  int simd_width = 0;
 };
+
+/// The lane width a policy requests from width-aware kernels.  Serial and
+/// SimtModel are always scalar (Serial is the reference numerics; the SIMT
+/// model's lanes are the simulated CUDA threads).  Backend::Simd defaults
+/// to the build's native width; Threaded stays scalar unless a width was
+/// set explicitly (so pre-existing Threaded policies behave exactly as
+/// before).
+inline int effective_simd_width(const LaunchPolicy& p) {
+  switch (p.backend) {
+    case Backend::Simd:
+      return p.simd_width <= 0 ? simd::kMaxSimdWidth
+                               : simd::normalize_simd_width(p.simd_width);
+    case Backend::Threaded:
+      return p.simd_width <= 1 ? 1
+                               : simd::normalize_simd_width(p.simd_width);
+    default:
+      return 1;
+  }
+}
+
+/// A 2D (site x rhs) launch must never split a lane pack across dispatch
+/// items: clamp a non-multiple rhs_block UP to the next multiple of the
+/// pack width (0 — whole rhs axis per item — is always compatible).  The
+/// tuner only emits agreeing candidates and the tune-cache loader rejects
+/// disagreeing entries; this guards policies set by hand.
+inline LaunchPolicy align_rhs_block(LaunchPolicy p, int width) {
+  if (width > 1 && p.rhs_block > 0) {
+    const int rem = p.rhs_block % width;
+    if (rem != 0) p.rhs_block += width - rem;
+  }
+  return p;
+}
 
 /// Process-wide default policy used by kernels that are not individually
 /// tuned.  The Threaded default degrades to a serial loop when the pool
@@ -152,6 +198,8 @@ void parallel_for(long n, const LaunchPolicy& policy, Body&& body) {
       break;  // degenerate: fall through to serial
     }
     case Backend::Serial:
+    case Backend::Simd:  // generic bodies run serially; width-aware kernels
+                         // consume policy.simd_width themselves
       break;
   }
   for (long i = 0; i < n; ++i) body(i);
@@ -307,6 +355,7 @@ V parallel_reduce(long n, const LaunchPolicy& policy, Body&& body) {
       break;
     }
     case Backend::Serial:
+    case Backend::Simd:
       for (long c = 0; c < nchunks; ++c) chunk_sum(c);
       break;
   }

@@ -602,24 +602,49 @@ TEST(TuneCachePrecision, V2FilesLoadButDoNotAliasNewKeys) {
   std::remove(path.c_str());
 }
 
-TEST(TuneCachePrecision, V3RoundTripKeepsPrecisionKeys) {
+TEST(TuneCachePrecision, RoundTripKeepsPrecisionKeys) {
   auto& cache = TuneCache::instance();
   cache.clear();
   const CoarseKernelConfig cfg{Strategy::StencilDir, 9, 1, 2};
   cache.store(coarse_tune_key(256, 8, "df"), cfg);
-  const std::string path = ::testing::TempDir() + "/qmg_tune_cache_v3.txt";
+  const std::string path = ::testing::TempDir() + "/qmg_tune_cache_v4.txt";
   ASSERT_TRUE(cache.save(path));
-  // The file is v3 now.
+  // The file is v4 now (L lines carry the tuned lane width).
   std::ifstream in(path);
   std::string header;
   std::getline(in, header);
-  EXPECT_EQ(header, "qmg-tune-cache 3");
+  EXPECT_EQ(header, "qmg-tune-cache 4");
   cache.clear();
   ASSERT_TRUE(cache.load(path));
   CoarseKernelConfig got;
   ASSERT_TRUE(cache.lookup(coarse_tune_key(256, 8, "df"), &got));
   EXPECT_EQ(got.strategy, cfg.strategy);
   EXPECT_EQ(got.dir_split, cfg.dir_split);
+  cache.clear();
+  std::remove(path.c_str());
+}
+
+TEST(TuneCachePrecision, V3FilesLoadButDoNotAliasWidthTaggedKeys) {
+  auto& cache = TuneCache::instance();
+  cache.clear();
+  const std::string path = ::testing::TempDir() + "/qmg_tune_cache_v3.txt";
+  {
+    // A v3 file: precision-tagged key, 6-token L line (no lane width).
+    std::ofstream out(path, std::ios::trunc);
+    out << "qmg-tune-cache 3\n";
+    out << "K\tcoarse_apply/V=256/N=8/P=df/T=4\t2\t4\t1\t2\n";
+    out << "L\tcoarse_apply/V=256/N=8/P=df/T=4\t1\t64\t1\t0\n";
+  }
+  ASSERT_TRUE(cache.load(path));
+  // The entries merge verbatim (simd_width defaults to auto)...
+  LaunchPolicy lp;
+  ASSERT_TRUE(cache.lookup_launch("coarse_apply/V=256/N=8/P=df/T=4", &lp));
+  EXPECT_EQ(lp.backend, Backend::Threaded);
+  EXPECT_EQ(lp.simd_width, 0);
+  // ...but a width-tagged lookup misses, so a kernel tuned under a
+  // different pack width re-tunes rather than replaying a stale policy.
+  CoarseKernelConfig got;
+  EXPECT_FALSE(cache.lookup(coarse_tune_key(256, 8, "df"), &got));
   cache.clear();
   std::remove(path.c_str());
 }
