@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ca_gmres.dir/bench/bench_ablation_ca_gmres.cpp.o"
+  "CMakeFiles/bench_ablation_ca_gmres.dir/bench/bench_ablation_ca_gmres.cpp.o.d"
+  "bench_ablation_ca_gmres"
+  "bench_ablation_ca_gmres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ca_gmres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eo.dir/bench/bench_ablation_eo.cpp.o"
+  "CMakeFiles/bench_ablation_eo.dir/bench/bench_ablation_eo.cpp.o.d"
+  "bench_ablation_eo"
+  "bench_ablation_eo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mass.dir/bench/bench_ablation_mass.cpp.o"
+  "CMakeFiles/bench_ablation_mass.dir/bench/bench_ablation_mass.cpp.o.d"
+  "bench_ablation_mass"
+  "bench_ablation_mass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mrhs.dir/bench/bench_ablation_mrhs.cpp.o"
+  "CMakeFiles/bench_ablation_mrhs.dir/bench/bench_ablation_mrhs.cpp.o.d"
+  "bench_ablation_mrhs"
+  "bench_ablation_mrhs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mrhs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nullvecs.dir/bench/bench_ablation_nullvecs.cpp.o"
+  "CMakeFiles/bench_ablation_nullvecs.dir/bench/bench_ablation_nullvecs.cpp.o.d"
+  "bench_ablation_nullvecs"
+  "bench_ablation_nullvecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nullvecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_schwarz.dir/bench/bench_ablation_schwarz.cpp.o"
+  "CMakeFiles/bench_ablation_schwarz.dir/bench/bench_ablation_schwarz.cpp.o.d"
+  "bench_ablation_schwarz"
+  "bench_ablation_schwarz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_schwarz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_coarse_op.dir/bench/bench_fig2_coarse_op.cpp.o"
+  "CMakeFiles/bench_fig2_coarse_op.dir/bench/bench_fig2_coarse_op.cpp.o.d"
+  "bench_fig2_coarse_op"
+  "bench_fig2_coarse_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_coarse_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

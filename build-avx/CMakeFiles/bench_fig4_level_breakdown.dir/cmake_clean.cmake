@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_level_breakdown.dir/bench/bench_fig4_level_breakdown.cpp.o"
+  "CMakeFiles/bench_fig4_level_breakdown.dir/bench/bench_fig4_level_breakdown.cpp.o.d"
+  "bench_fig4_level_breakdown"
+  "bench_fig4_level_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_level_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_halo_exchange.dir/bench/bench_halo_exchange.cpp.o"
+  "CMakeFiles/bench_halo_exchange.dir/bench/bench_halo_exchange.cpp.o.d"
+  "bench_halo_exchange"
+  "bench_halo_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_halo_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

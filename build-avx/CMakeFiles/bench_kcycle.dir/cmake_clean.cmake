@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kcycle.dir/bench/bench_kcycle.cpp.o"
+  "CMakeFiles/bench_kcycle.dir/bench/bench_kcycle.cpp.o.d"
+  "bench_kcycle"
+  "bench_kcycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kcycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

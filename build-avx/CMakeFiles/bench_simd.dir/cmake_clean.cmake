@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simd.dir/bench/bench_simd.cpp.o"
+  "CMakeFiles/bench_simd.dir/bench/bench_simd.cpp.o.d"
+  "bench_simd"
+  "bench_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/model.cpp" "CMakeFiles/qmg.dir/src/cluster/model.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/cluster/model.cpp.o.d"
+  "/root/repo/src/cluster/network.cpp" "CMakeFiles/qmg.dir/src/cluster/network.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/cluster/network.cpp.o.d"
+  "/root/repo/src/cluster/solver_model.cpp" "CMakeFiles/qmg.dir/src/cluster/solver_model.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/cluster/solver_model.cpp.o.d"
+  "/root/repo/src/comm/comm_worker.cpp" "CMakeFiles/qmg.dir/src/comm/comm_worker.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/comm/comm_worker.cpp.o.d"
+  "/root/repo/src/comm/decomposition.cpp" "CMakeFiles/qmg.dir/src/comm/decomposition.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/comm/decomposition.cpp.o.d"
+  "/root/repo/src/comm/dist_coarse.cpp" "CMakeFiles/qmg.dir/src/comm/dist_coarse.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/comm/dist_coarse.cpp.o.d"
+  "/root/repo/src/comm/dist_spinor.cpp" "CMakeFiles/qmg.dir/src/comm/dist_spinor.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/comm/dist_spinor.cpp.o.d"
+  "/root/repo/src/comm/dist_wilson.cpp" "CMakeFiles/qmg.dir/src/comm/dist_wilson.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/comm/dist_wilson.cpp.o.d"
+  "/root/repo/src/core/context.cpp" "CMakeFiles/qmg.dir/src/core/context.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/core/context.cpp.o.d"
+  "/root/repo/src/core/ensembles.cpp" "CMakeFiles/qmg.dir/src/core/ensembles.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/core/ensembles.cpp.o.d"
+  "/root/repo/src/dirac/clover.cpp" "CMakeFiles/qmg.dir/src/dirac/clover.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/dirac/clover.cpp.o.d"
+  "/root/repo/src/dirac/gamma.cpp" "CMakeFiles/qmg.dir/src/dirac/gamma.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/dirac/gamma.cpp.o.d"
+  "/root/repo/src/dirac/wilson.cpp" "CMakeFiles/qmg.dir/src/dirac/wilson.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/dirac/wilson.cpp.o.d"
+  "/root/repo/src/fields/location.cpp" "CMakeFiles/qmg.dir/src/fields/location.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/fields/location.cpp.o.d"
+  "/root/repo/src/gauge/ensemble.cpp" "CMakeFiles/qmg.dir/src/gauge/ensemble.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/gauge/ensemble.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "CMakeFiles/qmg.dir/src/gpusim/device.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/gpusim/device.cpp.o.d"
+  "/root/repo/src/gpusim/kernels.cpp" "CMakeFiles/qmg.dir/src/gpusim/kernels.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/gpusim/kernels.cpp.o.d"
+  "/root/repo/src/lattice/blockmap.cpp" "CMakeFiles/qmg.dir/src/lattice/blockmap.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/lattice/blockmap.cpp.o.d"
+  "/root/repo/src/lattice/geometry.cpp" "CMakeFiles/qmg.dir/src/lattice/geometry.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/lattice/geometry.cpp.o.d"
+  "/root/repo/src/mg/coarse_op.cpp" "CMakeFiles/qmg.dir/src/mg/coarse_op.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/mg/coarse_op.cpp.o.d"
+  "/root/repo/src/mg/galerkin.cpp" "CMakeFiles/qmg.dir/src/mg/galerkin.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/mg/galerkin.cpp.o.d"
+  "/root/repo/src/mg/mrhs.cpp" "CMakeFiles/qmg.dir/src/mg/mrhs.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/mg/mrhs.cpp.o.d"
+  "/root/repo/src/mg/multigrid.cpp" "CMakeFiles/qmg.dir/src/mg/multigrid.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/mg/multigrid.cpp.o.d"
+  "/root/repo/src/mg/nullspace.cpp" "CMakeFiles/qmg.dir/src/mg/nullspace.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/mg/nullspace.cpp.o.d"
+  "/root/repo/src/mg/transfer.cpp" "CMakeFiles/qmg.dir/src/mg/transfer.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/mg/transfer.cpp.o.d"
+  "/root/repo/src/parallel/autotune.cpp" "CMakeFiles/qmg.dir/src/parallel/autotune.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/parallel/autotune.cpp.o.d"
+  "/root/repo/src/parallel/dispatch.cpp" "CMakeFiles/qmg.dir/src/parallel/dispatch.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/parallel/dispatch.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "CMakeFiles/qmg.dir/src/parallel/thread_pool.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/util/logger.cpp" "CMakeFiles/qmg.dir/src/util/logger.cpp.o" "gcc" "CMakeFiles/qmg.dir/src/util/logger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
