@@ -9,6 +9,11 @@ CommWorker& CommWorker::instance() {
   return worker;
 }
 
+CommWorker& CommWorker::reduction_instance() {
+  static CommWorker worker;
+  return worker;
+}
+
 CommWorker::CommWorker() {
   // Start the thread in the body, after every member (mutex, condition
   // variables, flags) is constructed — the worker touches them immediately.

@@ -25,6 +25,13 @@ class CommWorker {
  public:
   static CommWorker& instance();
 
+  /// A second parked worker dedicated to posted reduction combines (the
+  /// pipelined block GCR's single allreduce).  It must be distinct from
+  /// instance(): each worker holds one job at a time, and the matvec a
+  /// posted allreduce overlaps with may itself be an overlapped distributed
+  /// apply running its halo exchange on instance().
+  static CommWorker& reduction_instance();
+
   CommWorker(const CommWorker&) = delete;
   CommWorker& operator=(const CommWorker&) = delete;
 

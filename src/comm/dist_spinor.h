@@ -51,6 +51,24 @@ struct CommStats {
   long host_device_bytes = 0;
   long allreduces = 0;          // global reductions
 
+  // Allreduce metering (paper Fig. 4: the coarsest-grid solve is bound by
+  // the log(N) latency of these syncs, so their COUNT is the number the
+  // CA/pipelined solvers exist to reduce): every dist:: reduction counts
+  // itself once — however many rhs/basis partials it fuses — plus its wire
+  // payload in doubles and the wall time of the combine.  A pipelined
+  // solver that posts the combine concurrently with a matvec additionally
+  // accumulates the hidden share min(combine, matvec) per sync, the
+  // allreduce analog of hidden_seconds below.
+  long allreduce_doubles = 0;
+  double allreduce_seconds = 0;
+  double allreduce_hidden_seconds = 0;
+
+  void count_allreduce(long doubles, double seconds = 0) {
+    ++allreduces;
+    allreduce_doubles += doubles;
+    allreduce_seconds += seconds;
+  }
+
   // Overlap metering for two-phase distributed applies: wall time of the
   // async exchange vs the interior launch it hides behind.  The hiding is
   // measured, not assumed — hidden_seconds accumulates min(exchange,
@@ -79,6 +97,9 @@ struct CommStats {
     host_device_copies += o.host_device_copies;
     host_device_bytes += o.host_device_bytes;
     allreduces += o.allreduces;
+    allreduce_doubles += o.allreduce_doubles;
+    allreduce_seconds += o.allreduce_seconds;
+    allreduce_hidden_seconds += o.allreduce_hidden_seconds;
     overlapped_applies += o.overlapped_applies;
     exchange_seconds += o.exchange_seconds;
     interior_seconds += o.interior_seconds;

@@ -74,6 +74,10 @@ void QmgContext::setup_multigrid(const MgConfig& config) {
   MgConfig cfg = config;
   if (cfg.coarse_storage == CoarseStorage::Native)
     cfg.coarse_storage = options_.mg_coarse_storage;
+  if (cfg.coarsest_solver == CoarsestSolver::BlockGcr) {
+    cfg.coarsest_solver = options_.mg_coarsest_solver;
+    cfg.coarsest_ca_s = options_.mg_ca_s;
+  }
   mg_ = std::make_unique<Multigrid<float>>(*op_f_, cfg);
 }
 

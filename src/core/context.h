@@ -57,6 +57,13 @@ struct ContextOptions {
   // distributed solves (the outer fine-operator applies of
   // solve_mg_block_distributed).
   WirePrecision halo_wire = WirePrecision::Native;
+  // Batched coarsest-grid solver strategy (mg/multigrid.h CoarsestSolver:
+  // reference block GCR, s-step CA-GMRES, or pipelined GCR) and the CA
+  // s-depth (0 = autotune over {2, 4, 8} through the TuneCache).  Applied
+  // by setup_multigrid unless the MgConfig already picked a non-default
+  // strategy itself.
+  CoarsestSolver mg_coarsest_solver = CoarsestSolver::BlockGcr;
+  int mg_ca_s = 4;
 };
 
 class QmgContext {

@@ -755,10 +755,14 @@ void block_scale(const std::vector<T>& a, BlockSpinor<T>& x,
   });
 }
 
-/// Per-rhs |x_k|^2 — bit-identical, rhs by rhs, to norm2(extract_rhs(k)).
+/// Per-rhs |x_k|^2 under an explicit launch policy.  The deterministic
+/// chunk decomposition makes the result bit-identical across policies, so
+/// this exists for *scheduling*, not values: a reduction posted on a comm
+/// worker concurrently with a pool launch must pass a Serial policy
+/// (ThreadPool::run is single-caller; see comm_worker_policy()).
 template <typename T>
-std::vector<double> block_norm2(const BlockSpinor<T>& x) {
-  const LaunchPolicy p = detail::policy_for(Location::Host);
+std::vector<double> block_norm2(const BlockSpinor<T>& x,
+                                const LaunchPolicy& p) {
   const int w = simd::width_for(effective_simd_width(p), x.nrhs());
   if (w > 1) return detail::block_norm2_w(p, w, x);
   return detail::block_reduce<double>(
@@ -766,13 +770,18 @@ std::vector<double> block_norm2(const BlockSpinor<T>& x) {
       [&](long i, int k) { return qmg::norm2(x.at(i, k)); });
 }
 
-/// Per-rhs <x_k, y_k> — bit-identical, rhs by rhs, to cdot of the
-/// extracted fields.
+/// Per-rhs |x_k|^2 — bit-identical, rhs by rhs, to norm2(extract_rhs(k)).
+template <typename T>
+std::vector<double> block_norm2(const BlockSpinor<T>& x) {
+  return block_norm2(x, detail::policy_for(Location::Host));
+}
+
+/// Per-rhs <x_k, y_k> under an explicit launch policy (see block_norm2).
 template <typename T>
 std::vector<complexd> block_cdot(const BlockSpinor<T>& x,
-                                 const BlockSpinor<T>& y) {
+                                 const BlockSpinor<T>& y,
+                                 const LaunchPolicy& p) {
   assert(y.size() == x.size() && y.nrhs() == x.nrhs());
-  const LaunchPolicy p = detail::policy_for(Location::Host);
   const int w = simd::width_for(effective_simd_width(p), x.nrhs());
   if (w > 1) return detail::block_cdot_w(p, w, x, y);
   return detail::block_reduce<complexd>(
@@ -780,6 +789,14 @@ std::vector<complexd> block_cdot(const BlockSpinor<T>& x,
         const auto d = conj_mul(x.at(i, k), y.at(i, k));
         return complexd{d.re, d.im};
       });
+}
+
+/// Per-rhs <x_k, y_k> — bit-identical, rhs by rhs, to cdot of the
+/// extracted fields.
+template <typename T>
+std::vector<complexd> block_cdot(const BlockSpinor<T>& x,
+                                 const BlockSpinor<T>& y) {
+  return block_cdot(x, y, detail::policy_for(Location::Host));
 }
 
 }  // namespace blas

@@ -4,8 +4,11 @@
 #include <stdexcept>
 
 #include "fields/blas.h"
+#include "parallel/autotune.h"
+#include "solvers/block_ca_gmres.h"
 #include "solvers/block_gcr.h"
 #include "solvers/block_mr.h"
+#include "solvers/block_pipelined_gcr.h"
 #include "util/logger.h"
 
 namespace qmg {
@@ -298,26 +301,23 @@ void Multigrid<T>::cycle_block(int level, BlockField& x,
   const int nrhs = b.nrhs();
   blas::block_zero(x);
 
-  // Coarsest grid: block GCR to loose tolerance with per-rhs convergence
-  // masking, on the Schur system when configured — every iteration is one
-  // batched coarse apply.  This is the latency-bound regime the
-  // distributed dispatch exists for: each Schur matvec nests two batched
-  // halo exchanges amortized over all nrhs.
+  // Coarsest grid: batched solve to loose tolerance with per-rhs
+  // convergence masking, on the Schur system when configured.  This is the
+  // latency-bound regime the distributed dispatch exists for — each Schur
+  // matvec nests two batched halo exchanges amortized over all nrhs, and
+  // config_.coarsest_solver picks how the remaining global reductions are
+  // scheduled (GCR reference / s-step CA / pipelined; see CoarsestSolver).
   if (level == num_levels() - 1) {
-    SolverParams params;
-    params.tol = config_.coarsest_tol;
-    params.max_iter = config_.coarsest_maxiter;
-    params.restart = config_.coarsest_krylov;
     if (config_.coarsest_eo && level > 0 &&
         static_cast<size_t>(level) <= schur_coarse_.size()) {
       const auto& schur = *schur_coarse_[level - 1];
       BlockField b_hat = schur.create_block(nrhs);
       schur.prepare_block(b_hat, b);
       BlockField x_e = b_hat.similar();
-      BlockGcrSolver<T>(schur_block_op(level), params).solve(x_e, b_hat);
+      solve_coarsest(schur_block_op(level), x_e, b_hat);
       schur.reconstruct_block(x, x_e, b);
     } else {
-      BlockGcrSolver<T>(op, params).solve(x, b);
+      solve_coarsest(op, x, b);
     }
     return;
   }
@@ -362,6 +362,69 @@ void Multigrid<T>::cycle_block(int level, BlockField& x,
 
   // Post-smoothing.
   smooth_block(level, x, b, lvl.post_smooth);
+}
+
+template <typename T>
+BlockSolverResult Multigrid<T>::solve_coarsest(const LinearOperator<T>& op,
+                                               BlockField& x,
+                                               const BlockField& b) const {
+  SolverParams params;
+  params.tol = config_.coarsest_tol;
+  params.max_iter = config_.coarsest_maxiter;
+  params.restart = config_.coarsest_krylov;
+  switch (config_.coarsest_solver) {
+    case CoarsestSolver::CaGmres: {
+      const int s = coarsest_ca_depth(op, b);
+      return BlockCaGmresSolver<T>(op, params, s, &coarsest_comm_)
+          .solve(x, b);
+    }
+    case CoarsestSolver::PipelinedGcr:
+      return PipelinedBlockGcrSolver<T>(op, params, /*pipeline=*/true,
+                                        &coarsest_comm_)
+          .solve(x, b);
+    case CoarsestSolver::BlockGcr:
+      break;
+  }
+  // Reference block GCR meters its syncs too, through the result: its
+  // reductions are plain blas calls, so the count (the quantity the
+  // ablation compares) is charged here from block_reductions, with the
+  // worst-case payload of its syncs (a block_cdot: 2 doubles per rhs).
+  BlockSolverResult res = BlockGcrSolver<T>(op, params).solve(x, b);
+  for (long i = 0; i < res.block_reductions; ++i)
+    coarsest_comm_.count_allreduce(2L * b.nrhs());
+  return res;
+}
+
+template <typename T>
+int Multigrid<T>::coarsest_ca_depth(const LinearOperator<T>& op,
+                                    const BlockField& b) const {
+  if (config_.coarsest_ca_s > 0) return config_.coarsest_ca_s;
+  const int nrhs = b.nrhs();
+  if (static_cast<size_t>(nrhs) >= tuned_ca_s_.size())
+    tuned_ca_s_.resize(static_cast<size_t>(nrhs) + 1, 0);
+  int& cached = tuned_ca_s_[static_cast<size_t>(nrhs)];
+  if (cached > 0) return cached;
+  // First coarsest solve at this batch width: time the {2, 4, 8} sweep on
+  // the real (x, b) pair — each candidate solves the same system from the
+  // same zero guess into a scratch copy, so tuning never perturbs the
+  // cycle's iterate — and persist the winner through the TuneCache.
+  const CoarseDirac<T>& bottom = *coarse_ops_.back();
+  const std::string key =
+      ca_tune_key(b.rhs_size(), nrhs, bottom.precision_tag());
+  SolverParams params;
+  params.tol = config_.coarsest_tol;
+  params.max_iter = config_.coarsest_maxiter;
+  params.restart = config_.coarsest_krylov;
+  cached = TuneCache::instance().tune_param(key, {2, 4, 8}, [&](int s) {
+    BlockField x_try = b.similar();
+    blas::block_zero(x_try);
+    Timer t;
+    BlockCaGmresSolver<T>(op, params, s).solve(x_try, b);
+    return t.seconds();
+  });
+  logf(LogLevel::Verbose, "qmg: coarsest CA s tuned to %d (nrhs=%d)\n",
+       cached, nrhs);
+  return cached;
 }
 
 template <typename T>

@@ -26,6 +26,24 @@ namespace qmg {
 
 enum class CycleType { KCycle, VCycle };
 
+/// Coarsest-grid solver strategy for the batched cycle (cycle_block).  The
+/// coarsest solve is the latency-bound stage the paper's section-9 analysis
+/// targets: its grid is too small to hide a global reduction behind stencil
+/// work, so the three strategies trade synchronization count against
+/// arithmetic:
+///   * BlockGcr      — the reference masked block GCR (3 + j syncs/matvec);
+///   * CaGmres       — s-step block CA-GMRES (solvers/block_ca_gmres.h):
+///                     2 fused syncs per s+1 matvecs;
+///   * PipelinedGcr  — pipelined block GCR (solvers/block_pipelined_gcr.h):
+///                     1 fused sync/matvec, overlapped with the next matvec
+///                     on the reduction comm worker.
+/// All three respect the per-rhs masking contract and report true-residual
+/// convergence, so the cycle they feed is identical in meaning; CA-GMRES
+/// additionally falls back to BlockGcr on basis breakdown.  The single-rhs
+/// cycle() keeps plain GCR — the strategies exist for the batched
+/// distributed path where the sync cost is amortizable over nrhs.
+enum class CoarsestSolver { BlockGcr, CaGmres, PipelinedGcr };
+
 /// Parameters for one coarsening step (fine side of the transfer).
 struct MgLevelConfig {
   Coord block{2, 2, 2, 2};  // aggregate extents (Table 2 "blocking")
@@ -61,6 +79,12 @@ struct MgConfig {
   int coarsest_maxiter = 100;
   int coarsest_krylov = 10;
   bool coarsest_eo = true;  // solve the coarsest grid's Schur system
+  // Which solver runs the batched coarsest-grid solve (see CoarsestSolver).
+  CoarsestSolver coarsest_solver = CoarsestSolver::BlockGcr;
+  // s-step depth for CoarsestSolver::CaGmres; 0 = autotune over {2, 4, 8}
+  // per (coarsest geometry, nrhs) via the persistent TuneCache, measured on
+  // the first coarsest solve of that shape.
+  int coarsest_ca_s = 4;
   std::uint64_t seed = 7;
   // Storage format of every coarse level's links/diag (paper section 4,
   // strategy (c)): Single/Half16 cut the bandwidth-bound coarse apply's
@@ -162,6 +186,15 @@ class Multigrid {
   CommStats distributed_comm_stats() const;
   void reset_distributed_comm_stats();
 
+  /// Synchronization meter of the batched coarsest-grid solves since the
+  /// last reset: every dist:: reduction the coarsest solver runs — fused
+  /// Gram matrices, pipelined dot batches, norm checks — counts here with
+  /// its payload and latency (CommStats::count_allreduce), independent of
+  /// which CoarsestSolver strategy is active.  Reconciles against the
+  /// solvers' BlockSolverResult::block_reductions (tested).
+  const CommStats& coarsest_comm_stats() const { return coarsest_comm_; }
+  void reset_coarsest_comm_stats() { coarsest_comm_ = CommStats{}; }
+
   /// Per-level profiling of time spent inside cycles (feeds Fig. 4).
   const Profiler& profiler() const { return profiler_; }
   void reset_profile() { profiler_.clear(); }
@@ -180,6 +213,11 @@ class Multigrid {
   std::vector<std::unique_ptr<SchurCoarseOp<T>>> schur_coarse_;
   double setup_seconds_ = 0;
   mutable Profiler profiler_;
+  // Allreduce meter of the coarsest-grid solves (see coarsest_comm_stats).
+  mutable CommStats coarsest_comm_;
+  // Autotuned s per nrhs (coarsest_ca_s == 0), resolved lazily on the first
+  // coarsest solve of that width and persisted through the TuneCache.
+  mutable std::vector<int> tuned_ca_s_;
 
   /// The distributed split of one coarse level: the rank-partitioned
   /// stencil plus the two solver-facing adapters cycle_block dispatches
@@ -207,6 +245,18 @@ class Multigrid {
       return *dist_coarse_[static_cast<size_t>(level)].schur;
     return *schur_coarse_[static_cast<size_t>(level - 1)];
   }
+
+  /// The batched coarsest-grid solve of op x = b, dispatching on
+  /// config_.coarsest_solver (GCR / CA-GMRES / pipelined GCR), with every
+  /// sync metered into coarsest_comm_.  `op` is the full or Schur system
+  /// operator cycle_block selected — distributed adapter or replicated.
+  BlockSolverResult solve_coarsest(const LinearOperator<T>& op, BlockField& x,
+                                   const BlockField& b) const;
+
+  /// s-step depth for the CA coarsest solve at this rhs count: the config
+  /// value, or — when coarsest_ca_s == 0 — the TuneCache-backed winner of a
+  /// timed {2, 4, 8} sweep on the first coarsest solve of this shape.
+  int coarsest_ca_depth(const LinearOperator<T>& op, const BlockField& b) const;
 
   /// MR smoothing at `level`, on the Schur system when configured.
   void smooth(int level, Field& x, const Field& b, int iters) const;

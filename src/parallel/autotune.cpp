@@ -37,9 +37,21 @@ void TuneCache::store_launch(const std::string& key,
   launch_cache_[key] = policy;
 }
 
+bool TuneCache::lookup_param(const std::string& key, int* value) const {
+  const auto it = param_cache_.find(key);
+  if (it == param_cache_.end()) return false;
+  *value = it->second;
+  return true;
+}
+
+void TuneCache::store_param(const std::string& key, int value) {
+  param_cache_[key] = value;
+}
+
 void TuneCache::clear() {
   cache_.clear();
   launch_cache_.clear();
+  param_cache_.clear();
 }
 
 std::vector<CoarseKernelConfig> TuneCache::coarse_candidates(int block_dim) {
@@ -189,7 +201,26 @@ std::pair<CoarseKernelConfig, LaunchPolicy> TuneCache::tune_joint_2d(
   return {best_config, best_policy};
 }
 
+int TuneCache::tune_param(const std::string& key,
+                          const std::vector<int>& candidates,
+                          const std::function<double(int)>& run) {
+  int best = candidates.empty() ? 1 : candidates.front();
+  if (lookup_param(key, &best)) return best;
+  double best_time = std::numeric_limits<double>::max();
+  for (const int cand : candidates) {
+    const double t = run(cand);
+    if (t < best_time) {
+      best_time = t;
+      best = cand;
+    }
+  }
+  store_param(key, best);
+  return best;
+}
+
 namespace {
+// Version 5 adds P lines: scalar algorithm parameters (the CA coarsest
+// solver's tuned s-depth), tab-separated key/value like K and L lines.
 // Version 4: L lines carry the tuned simd_width and tune keys carry the
 // compile-time pack-width tag (/W=).  Version-3 files (no width field,
 // keys without /W=) and version-2 files (additionally no /P= precision
@@ -197,7 +228,8 @@ namespace {
 // six-token L lines get simd_width 0 — and simply never match the new
 // width-tagged lookups, so a cache written by a build with a different
 // native pack width re-tunes instead of replaying its policies.
-constexpr const char* kTuneCacheHeader = "qmg-tune-cache 4";
+constexpr const char* kTuneCacheHeader = "qmg-tune-cache 5";
+constexpr const char* kTuneCacheHeaderV4 = "qmg-tune-cache 4";
 constexpr const char* kTuneCacheHeaderV3 = "qmg-tune-cache 3";
 constexpr const char* kTuneCacheHeaderV2 = "qmg-tune-cache 2";
 
@@ -217,6 +249,8 @@ bool TuneCache::save(const std::string& path) const {
     out << "L\t" << key << "\t" << static_cast<int>(p.backend) << "\t"
         << p.grain << "\t" << p.sim_block_dim << "\t" << p.rhs_block << "\t"
         << p.simd_width << "\n";
+  for (const auto& [key, v] : param_cache_)
+    out << "P\t" << key << "\t" << v << "\n";
   return static_cast<bool>(out);
 }
 
@@ -225,8 +259,8 @@ bool TuneCache::load(const std::string& path) {
   if (!in) return false;
   std::string line;
   if (!std::getline(in, line) ||
-      (line != kTuneCacheHeader && line != kTuneCacheHeaderV3 &&
-       line != kTuneCacheHeaderV2))
+      (line != kTuneCacheHeader && line != kTuneCacheHeaderV4 &&
+       line != kTuneCacheHeaderV3 && line != kTuneCacheHeaderV2))
     return false;
   // Parse into staging maps and commit only on full success, so a corrupt
   // or truncated file never half-merges into the live cache.  Every field
@@ -235,6 +269,7 @@ bool TuneCache::load(const std::string& path) {
   // out-of-range value must be rejected here, not executed.
   std::map<std::string, CoarseKernelConfig> staged;
   std::map<std::string, LaunchPolicy> staged_launch;
+  std::map<std::string, int> staged_param;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     // Tab-separated: tag, key, then the numeric policy fields (keys never
@@ -284,6 +319,12 @@ bool TuneCache::load(const std::string& path) {
         const int w = effective_simd_width(p);
         if (w > 1 && p.rhs_block > 0 && p.rhs_block % w != 0) return false;
         staged_launch[tok[1]] = p;
+      } else if (tok.size() == 3 && tok[0] == "P") {
+        const int v = std::stoi(tok[2]);
+        // Scalar parameters feed basis depths and loop trip counts: only a
+        // small positive value is plausible, reject anything else.
+        if (v < 1 || v > 64) return false;
+        staged_param[tok[1]] = v;
       } else {
         return false;
       }
@@ -293,6 +334,7 @@ bool TuneCache::load(const std::string& path) {
   }
   for (auto& [key, cfg] : staged) cache_[key] = cfg;
   for (auto& [key, p] : staged_launch) launch_cache_[key] = p;
+  for (auto& [key, v] : staged_param) param_cache_[key] = v;
   return true;
 }
 
@@ -318,6 +360,17 @@ std::string mrhs_tune_key(long volume, int block_dim, int nrhs,
   os << "coarse_apply_mrhs/V=" << volume << "/N=" << block_dim
      << "/R=" << nrhs << "/P=" << precision
      << "/W=" << simd::kMaxSimdWidth
+     << "/T=" << ThreadPool::instance().num_threads();
+  return os.str();
+}
+
+std::string ca_tune_key(long rhs_elems, int nrhs, const std::string& precision) {
+  std::ostringstream os;
+  // The optimal s balances the per-sync latency saved (grows with the pool's
+  // matvec throughput) against the monomial basis conditioning (shifts with
+  // element precision), so both tag the key alongside the problem shape.
+  os << "ca_coarsest_s/V=" << rhs_elems << "/R=" << nrhs
+     << "/P=" << precision << "/W=" << simd::kMaxSimdWidth
      << "/T=" << ThreadPool::instance().num_threads();
   return os.str();
 }

@@ -29,9 +29,17 @@ class TuneCache {
   bool lookup_launch(const std::string& key, LaunchPolicy* policy) const;
   void store_launch(const std::string& key, const LaunchPolicy& policy);
 
+  /// Scalar algorithm parameters tuned by timing (e.g. the s-step depth of
+  /// the CA coarsest solver) live beside the kernel policies so one cache
+  /// file persists both.  Values are small positive integers (range-checked
+  /// 1..64 on load — they feed basis depths and loop trip counts).
+  bool lookup_param(const std::string& key, int* value) const;
+  void store_param(const std::string& key, int value);
+
   void clear();
   size_t size() const { return cache_.size(); }
   size_t launch_size() const { return launch_cache_.size(); }
+  size_t param_size() const { return param_cache_.size(); }
 
   /// Candidate launch policies explored for the coarse operator: the four
   /// cumulative strategies with representative split factors.
@@ -81,14 +89,21 @@ class TuneCache {
       const std::function<double(const CoarseKernelConfig&,
                                  const LaunchPolicy&)>& run);
 
+  /// Time `run` (seconds) for each candidate value and return the fastest,
+  /// caching it under `key`.  What Multigrid uses to pick the CA coarsest
+  /// solver's s-step depth (coarsest_ca_s == 0) over {2, 4, 8}.
+  int tune_param(const std::string& key, const std::vector<int>& candidates,
+                 const std::function<double(int)>& run);
+
   /// Launch-policy persistence (production runs skip the first-call tuning
   /// sweep): a versioned text file of every cached kernel config and launch
   /// policy (backend, grain, sim block, rhs-blocking, lane width).  load()
   /// merges into the current cache; both return false on I/O or format
   /// errors.
   ///
-  /// File version 4 L lines carry the tuned simd_width and keys carry the
-  /// build's native pack-width tag (the /W= field of coarse_tune_key /
+  /// File version 5 adds P lines (scalar algorithm parameters, e.g. the CA
+  /// s-depth).  Version 4 L lines carry the tuned simd_width and keys carry
+  /// the build's native pack-width tag (the /W= field of coarse_tune_key /
   /// mrhs_tune_key).  Version-3 files (precision-tagged keys, no width) and
   /// version-2 files (neither) are still accepted: their entries merge
   /// verbatim but can no longer be hit by the tagged lookups, so a stale
@@ -101,6 +116,7 @@ class TuneCache {
  private:
   std::map<std::string, CoarseKernelConfig> cache_;
   std::map<std::string, LaunchPolicy> launch_cache_;
+  std::map<std::string, int> param_cache_;
 };
 
 /// Tune key helpers.  `precision` is the operator's element-precision tag
@@ -112,5 +128,10 @@ std::string coarse_tune_key(long volume, int block_dim,
                             const std::string& precision);
 std::string mrhs_tune_key(long volume, int block_dim, int nrhs,
                           const std::string& precision);
+/// Key for the CA coarsest solver's tuned s-depth: rhs length, batch width
+/// and precision tag (the conditioning boundary shifts with precision) plus
+/// the pool size (the sync-vs-flops balance the tuner measures shifts with
+/// the backend's matvec throughput).
+std::string ca_tune_key(long rhs_elems, int nrhs, const std::string& precision);
 
 }  // namespace qmg

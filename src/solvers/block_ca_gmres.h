@@ -1,0 +1,345 @@
+#pragma once
+// Communication-avoiding (s-step) block GMRES on the distributed coarse
+// path — the paper's section 9 answer to the Fig. 4 diagnosis that the
+// coarsest-grid solve is dominated by global synchronizations (refs. [35]
+// CA-GMRES, [36] s-step Krylov bottom solvers).
+//
+// Per s-step, for all nrhs at once:
+//
+//   1. s batched matvecs build the monomial basis V_k = [v0, M v0, ...,
+//      M^s v0] per rhs (v0 = r_k / |r_k|, a local scaling — |r_k|^2 is
+//      known from the previous step's true-residual sync) with NO
+//      intermediate reductions.  Through DistributedBlockCoarseOp /
+//      DistributedSchurCoarseOp each matvec is one batched (optionally
+//      overlapped) halo exchange.
+//   2. ONE fused sync — dist::block_gram — carries every per-rhs, per-basis
+//      Gram and projection partial in a single virtual MPI_Allreduce.
+//   3. A local per-rhs s x s least-squares solve (normal equations via LU)
+//      yields all s combination coefficients; x/r update masked per rhs.
+//   4. One true-residual recompute (one batched matvec + one fused norm)
+//      guards against monomial drift and doubles as the convergence check.
+//
+// That is 2 syncs per s+1 matvecs against standard block GCR's 3 + j per
+// matvec — the >= 3x sync reduction at s = 4 that BENCH_casolver.json
+// records.
+//
+// Basis conditioning (the CA trade-off): the monomial basis degenerates
+// like kappa^s.  Each power is normalized per rhs — realized as exact
+// Jacobi (diagonal) equilibration of the Gram system, algebraically
+// identical to scaling column j by 1/|M^j v0| but requiring zero extra
+// syncs since the norms ARE the Gram diagonal.  When the equilibrated LU
+// still breaks down (singular / non-finite), the solve retries on the
+// leading principal submatrix at half the depth — the basis is nested, so
+// shrinking s costs nothing — and the SOLVER-LEVEL depth shrinks for
+// subsequent steps (effective_s()).  A step that makes no residual
+// progress shrinks the depth the same way; if depth 1 still cannot
+// progress, the solver falls back to standard block GCR for the remaining
+// budget (fell_back()).
+//
+// Per-rhs convergence masking follows block_gcr.h: a converged rhs (and a
+// zero rhs) is frozen out of every update while the batch continues; its
+// basis column is zero (v0 scaled by 0), so its Gram diagonal vanishes and
+// the LS solve simply skips it — no NaN can enter the shared block.
+//
+// Sync accounting: every dist:: call counts once in block_reductions and
+// meters CommStats when a stats sink is attached, so the solver's counted
+// syncs reconcile exactly against the allreduce meters (tested).
+
+#include <cmath>
+#include <vector>
+
+#include "comm/dist_blas.h"
+#include "fields/blas.h"
+#include "linalg/smallmat.h"
+#include "solvers/block_gcr.h"
+#include "solvers/solver.h"
+#include "util/timer.h"
+
+namespace qmg {
+
+template <typename T>
+class BlockCaGmresSolver {
+ public:
+  using BlockField = BlockSpinor<T>;
+
+  /// `s` is the basis depth (matvecs per fused sync).  `comm`, when given,
+  /// receives one allreduce meter entry per sync.
+  BlockCaGmresSolver(const LinearOperator<T>& op, SolverParams params,
+                     int s = 4, CommStats* comm = nullptr)
+      : op_(op), params_(params), s_(s > 0 ? s : 1), comm_(comm) {}
+
+  /// Basis depth actually in use after conditioning shrinks (== the
+  /// constructor's s when the basis stayed well-conditioned).
+  int effective_s() const { return effective_s_; }
+  /// True when a depth-1 breakdown handed the solve off to block GCR.
+  bool fell_back() const { return fell_back_; }
+
+  BlockSolverResult solve(BlockField& x, const BlockField& b) {
+    Timer timer;
+    const int nrhs = b.nrhs();
+    BlockSolverResult res;
+    res.rhs.assign(static_cast<size_t>(nrhs), SolverResult{});
+    effective_s_ = s_;
+    fell_back_ = false;
+
+    auto r = b.similar();
+    op_.apply_block(r, x);
+    ++res.block_matvecs;
+    const std::vector<T> minus_one(static_cast<size_t>(nrhs), T(-1));
+    blas::block_xpay(b, minus_one, r);
+
+    const std::vector<double> b2 = dist::block_norm2(b, comm_);
+    std::vector<double> r2 = dist::block_norm2(r, comm_);
+    res.block_reductions += 2;
+    std::vector<double> target(static_cast<size_t>(nrhs), 0.0);
+    blas::RhsMask active(static_cast<size_t>(nrhs), 1);
+    for (int k = 0; k < nrhs; ++k) {
+      target[static_cast<size_t>(k)] =
+          params_.tol * params_.tol * b2[static_cast<size_t>(k)];
+      if (b2[static_cast<size_t>(k)] == 0.0) {
+        // b_k = 0 converges immediately with x_k = 0 (block_gcr contract).
+        active[static_cast<size_t>(k)] = 0;
+        res.rhs[static_cast<size_t>(k)].converged = true;
+        for (long i = 0; i < x.rhs_size(); ++i) x.at(i, k) = Complex<T>{};
+      } else {
+        res.rhs[static_cast<size_t>(k)].matvecs = 1;
+      }
+    }
+
+    auto iterating = [&](int k) {
+      return active[static_cast<size_t>(k)] != 0 &&
+             res.rhs[static_cast<size_t>(k)].iterations < params_.max_iter &&
+             r2[static_cast<size_t>(k)] > target[static_cast<size_t>(k)];
+    };
+    auto any_iterating = [&]() {
+      for (int k = 0; k < nrhs; ++k)
+        if (iterating(k)) return true;
+      return false;
+    };
+
+    // Krylov basis V[0..s] as block fields; W[j] = M V[j] = V[j+1].
+    std::vector<BlockField> v;
+    v.reserve(static_cast<size_t>(s_) + 1);
+    for (int j = 0; j <= s_; ++j) v.push_back(b.similar());
+
+    int no_progress_streak = 0;
+    while (any_iterating()) {
+      const int s_cur = effective_s_;
+      blas::RhsMask step(static_cast<size_t>(nrhs), 0);
+      for (int k = 0; k < nrhs; ++k)
+        step[static_cast<size_t>(k)] = iterating(k) ? 1 : 0;
+
+      // --- Communication-free phase: s_cur matvecs of basis generation.
+      // v0 = r / |r| per rhs, using the already-synced r2 (local scaling);
+      // a frozen rhs gets the zero column (scale 0 after zeroing via copy
+      // mask would leave stale data — scale the copied residual by 0).
+      blas::block_copy(v[0], r);
+      std::vector<T> v0_scale(static_cast<size_t>(nrhs), T(0));
+      for (int k = 0; k < nrhs; ++k)
+        if (step[static_cast<size_t>(k)])
+          v0_scale[static_cast<size_t>(k)] =
+              static_cast<T>(1.0 / std::sqrt(r2[static_cast<size_t>(k)]));
+      blas::block_scale(v0_scale, v[0]);
+      for (int j = 0; j < s_cur; ++j) {
+        op_.apply_block(v[static_cast<size_t>(j) + 1], v[static_cast<size_t>(j)]);
+        ++res.block_matvecs;
+      }
+
+      // --- ONE fused sync: all per-rhs Gram + projection partials.
+      std::vector<const BlockField*> basis(static_cast<size_t>(s_cur));
+      for (int j = 0; j < s_cur; ++j)
+        basis[static_cast<size_t>(j)] = &v[static_cast<size_t>(j) + 1];
+      const dist::BlockGramResult gram = dist::block_gram(basis, r, comm_);
+      ++res.block_reductions;
+
+      // --- Local per-rhs LS solves with Jacobi equilibration and nested
+      // depth retry.  depth[k] is how many basis vectors rhs k uses this
+      // step; y holds its coefficients in the ORIGINAL (unequilibrated)
+      // basis.
+      std::vector<int> depth(static_cast<size_t>(nrhs), 0);
+      std::vector<std::vector<Complex<T>>> y(static_cast<size_t>(nrhs));
+      for (int k = 0; k < nrhs; ++k) {
+        if (!step[static_cast<size_t>(k)]) continue;
+        int d = s_cur;
+        while (d >= 1) {
+          // Equilibration scales D_i = 1 / sqrt(G(i,i)): the per-power
+          // normalization.  A non-positive or non-finite diagonal inside
+          // the leading d x d block means the basis degenerated before
+          // power d — shrink.
+          bool ok = true;
+          std::vector<double> dscale(static_cast<size_t>(d));
+          for (int i = 0; i < d; ++i) {
+            const double gii = gram.g(k, i, i).re;
+            if (!(gii > 0.0) || !std::isfinite(gii)) {
+              ok = false;
+              break;
+            }
+            dscale[static_cast<size_t>(i)] = 1.0 / std::sqrt(gii);
+          }
+          if (ok) {
+            SmallMatrix<T> g(d, d);
+            std::vector<Complex<T>> rhs_d(static_cast<size_t>(d));
+            for (int i = 0; i < d; ++i) {
+              for (int j = 0; j < d; ++j) {
+                const complexd gij = gram.g(k, i, j);
+                const double sc = dscale[static_cast<size_t>(i)] *
+                                  dscale[static_cast<size_t>(j)];
+                g(i, j) = Complex<T>(static_cast<T>(gij.re * sc),
+                                     static_cast<T>(gij.im * sc));
+              }
+              const complexd pi = gram.p(k, i);
+              rhs_d[static_cast<size_t>(i)] =
+                  Complex<T>(static_cast<T>(pi.re * dscale[static_cast<size_t>(i)]),
+                             static_cast<T>(pi.im * dscale[static_cast<size_t>(i)]));
+            }
+            const LuFactor<T> lu(g);
+            if (!lu.singular()) {
+              lu.solve(rhs_d.data());
+              bool finite = true;
+              for (int i = 0; i < d; ++i) {
+                rhs_d[static_cast<size_t>(i)] *=
+                    static_cast<T>(dscale[static_cast<size_t>(i)]);
+                if (!std::isfinite(
+                        static_cast<double>(rhs_d[static_cast<size_t>(i)].re)) ||
+                    !std::isfinite(
+                        static_cast<double>(rhs_d[static_cast<size_t>(i)].im)))
+                  finite = false;
+              }
+              if (finite) {
+                depth[static_cast<size_t>(k)] = d;
+                y[static_cast<size_t>(k)] = std::move(rhs_d);
+                break;
+              }
+            }
+          }
+          d /= 2;
+        }
+        if (depth[static_cast<size_t>(k)] == 0) {
+          // Even depth 1 broke down (M annihilated the residual direction):
+          // hand the whole remaining solve to standard block GCR.
+          fell_back_ = true;
+        }
+      }
+      if (fell_back_) break;
+
+      // Any rhs forced below the current depth shrinks the solver-level
+      // depth for subsequent steps — the conditioning guard.
+      for (int k = 0; k < nrhs; ++k)
+        if (step[static_cast<size_t>(k)] &&
+            depth[static_cast<size_t>(k)] < effective_s_)
+          effective_s_ = depth[static_cast<size_t>(k)];
+
+      // --- Masked batched update: x += sum_j y_j V[j], r -= sum_j y_j W[j]
+      // (remember v0 = r/|r|, so the coefficients absorb no extra scale:
+      // the LS already ran against the scaled basis).
+      for (int j = 0; j < s_cur; ++j) {
+        std::vector<Complex<T>> cj(static_cast<size_t>(nrhs), Complex<T>{});
+        std::vector<Complex<T>> mcj(static_cast<size_t>(nrhs), Complex<T>{});
+        bool any = false;
+        for (int k = 0; k < nrhs; ++k) {
+          if (!step[static_cast<size_t>(k)] ||
+              j >= depth[static_cast<size_t>(k)])
+            continue;
+          cj[static_cast<size_t>(k)] =
+              y[static_cast<size_t>(k)][static_cast<size_t>(j)];
+          mcj[static_cast<size_t>(k)] =
+              Complex<T>{} - cj[static_cast<size_t>(k)];
+          any = true;
+        }
+        if (!any) continue;
+        blas::block_caxpy(cj, v[static_cast<size_t>(j)], x, &step);
+        blas::block_caxpy(mcj, v[static_cast<size_t>(j) + 1], r, &step);
+      }
+
+      // --- True-residual recompute: one batched matvec + one fused norm
+      // (the reliable update guarding monomial drift; also the convergence
+      // check for the next step).
+      op_.apply_block(v[0], x);
+      ++res.block_matvecs;
+      blas::block_xpay(b, minus_one, v[0]);
+      blas::block_copy(r, v[0], &step);
+      const std::vector<double> r2_new = dist::block_norm2(r, comm_);
+      ++res.block_reductions;
+
+      bool progress = false;
+      for (int k = 0; k < nrhs; ++k) {
+        if (!step[static_cast<size_t>(k)]) continue;
+        auto& rk = res.rhs[static_cast<size_t>(k)];
+        rk.matvecs += depth[static_cast<size_t>(k)] + 1;
+        rk.reductions += 2;  // the fused Gram + the true-residual norm
+        rk.iterations += depth[static_cast<size_t>(k)];
+        if (r2_new[static_cast<size_t>(k)] < r2[static_cast<size_t>(k)])
+          progress = true;
+        r2[static_cast<size_t>(k)] = r2_new[static_cast<size_t>(k)];
+        if (params_.record_history)
+          rk.residual_history.push_back(std::sqrt(
+              r2[static_cast<size_t>(k)] / b2[static_cast<size_t>(k)]));
+      }
+      if (!progress) {
+        // The whole step stagnated: the monomial basis is too
+        // ill-conditioned at this depth.  Halve it; at depth 1 a second
+        // consecutive stall means CA cannot help — fall back.
+        ++no_progress_streak;
+        if (effective_s_ > 1) {
+          effective_s_ = effective_s_ / 2;
+        } else if (no_progress_streak >= 2) {
+          fell_back_ = true;
+          break;
+        }
+      } else {
+        no_progress_streak = 0;
+      }
+    }
+
+    if (fell_back_) {
+      // Standard block GCR finishes from the current iterate with the
+      // remaining per-rhs iteration budget.  Its counts merge in; its own
+      // reductions run unmetered blas (the fallback is the already-audited
+      // baseline path).
+      SolverParams fb = params_;
+      int done = 0;
+      for (int k = 0; k < nrhs; ++k)
+        done = std::max(done, res.rhs[static_cast<size_t>(k)].iterations);
+      fb.max_iter = std::max(1, params_.max_iter - done);
+      const BlockSolverResult gcr = BlockGcrSolver<T>(op_, fb).solve(x, b);
+      res.block_matvecs += gcr.block_matvecs;
+      res.block_reductions += gcr.block_reductions;
+      for (int k = 0; k < nrhs; ++k) {
+        auto& rk = res.rhs[static_cast<size_t>(k)];
+        const auto& gk = gcr.rhs[static_cast<size_t>(k)];
+        rk.iterations += gk.iterations;
+        rk.matvecs += gk.matvecs;
+        rk.reductions += gk.reductions;
+        rk.converged = gk.converged;
+        rk.final_rel_residual = gk.final_rel_residual;
+        rk.seconds = timer.seconds();
+      }
+      res.seconds = timer.seconds();
+      return res;
+    }
+
+    // Final per-rhs report: r already IS the true residual (the in-loop
+    // recompute), refreshed after the last update for every stepping rhs.
+    for (int k = 0; k < nrhs; ++k) {
+      auto& rk = res.rhs[static_cast<size_t>(k)];
+      rk.seconds = timer.seconds();
+      if (b2[static_cast<size_t>(k)] == 0.0) continue;  // handled above
+      rk.final_rel_residual = std::sqrt(r2[static_cast<size_t>(k)] /
+                                        b2[static_cast<size_t>(k)]);
+      rk.converged =
+          r2[static_cast<size_t>(k)] <= target[static_cast<size_t>(k)];
+    }
+    res.seconds = timer.seconds();
+    return res;
+  }
+
+ private:
+  const LinearOperator<T>& op_;
+  SolverParams params_;
+  int s_;
+  CommStats* comm_;
+  int effective_s_ = 0;
+  bool fell_back_ = false;
+};
+
+}  // namespace qmg

@@ -53,7 +53,13 @@ class BlockGcrSolver {
     const std::vector<T> minus_one(static_cast<size_t>(nrhs), T(-1));
     blas::block_xpay(b, minus_one, r);
 
+    // Sync accounting convention (see BlockSolverResult::block_reductions):
+    // every batched reduction call below bumps block_reductions exactly
+    // once — it is one fused allreduce in a distributed run regardless of
+    // nrhs — while the per-rhs `reductions` entries keep counting only the
+    // in-iteration syncs that rhs participates in.
     const std::vector<double> b2 = blas::block_norm2(b);
+    ++res.block_reductions;
     std::vector<double> target(static_cast<size_t>(nrhs), 0.0);
     // Mask of rhs still iterating.  b_k = 0 converges immediately with
     // x_k = 0 (matching the single-rhs early return).
@@ -71,6 +77,7 @@ class BlockGcrSolver {
     }
 
     std::vector<double> r2 = blas::block_norm2(r);
+    ++res.block_reductions;
     auto converged = [&](int k) {
       return r2[static_cast<size_t>(k)] <= target[static_cast<size_t>(k)];
     };
@@ -115,6 +122,7 @@ class BlockGcrSolver {
         // z — one batched reduction per history entry instead of N.
         for (int j = 0; j < k_dir; ++j) {
           const std::vector<complexd> c = blas::block_cdot(w[j], w.back());
+          ++res.block_reductions;
           std::vector<Complex<T>> ct(static_cast<size_t>(nrhs));
           for (int k = 0; k < nrhs; ++k) {
             ct[static_cast<size_t>(k)] =
@@ -127,6 +135,7 @@ class BlockGcrSolver {
           blas::block_caxpy(ct, z[j], z.back(), &step);
         }
         const std::vector<double> w2 = blas::block_norm2(w.back());
+        ++res.block_reductions;
         std::vector<T> inv_norm(static_cast<size_t>(nrhs), T(1));
         for (int k = 0; k < nrhs; ++k) {
           if (!step[static_cast<size_t>(k)]) continue;
@@ -144,6 +153,7 @@ class BlockGcrSolver {
 
         // Residual update per rhs (batched projections).
         const std::vector<complexd> a = blas::block_cdot(w.back(), r);
+        ++res.block_reductions;
         std::vector<Complex<T>> at(static_cast<size_t>(nrhs));
         std::vector<Complex<T>> mat(static_cast<size_t>(nrhs));
         for (int k = 0; k < nrhs; ++k) {
@@ -156,6 +166,7 @@ class BlockGcrSolver {
         blas::block_caxpy(at, z.back(), x, &step);
         blas::block_caxpy(mat, w.back(), r, &step);
         const std::vector<double> r2_new = blas::block_norm2(r);
+        ++res.block_reductions;
         for (int k = 0; k < nrhs; ++k) {
           if (!step[static_cast<size_t>(k)]) continue;
           r2[static_cast<size_t>(k)] = r2_new[static_cast<size_t>(k)];
@@ -184,6 +195,7 @@ class BlockGcrSolver {
       ++res.block_matvecs;
       blas::block_xpay(b, minus_one, r);
       const std::vector<double> r2_true = blas::block_norm2(r);
+      ++res.block_reductions;
       for (int k = 0; k < nrhs; ++k) {
         if (restart[static_cast<size_t>(k)]) {
           r2[static_cast<size_t>(k)] = r2_true[static_cast<size_t>(k)];
@@ -198,6 +210,7 @@ class BlockGcrSolver {
     ++res.block_matvecs;
     blas::block_xpay(b, minus_one, r);
     const std::vector<double> r2_final = blas::block_norm2(r);
+    ++res.block_reductions;
     for (int k = 0; k < nrhs; ++k) {
       auto& rk = res.rhs[static_cast<size_t>(k)];
       if (b2[static_cast<size_t>(k)] == 0.0) continue;  // handled above

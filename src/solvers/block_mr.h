@@ -59,7 +59,12 @@ class BlockMrSolver {
     const std::vector<T> minus_one(static_cast<size_t>(nrhs), T(-1));
     blas::block_xpay(b, minus_one, r);
 
+    // Sync accounting: every batched reduction call counts once in
+    // block_reductions (one fused allreduce each, whatever nrhs), the
+    // convention shared by all block solvers — see
+    // BlockSolverResult::block_reductions.
     const std::vector<double> b2 = blas::block_norm2(b);
+    ++res.block_reductions;
     // Mask of rhs still iterating; b_k = 0 freezes immediately with
     // x_k = 0 (matching the single-rhs early return).
     blas::RhsMask active(static_cast<size_t>(nrhs), 1);
@@ -77,6 +82,7 @@ class BlockMrSolver {
 
     const T omega = static_cast<T>(params_.omega);
     std::vector<double> r2 = blas::block_norm2(r);
+    ++res.block_reductions;
     auto iterating = [&](int k) {
       if (active[static_cast<size_t>(k)] == 0 ||
           res.rhs[static_cast<size_t>(k)].iterations >= params_.max_iter)
@@ -103,6 +109,7 @@ class BlockMrSolver {
       ++res.block_matvecs;
       const std::vector<double> mr2 = blas::block_norm2(mr);
       const std::vector<complexd> alpha_d = blas::block_cdot(mr, r);
+      res.block_reductions += 2;
       std::vector<Complex<T>> step_coef(static_cast<size_t>(nrhs));
       std::vector<Complex<T>> neg_coef(static_cast<size_t>(nrhs));
       for (int k = 0; k < nrhs; ++k) {
@@ -126,6 +133,7 @@ class BlockMrSolver {
       blas::block_caxpy(step_coef, r, x, &step);
       blas::block_caxpy(neg_coef, mr, r, &step);
       const std::vector<double> r2_new = blas::block_norm2(r);
+      ++res.block_reductions;
       for (int k = 0; k < nrhs; ++k) {
         if (!step[static_cast<size_t>(k)]) continue;
         r2[static_cast<size_t>(k)] = r2_new[static_cast<size_t>(k)];

@@ -53,7 +53,11 @@ class CaGmresSolver {
       return res;
     }
     double r2 = blas::norm2(r);
-    ++res.reductions;  // |b|, |r| batch
+    // One reduction call = one counted sync, the convention shared with the
+    // block solvers' accounting (BlockSolverResult::block_reductions): |b|
+    // and |r| are two calls, two syncs.  The s-step Gram below is the
+    // converse case — (s^2 + s) dot products in ONE fused sync.
+    res.reductions += 2;
     const double target = params_.tol * params_.tol * b2;
 
     // Krylov basis V[0..s]; W[j] = M V[j] = V[j+1] (monomial basis).

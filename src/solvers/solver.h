@@ -38,6 +38,19 @@ struct BlockSolverResult {
   std::vector<SolverResult> rhs;  // one entry per right-hand side
   /// Batched operator applications (each advances every rhs at once).
   long block_matvecs = 0;
+  /// Batched reduction syncs: every fused block_norm2 / block_cdot /
+  /// block_gram call counts ONCE however many rhs (and basis vectors) it
+  /// carries — one block reduction = one global synchronization = one
+  /// allreduce in a distributed run.  All block solvers count with this
+  /// convention (one increment per batched reduction call, setup and final
+  /// norms included), so block_reductions is directly comparable across
+  /// standard / CA / pipelined solvers and reconciles against CommStats
+  /// allreduce meters when the solver routes its syncs through dist::.
+  /// The per-rhs SolverResult::reductions entries instead count the
+  /// in-iteration syncs each rhs actively participated in (its share of
+  /// the work, matching the single-rhs solvers' accounting) — summing them
+  /// over rhs does NOT give a sync count.
+  long block_reductions = 0;
   double seconds = 0.0;
 
   bool all_converged() const {

@@ -607,13 +607,13 @@ TEST(TuneCachePrecision, RoundTripKeepsPrecisionKeys) {
   cache.clear();
   const CoarseKernelConfig cfg{Strategy::StencilDir, 9, 1, 2};
   cache.store(coarse_tune_key(256, 8, "df"), cfg);
-  const std::string path = ::testing::TempDir() + "/qmg_tune_cache_v4.txt";
+  const std::string path = ::testing::TempDir() + "/qmg_tune_cache_v5.txt";
   ASSERT_TRUE(cache.save(path));
-  // The file is v4 now (L lines carry the tuned lane width).
+  // The file is v5 now (P lines carry tuned integer parameters).
   std::ifstream in(path);
   std::string header;
   std::getline(in, header);
-  EXPECT_EQ(header, "qmg-tune-cache 4");
+  EXPECT_EQ(header, "qmg-tune-cache 5");
   cache.clear();
   ASSERT_TRUE(cache.load(path));
   CoarseKernelConfig got;
