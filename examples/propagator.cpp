@@ -70,6 +70,12 @@ int main(int argc, char** argv) {
   std::printf("%-6s %-10s %-12s %-10s %-12s %s\n", "src", "MG iters",
               "MG time(s)", "BiCG iters", "BiCG time(s)", "speedup");
 
+  SolveSpec mg_spec;
+  mg_spec.tol = tol;
+  SolveSpec bicg_spec;
+  bicg_spec.method = SolveMethod::BiCgStab;
+  bicg_spec.tol = tol;
+
   std::vector<double> mg_times, bicg_times, speedups;
   std::vector<ColorSpinorField<double>> sources;
   for (int s = 0; s < 4; ++s)
@@ -77,15 +83,15 @@ int main(int argc, char** argv) {
       auto b = ctx.create_vector();
       b.point_source(0, s, c);
       auto x_mg = ctx.create_vector();
-      const auto rm = ctx.solve_mg(x_mg, b, tol);
+      const auto rm = ctx.solve(x_mg, b, mg_spec);
       auto x_bicg = ctx.create_vector();
-      const auto rb = ctx.solve_bicgstab(x_bicg, b, tol);
+      const auto rb = ctx.solve(x_bicg, b, bicg_spec);
       sources.push_back(std::move(b));
 
       const int idx = 3 * s + c;
       std::printf("%d/%d   %-10d %-12.3f %-10d %-12.3f %.2f%s\n", s, c,
-                  rm.iterations, rm.seconds, rb.iterations, rb.seconds,
-                  rb.seconds / rm.seconds,
+                  rm.result().iterations, rm.seconds, rb.result().iterations,
+                  rb.seconds, rb.seconds / rm.seconds,
                   idx == 0 ? "   (discarded: autotuning)" : "");
       if (idx == 0) continue;  // first solve pays the autotuner (sec. 7.1)
       mg_times.push_back(rm.seconds);
@@ -109,19 +115,14 @@ int main(int argc, char** argv) {
   std::vector<ColorSpinorField<double>> propagator;
   for (size_t k = 0; k < sources.size(); ++k)
     propagator.push_back(ctx.create_vector());
-  const auto block_res = ctx.solve_mg_block(propagator, sources, tol);
+  const SolveReport block_res = ctx.solve(propagator, sources, mg_spec);
 
   std::printf("\nblock solver (12 rhs at once, per-rhs masking):\n");
   std::printf("  per-rhs iterations:");
   for (const auto& r : block_res.rhs) std::printf(" %d", r.iterations);
   std::printf("\n  all converged: %s, max |r|/|b| = %.2e\n",
               block_res.all_converged() ? "yes" : "NO",
-              [&] {
-                double m = 0;
-                for (const auto& r : block_res.rhs)
-                  m = std::max(m, r.final_rel_residual);
-                return m;
-              }());
+              block_res.max_rel_residual());
   std::printf("  batched matvecs: %ld (each advances all 12 rhs)\n",
               block_res.block_matvecs);
   // Per-rhs comparison against the post-tuning scalar mean (solve 0 paid
@@ -149,10 +150,12 @@ int main(int argc, char** argv) {
   std::vector<ColorSpinorField<double>> dist_prop;
   for (size_t k = 0; k < sources.size(); ++k)
     dist_prop.push_back(ctx.create_vector());
-  CommStats comm, coarse_comm;
-  const auto dist_res = ctx.solve_mg_block_distributed(
-      dist_prop, sources, tol, dist_ranks, &comm, 1000,
-      HaloMode::Overlapped, &coarse_comm);
+  SolveSpec dist_spec = mg_spec;
+  dist_spec.nranks = dist_ranks;
+  dist_spec.halo = HaloMode::Overlapped;
+  const SolveReport dist_res = ctx.solve(dist_prop, sources, dist_spec);
+  const CommStats& comm = dist_res.comm;
+  const CommStats& coarse_comm = dist_res.coarse_comm;
   std::printf("\ndistributed block solve (%d virtual ranks, overlapped "
               "batched halos, distributed coarse levels):\n", dist_ranks);
   std::printf("  per-rhs iterations:");

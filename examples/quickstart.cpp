@@ -43,25 +43,32 @@ int main(int argc, char** argv) {
 
   auto b = ctx.create_vector();
   b.point_source(/*site=*/0, /*spin=*/0, /*color=*/0);
-  const double tol = args.get_double("tol", 1e-8);
+
+  // One entry point for every method: describe the solve in a SolveSpec,
+  // read everything back from the SolveReport.
+  SolveSpec spec;
+  spec.tol = args.get_double("tol", 1e-8);
 
   auto x_mg = ctx.create_vector();
-  const auto res_mg = ctx.solve_mg(x_mg, b, tol);
+  spec.method = SolveMethod::Mg;
+  const SolveReport rep_mg = ctx.solve(x_mg, b, spec);
   std::printf("MG-GCR    : %3d iterations, %.3f s, |r|/|b| = %.2e\n",
-              res_mg.iterations, res_mg.seconds, res_mg.final_rel_residual);
+              rep_mg.result().iterations, rep_mg.seconds,
+              rep_mg.max_rel_residual());
 
   auto x_bicg = ctx.create_vector();
-  const auto res_bicg = ctx.solve_bicgstab(x_bicg, b, tol);
+  spec.method = SolveMethod::BiCgStab;
+  const SolveReport rep_bicg = ctx.solve(x_bicg, b, spec);
   std::printf("BiCGStab  : %3d iterations, %.3f s, |r|/|b| = %.2e\n",
-              res_bicg.iterations, res_bicg.seconds,
-              res_bicg.final_rel_residual);
+              rep_bicg.result().iterations, rep_bicg.seconds,
+              rep_bicg.max_rel_residual());
 
   // Both solutions must agree.
   blas::axpy(-1.0, x_mg, x_bicg);
   std::printf("solution difference |x_mg - x_bicg| / |x_mg| = %.2e\n",
               std::sqrt(blas::norm2(x_bicg) / blas::norm2(x_mg)));
   std::printf("MG iteration advantage: %.1fx fewer iterations\n",
-              static_cast<double>(res_bicg.iterations) /
-                  std::max(res_mg.iterations, 1));
+              static_cast<double>(rep_bicg.result().iterations) /
+                  std::max(rep_mg.result().iterations, 1));
   return 0;
 }

@@ -10,6 +10,40 @@ namespace qmg {
 
 namespace {
 
+/// Validate the options up front so a bad value fails at construction with
+/// a descriptive std::invalid_argument instead of deep inside a kernel
+/// (e.g. a negative pool size hanging the thread pool, or a simd_width the
+/// lane packs never compiled for silently falling back).
+const ContextOptions& validate_options(const ContextOptions& options) {
+  long volume = 1;
+  for (int mu = 0; mu < kNDim; ++mu) {
+    if (options.dims[mu] <= 0)
+      throw std::invalid_argument(
+          "ContextOptions: dims[" + std::to_string(mu) +
+          "] must be positive, got " + std::to_string(options.dims[mu]));
+    volume *= options.dims[mu];
+  }
+  if (volume % 2 != 0)
+    throw std::invalid_argument(
+        "ContextOptions: lattice volume must be even for even-odd "
+        "checkerboarding, got " + std::to_string(volume) + " sites");
+  if (options.threads < 0)
+    throw std::invalid_argument(
+        "ContextOptions: threads must be >= 0 (0 = hardware concurrency), "
+        "got " + std::to_string(options.threads));
+  if (options.simd_width != 0 && options.simd_width != 1 &&
+      options.simd_width != 2 && options.simd_width != 4 &&
+      options.simd_width != 8)
+    throw std::invalid_argument(
+        "ContextOptions: simd_width must be one of {0 (auto), 1, 2, 4, 8}, "
+        "got " + std::to_string(options.simd_width));
+  if (options.mg_ca_s < 0)
+    throw std::invalid_argument(
+        "ContextOptions: mg_ca_s must be >= 0 (0 = autotune), got " +
+        std::to_string(options.mg_ca_s));
+  return options;
+}
+
 /// Apply the context's execution-layer defaults before any field or
 /// operator member is constructed (they already launch through dispatch).
 const ContextOptions& apply_dispatch_options(const ContextOptions& options) {
@@ -24,7 +58,7 @@ const ContextOptions& apply_dispatch_options(const ContextOptions& options) {
 }  // namespace
 
 QmgContext::QmgContext(const ContextOptions& options)
-    : options_(apply_dispatch_options(options)),
+    : options_(apply_dispatch_options(validate_options(options))),
       geom_(make_geometry(options.dims)),
       gauge_d_(disordered_gauge<double>(geom_, options.roughness,
                                         options.seed)),
@@ -81,60 +115,6 @@ void QmgContext::setup_multigrid(const MgConfig& config) {
   mg_ = std::make_unique<Multigrid<float>>(*op_f_, cfg);
 }
 
-SolverResult QmgContext::solve_mg(ColorSpinorField<double>& x,
-                                  const ColorSpinorField<double>& b,
-                                  double tol, int max_iter, bool eo) {
-  if (!mg_) throw std::runtime_error("setup_multigrid() not called");
-  SolverParams params;
-  params.tol = tol;
-  params.max_iter = max_iter;
-  params.restart = 10;  // Krylov subspace size of the paper's outer GCR
-  blas::zero(x);
-  if (eo) {
-    auto b_hat = schur_d_->create_vector();
-    schur_d_->prepare(b_hat, b);
-    auto x_e = schur_d_->create_vector();
-    SchurMixedMgPreconditioner precond(*mg_);
-    const auto res =
-        GcrSolver<double>(*schur_d_, params, &precond).solve(x_e, b_hat);
-    schur_d_->reconstruct(x, x_e, b);
-    return res;
-  }
-  MixedPrecisionMgPreconditioner precond(*mg_);
-  return GcrSolver<double>(*op_d_, params, &precond).solve(x, b);
-}
-
-BlockSolverResult QmgContext::solve_mg_block(
-    std::vector<ColorSpinorField<double>>& x,
-    const std::vector<ColorSpinorField<double>>& b, double tol, int max_iter,
-    bool eo) {
-  if (!mg_) throw std::runtime_error("setup_multigrid() not called");
-  if (x.size() != b.size() || b.empty())
-    throw std::invalid_argument("solve_mg_block: x/b size mismatch or empty");
-  SolverParams params;
-  params.tol = tol;
-  params.max_iter = max_iter;
-  params.restart = 10;  // Krylov subspace size of the paper's outer GCR
-  const BlockSpinor<double> b_block = pack_block(b);
-  BlockSpinor<double> x_block = b_block.similar();
-  BlockSolverResult res;
-  if (eo) {
-    BlockSpinor<double> b_hat = schur_d_->create_block(b_block.nrhs());
-    schur_d_->prepare_block(b_hat, b_block);
-    BlockSpinor<double> x_e = b_hat.similar();
-    SchurMixedBlockMgPreconditioner precond(*mg_);
-    res = BlockGcrSolver<double>(*schur_d_, params, &precond)
-              .solve(x_e, b_hat);
-    schur_d_->reconstruct_block(x_block, x_e, b_block);
-  } else {
-    MixedPrecisionBlockMgPreconditioner precond(*mg_);
-    res = BlockGcrSolver<double>(*op_d_, params, &precond)
-              .solve(x_block, b_block);
-  }
-  unpack_block(x, x_block);
-  return res;
-}
-
 namespace {
 
 /// Restores the hierarchy to replicated cycles even when the solve throws.
@@ -148,72 +128,212 @@ struct ScopedDistributedCoarse {
   int levels = 0;
 };
 
+/// The spec's iteration cap, or the method's historical default.
+int effective_max_iter(const SolveSpec& spec) {
+  if (spec.max_iter > 0) return spec.max_iter;
+  return spec.method == SolveMethod::BiCgStab ? 100000 : 1000;
+}
+
+SolverParams params_for(const SolveSpec& spec) {
+  SolverParams params;
+  params.tol = spec.tol;
+  params.max_iter = effective_max_iter(spec);
+  params.restart = 10;  // Krylov subspace size of the paper's outer GCR
+  params.record_history = spec.record_history;
+  if (spec.method == SolveMethod::BiCgStab) params.reliable_delta = 1e-2;
+  return params;
+}
+
+SolveReport report_shell(const SolveSpec& spec, int nrhs) {
+  SolveReport rep;
+  rep.method = spec.method;
+  rep.nrhs = nrhs;
+  rep.distributed = spec.nranks > 0;
+  return rep;
+}
+
 }  // namespace
 
-BlockSolverResult QmgContext::solve_mg_block_distributed(
-    std::vector<ColorSpinorField<double>>& x,
-    const std::vector<ColorSpinorField<double>>& b, double tol, int nranks,
-    CommStats* comm, int max_iter, HaloMode mode, CommStats* coarse_comm) {
-  if (!mg_) throw std::runtime_error("setup_multigrid() not called");
+SolveReport QmgContext::solve(ColorSpinorField<double>& x,
+                              const ColorSpinorField<double>& b,
+                              const SolveSpec& spec) {
+  if (spec.method == SolveMethod::Mg && spec.nranks > 0) {
+    // Distributed solves run the block machinery; a single rhs is a
+    // batch of one (same kernels, nrhs = 1).
+    std::vector<ColorSpinorField<double>> xs, bs;
+    xs.push_back(x.similar());
+    bs.push_back(b);
+    SolveReport rep = solve(xs, bs, spec);
+    x = std::move(xs.front());
+    return rep;
+  }
+  const SolverParams params = params_for(spec);
+  SolveReport rep = report_shell(spec, 1);
+  blas::zero(x);
+  if (spec.method == SolveMethod::BiCgStab) {
+    if (spec.eo) {
+      auto b_hat = schur_d_->create_vector();
+      schur_d_->prepare(b_hat, b);
+      auto x_e = schur_d_->create_vector();
+      blas::zero(x_e);
+      MixedPrecisionBiCgStab solver(*schur_d_, *schur_f_, params,
+                                    spec.bicg_inner);
+      rep.rhs.push_back(solver.solve(x_e, b_hat));
+      schur_d_->reconstruct(x, x_e, b);
+    } else {
+      MixedPrecisionBiCgStab solver(*op_d_, *op_f_, params, spec.bicg_inner);
+      rep.rhs.push_back(solver.solve(x, b));
+    }
+  } else {
+    if (!mg_) throw std::runtime_error("setup_multigrid() not called");
+    if (spec.eo) {
+      auto b_hat = schur_d_->create_vector();
+      schur_d_->prepare(b_hat, b);
+      auto x_e = schur_d_->create_vector();
+      SchurMixedMgPreconditioner precond(*mg_);
+      rep.rhs.push_back(
+          GcrSolver<double>(*schur_d_, params, &precond).solve(x_e, b_hat));
+      schur_d_->reconstruct(x, x_e, b);
+    } else {
+      MixedPrecisionMgPreconditioner precond(*mg_);
+      rep.rhs.push_back(
+          GcrSolver<double>(*op_d_, params, &precond).solve(x, b));
+    }
+  }
+  rep.seconds = rep.rhs.front().seconds;
+  return rep;
+}
+
+SolveReport QmgContext::solve(std::vector<ColorSpinorField<double>>& x,
+                              const std::vector<ColorSpinorField<double>>& b,
+                              const SolveSpec& spec) {
   if (x.size() != b.size() || b.empty())
-    throw std::invalid_argument(
-        "solve_mg_block_distributed: x/b size mismatch or empty");
-  const auto dec = make_decomposition(geom_, nranks);
-  const DistributedWilsonOp<double> dist(gauge_d_, op_d_->params(),
-                                         &clover_d_, dec);
-  const DistributedBlockWilsonOp<double> dist_op(dist, mode,
-                                                 options_.halo_wire);
-  // The full latency-bound regime (paper sections 6.5 + 9): besides the
-  // outer fine-operator applies above, every factorable coarse level of
-  // the K-cycle dispatches through its own DistributedCoarseOp — batched
-  // halos amortizing per-message latency over all nrhs, overlapped when
-  // `mode` says so — and reverts to replicated when the solve returns.
-  // Iterates stay bit-identical to solve_mg_block(eo=false) because every
-  // distributed apply is bit-identical to the replicated one.
-  ScopedDistributedCoarse coarse_dist(*mg_, nranks, mode);
-  SolverParams params;
-  params.tol = tol;
-  params.max_iter = max_iter;
-  params.restart = 10;
+    throw std::invalid_argument("solve: x/b size mismatch or empty");
+  const int nrhs = static_cast<int>(b.size());
+  SolveReport rep = report_shell(spec, nrhs);
+
+  if (spec.method == SolveMethod::BiCgStab) {
+    // No batched BiCGStab kernel exists: stream the rhs (documented).
+    if (spec.nranks > 0)
+      throw std::invalid_argument(
+          "solve: distributed execution requires SolveMethod::Mg");
+    SolveSpec single = spec;
+    double seconds = 0;
+    for (int k = 0; k < nrhs; ++k) {
+      const SolveReport r =
+          solve(x[static_cast<size_t>(k)], b[static_cast<size_t>(k)], single);
+      rep.rhs.push_back(r.result());
+      seconds += r.seconds;
+    }
+    rep.seconds = seconds;
+    return rep;
+  }
+
+  if (!mg_) throw std::runtime_error("setup_multigrid() not called");
+  const SolverParams params = params_for(spec);
   const BlockSpinor<double> b_block = pack_block(b);
   BlockSpinor<double> x_block = b_block.similar();
-  MixedPrecisionBlockMgPreconditioner precond(*mg_);
-  const auto res =
-      BlockGcrSolver<double>(dist_op, params, &precond).solve(x_block, b_block);
-  unpack_block(x, x_block);
-  // Merge the context-wide stats exactly once per solve: the fine
-  // operator's counters and the per-level coarse counters are disjoint
-  // (each exchange was metered by the one adapter that ran it).
-  const CommStats coarse_stats = mg_->distributed_comm_stats();
-  if (comm) {
-    *comm += dist_op.comm_stats();
-    *comm += coarse_stats;
+  BlockSolverResult res;
+
+  if (spec.nranks > 0) {
+    const auto dec = make_decomposition(geom_, spec.nranks);
+    const DistributedWilsonOp<double> dist(gauge_d_, op_d_->params(),
+                                           &clover_d_, dec);
+    const DistributedBlockWilsonOp<double> dist_op(
+        dist, spec.halo, spec.halo_wire.value_or(options_.halo_wire));
+    // The full latency-bound regime (paper sections 6.5 + 9): besides the
+    // outer fine-operator applies above, every factorable coarse level of
+    // the K-cycle dispatches through its own DistributedCoarseOp — batched
+    // halos amortizing per-message latency over all nrhs, overlapped when
+    // spec.halo says so — and reverts to replicated when the solve
+    // returns.  Iterates stay bit-identical to the replicated
+    // eo=false solve because every distributed apply is bit-identical to
+    // the replicated one.  (The outer solve runs the full system; spec.eo
+    // is ignored here, matching the legacy entry point.)
+    ScopedDistributedCoarse coarse_dist(*mg_, spec.nranks, spec.halo);
+    MixedPrecisionBlockMgPreconditioner precond(*mg_);
+    res = BlockGcrSolver<double>(dist_op, params, &precond)
+              .solve(x_block, b_block);
+    // The report owns the stats, merged exactly once per solve: the fine
+    // operator's counters and the per-level coarse counters are disjoint
+    // (each exchange was metered by the one adapter that ran it), and the
+    // coarse share is additionally broken out on its own.
+    rep.coarse_comm = mg_->distributed_comm_stats();
+    rep.comm = dist_op.comm_stats();
+    rep.comm += rep.coarse_comm;
+  } else if (spec.eo) {
+    BlockSpinor<double> b_hat = schur_d_->create_block(b_block.nrhs());
+    schur_d_->prepare_block(b_hat, b_block);
+    BlockSpinor<double> x_e = b_hat.similar();
+    SchurMixedBlockMgPreconditioner precond(*mg_);
+    res = BlockGcrSolver<double>(*schur_d_, params, &precond)
+              .solve(x_e, b_hat);
+    schur_d_->reconstruct_block(x_block, x_e, b_block);
+  } else {
+    MixedPrecisionBlockMgPreconditioner precond(*mg_);
+    res = BlockGcrSolver<double>(*op_d_, params, &precond)
+              .solve(x_block, b_block);
   }
-  if (coarse_comm) *coarse_comm += coarse_stats;
-  return res;
+  unpack_block(x, x_block);
+  rep.rhs = std::move(res.rhs);
+  rep.block_matvecs = res.block_matvecs;
+  rep.block_reductions = res.block_reductions;
+  rep.seconds = res.seconds;
+  return rep;
+}
+
+// --- legacy wrappers (all delegate to the SolveSpec path) -------------------
+
+SolverResult QmgContext::solve_mg(ColorSpinorField<double>& x,
+                                  const ColorSpinorField<double>& b,
+                                  double tol, int max_iter, bool eo) {
+  SolveSpec spec;
+  spec.method = SolveMethod::Mg;
+  spec.tol = tol;
+  spec.max_iter = max_iter;
+  spec.eo = eo;
+  return solve(x, b, spec).result();
 }
 
 SolverResult QmgContext::solve_bicgstab(ColorSpinorField<double>& x,
                                         const ColorSpinorField<double>& b,
                                         double tol, int max_iter,
                                         InnerPrecision inner, bool eo) {
-  SolverParams params;
-  params.tol = tol;
-  params.max_iter = max_iter;
-  params.reliable_delta = 1e-2;
-  blas::zero(x);
-  if (eo) {
-    auto b_hat = schur_d_->create_vector();
-    schur_d_->prepare(b_hat, b);
-    auto x_e = schur_d_->create_vector();
-    blas::zero(x_e);
-    MixedPrecisionBiCgStab solver(*schur_d_, *schur_f_, params, inner);
-    const auto res = solver.solve(x_e, b_hat);
-    schur_d_->reconstruct(x, x_e, b);
-    return res;
-  }
-  MixedPrecisionBiCgStab solver(*op_d_, *op_f_, params, inner);
-  return solver.solve(x, b);
+  SolveSpec spec;
+  spec.method = SolveMethod::BiCgStab;
+  spec.tol = tol;
+  spec.max_iter = max_iter;
+  spec.bicg_inner = inner;
+  spec.eo = eo;
+  return solve(x, b, spec).result();
+}
+
+BlockSolverResult QmgContext::solve_mg_block(
+    std::vector<ColorSpinorField<double>>& x,
+    const std::vector<ColorSpinorField<double>>& b, double tol, int max_iter,
+    bool eo) {
+  SolveSpec spec;
+  spec.method = SolveMethod::Mg;
+  spec.tol = tol;
+  spec.max_iter = max_iter;
+  spec.eo = eo;
+  return solve(x, b, spec).as_block_result();
+}
+
+BlockSolverResult QmgContext::solve_mg_block_distributed(
+    std::vector<ColorSpinorField<double>>& x,
+    const std::vector<ColorSpinorField<double>>& b, double tol, int nranks,
+    CommStats* comm, int max_iter, HaloMode mode, CommStats* coarse_comm) {
+  SolveSpec spec;
+  spec.method = SolveMethod::Mg;
+  spec.tol = tol;
+  spec.max_iter = max_iter;
+  spec.nranks = nranks;
+  spec.halo = mode;
+  const SolveReport rep = solve(x, b, spec);
+  if (comm) *comm += rep.comm;
+  if (coarse_comm) *coarse_comm += rep.coarse_comm;
+  return rep.as_block_result();
 }
 
 double QmgContext::solver_error(const ColorSpinorField<double>& x,

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "comm/dist_spinor.h"
+#include "core/solve_api.h"
 #include "dirac/clover.h"
 #include "dirac/wilson.h"
 #include "gauge/ensemble.h"
@@ -68,62 +69,75 @@ struct ContextOptions {
 
 class QmgContext {
  public:
+  /// Validates `options` up front (threads, simd_width, mg_ca_s, dims) and
+  /// throws std::invalid_argument with a descriptive message instead of
+  /// letting a bad value fail deep inside a kernel.
   explicit QmgContext(const ContextOptions& options);
   ~QmgContext();
 
-  /// Build (or rebuild) the MG hierarchy; must be called before solve_mg.
+  /// Build (or rebuild) the MG hierarchy; must be called before any
+  /// SolveMethod::Mg solve.
   void setup_multigrid(const MgConfig& config);
   bool has_multigrid() const { return mg_ != nullptr; }
 
-  /// Solve M x = b with MG-preconditioned GCR (x overwritten; zero guess).
-  /// With `eo` (the paper's configuration) the outer GCR runs on the
-  /// even-odd Schur system, preconditioned by the MG cycle via the embedding
-  /// identity S x_e = r_e for M x = (r_e, 0); the full solution is then
-  /// reconstructed.
+  /// THE solve entry point (single rhs): solve M x = b as described by
+  /// `spec` (core/solve_api.h) — method, tolerance, iteration cap,
+  /// even-odd preconditioning, distributed-execution knobs — with x
+  /// overwritten from a zero guess.  SolveMethod::Mg runs the paper's
+  /// configuration (double outer GCR over the single-precision K-cycle,
+  /// on the Schur system when spec.eo); SolveMethod::BiCgStab runs the
+  /// mixed-precision baseline.  With spec.nranks > 0 the solve routes
+  /// through the distributed path (see the block overload).  The report
+  /// owns all statistics, communication included.
+  SolveReport solve(ColorSpinorField<double>& x,
+                    const ColorSpinorField<double>& b,
+                    const SolveSpec& spec = SolveSpec{});
+
+  /// THE solve entry point (multi-rhs): solve M x[k] = b[k] for all k at
+  /// once.  SolveMethod::Mg feeds the whole batch to the masked block GCR
+  /// — outer applies, MG cycles, transfers and coarse solves all advance
+  /// every rhs per batched (site x rhs) kernel launch (paper section 9),
+  /// and per-rhs convergence masking keeps each rhs bit-identical to a
+  /// solo solve regardless of batch composition.  With spec.nranks > 0
+  /// the outer fine applies run the domain-decomposed two-phase dslash
+  /// (one batched halo exchange per apply, overlapped when spec.halo says
+  /// so) and every factorable coarse level dispatches through its
+  /// DistributedCoarseOp split for the solve's duration (paper sections
+  /// 6.5 + 9); the report's `comm` then holds all traffic with the
+  /// coarse-level share broken out in `coarse_comm`.  SolveMethod::BiCgStab
+  /// streams the rhs one at a time (no batched BiCGStab kernel exists).
+  SolveReport solve(std::vector<ColorSpinorField<double>>& x,
+                    const std::vector<ColorSpinorField<double>>& b,
+                    const SolveSpec& spec = SolveSpec{});
+
+  // --- legacy entry points (thin wrappers over solve(..., SolveSpec)) ----
+
+  /// Legacy wrapper: MG-preconditioned GCR.  Delegates to solve() with
+  /// SolveMethod::Mg.
   SolverResult solve_mg(ColorSpinorField<double>& x,
                         const ColorSpinorField<double>& b, double tol,
                         int max_iter = 1000, bool eo = true);
 
-  /// Solve M x = b with mixed-precision BiCGStab (the production baseline).
-  /// With `eo` the solve runs on the even-odd Schur system (the paper's
-  /// "red-black preconditioning is almost always used", section 3.3).
+  /// Legacy wrapper: mixed-precision BiCGStab.  Delegates to solve() with
+  /// SolveMethod::BiCgStab.
   SolverResult solve_bicgstab(ColorSpinorField<double>& x,
                               const ColorSpinorField<double>& b, double tol,
                               int max_iter = 100000,
                               InnerPrecision inner = InnerPrecision::Half,
                               bool eo = true);
 
-  /// Solve M x[k] = b[k] for all k at once through the block solver: a
-  /// double-precision block GCR with per-rhs convergence masking, fed by
-  /// the batched (site x rhs) kernels end to end — outer Schur applies,
-  /// MG cycles, transfers and coarse solves all advance the whole batch
-  /// per operation (paper section 9; a propagator's 12 solves are the
-  /// canonical workload).  With `eo` the outer block GCR runs on the
-  /// even-odd Schur system exactly like solve_mg.
+  /// Legacy wrapper: the batched block solve.  Delegates to solve() with
+  /// SolveMethod::Mg on the whole batch.
   BlockSolverResult solve_mg_block(std::vector<ColorSpinorField<double>>& x,
                                    const std::vector<ColorSpinorField<double>>& b,
                                    double tol, int max_iter = 1000,
                                    bool eo = true);
 
-  /// The distributed MRHS propagator solve (paper sections 6.5 + 9
-  /// combined): the outer double-precision block GCR's fine-operator
-  /// applies run through the domain-decomposed two-phase dslash — one
-  /// batched halo exchange per apply (all nrhs faces in one message per
-  /// rank/face pair), interior compute overlapping the exchange when
-  /// `mode` is Overlapped — while the batched MG cycle preconditions the
-  /// whole block WITH ITS COARSE LEVELS DISTRIBUTED TOO: every factorable
-  /// coarse level of the K-cycle dispatches its operator applications
-  /// (K-cycle GCR matvecs, block-MR Schur smoothing, the coarsest-grid
-  /// solve) through a DistributedCoarseOp split for the duration of the
-  /// solve, exercising the latency-bound coarsest-grid regime the batched
-  /// halos exist for.  Iterates are bit-identical to
-  /// solve_mg_block(eo=false) because every distributed apply is
-  /// bit-identical to the replicated one.  Communication — fine-operator
-  /// and per-coarse-level alike, each exchange counted exactly once — is
-  /// merged into `comm` when given.
-  /// `coarse_comm`, when given, receives ONLY the coarse-level share of
-  /// that traffic (already included in `comm`; do not add them) — the
-  /// breakdown the latency analysis of the coarsest grids reads.
+  /// Legacy wrapper: the distributed batched block solve.  Delegates to
+  /// solve() with SolveMethod::Mg and spec.nranks = nranks; the report's
+  /// owned communication is copied back out through the historical
+  /// `comm` / `coarse_comm` out-params (`coarse_comm` receives only the
+  /// coarse-level share, already included in `comm`).
   BlockSolverResult solve_mg_block_distributed(
       std::vector<ColorSpinorField<double>>& x,
       const std::vector<ColorSpinorField<double>>& b, double tol, int nranks,

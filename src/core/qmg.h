@@ -3,23 +3,36 @@
 //
 // Umbrella header: everything a downstream application needs.
 //
-//   QmgContext ctx({.dims = {8, 8, 8, 16}, .mass = -0.05});
+//   ContextOptions options;
+//   options.dims = {8, 8, 8, 16};
+//   options.mass = -0.05;
+//   QmgContext ctx(options);
 //   MgConfig mg; mg.levels = {...};
 //   ctx.setup_multigrid(mg);
 //   auto b = ctx.create_vector(); b.point_source(0, 0, 0);
 //   auto x = ctx.create_vector();
-//   auto result = ctx.solve_mg(x, b, 1e-8);
+//   SolveSpec spec;                       // core/solve_api.h
+//   spec.tol = 1e-8;                      // method, eo, nranks, halo, ...
+//   SolveReport report = ctx.solve(x, b, spec);
+//   // report.result().iterations, report.all_converged(), report.comm ...
+//
+// Batches solve through the same entry point (vectors of x/b advance as one
+// masked block solve), and streaming workloads go through the service layer
+// (service/solve_queue.h): submit independent rhs to a SolveQueue and wait
+// on the returned SolveTicket.
 //
 // See README.md for the architecture overview and examples/ for complete
 // programs.
 
 #include "core/context.h"     // IWYU pragma: export
+#include "core/solve_api.h"   // IWYU pragma: export
 #include "core/ensembles.h"   // IWYU pragma: export
 #include "dirac/clover.h"     // IWYU pragma: export
 #include "dirac/wilson.h"     // IWYU pragma: export
 #include "fields/blas.h"      // IWYU pragma: export
 #include "gauge/ensemble.h"   // IWYU pragma: export
 #include "mg/multigrid.h"     // IWYU pragma: export
+#include "service/solve_queue.h"  // IWYU pragma: export
 #include "solvers/bicgstab.h" // IWYU pragma: export
 #include "solvers/cg.h"       // IWYU pragma: export
 #include "solvers/gcr.h"      // IWYU pragma: export

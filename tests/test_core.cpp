@@ -39,6 +39,82 @@ TEST(Context, BuildsConsistentOperators) {
   EXPECT_LT(max_rel, 1e-4);
 }
 
+TEST(Context, RejectsInvalidOptionsAtConstruction) {
+  // Construction-time validation (fail fast with a descriptive message
+  // instead of a crash or silent misconfiguration deep in a solve).
+  {
+    auto o = small_options();
+    o.dims[2] = 0;
+    EXPECT_THROW(QmgContext{o}, std::invalid_argument);
+  }
+  {
+    auto o = small_options();
+    o.dims = {3, 3, 3, 3};  // odd volume cannot be checkerboarded
+    EXPECT_THROW(QmgContext{o}, std::invalid_argument);
+  }
+  {
+    auto o = small_options();
+    o.threads = -1;
+    EXPECT_THROW(QmgContext{o}, std::invalid_argument);
+  }
+  {
+    auto o = small_options();
+    o.simd_width = 3;  // not in {0, 1, 2, 4, 8}
+    EXPECT_THROW(QmgContext{o}, std::invalid_argument);
+  }
+  {
+    auto o = small_options();
+    o.mg_ca_s = -2;
+    EXPECT_THROW(QmgContext{o}, std::invalid_argument);
+  }
+}
+
+TEST(Context, SolveSpecUnifiedEntryPointMatchesLegacy) {
+  // The legacy named entry points are thin wrappers over
+  // solve(x, b, SolveSpec) — same method, same bits.
+  QmgContext ctx(small_options());
+  auto b = ctx.create_vector();
+  b.point_source(1, 0, 1);
+
+  auto x_spec = ctx.create_vector();
+  SolveSpec spec;
+  spec.method = SolveMethod::BiCgStab;
+  spec.tol = 1e-7;
+  const SolveReport rep = ctx.solve(x_spec, b, spec);
+  EXPECT_EQ(rep.method, SolveMethod::BiCgStab);
+  EXPECT_EQ(rep.nrhs, 1);
+  ASSERT_EQ(rep.rhs.size(), 1u);
+  EXPECT_TRUE(rep.all_converged());
+  EXPECT_GT(rep.result().iterations, 0);
+  EXPECT_LE(rep.max_rel_residual(), 1e-7);
+  EXPECT_FALSE(rep.distributed);
+
+  auto x_legacy = ctx.create_vector();
+  const auto legacy = ctx.solve_bicgstab(x_legacy, b, 1e-7);
+  EXPECT_EQ(legacy.iterations, rep.result().iterations);
+  for (long i = 0; i < x_spec.size(); ++i) {
+    ASSERT_EQ(x_spec.data()[i].re, x_legacy.data()[i].re);
+    ASSERT_EQ(x_spec.data()[i].im, x_legacy.data()[i].im);
+  }
+}
+
+TEST(Context, SolveRejectsBadSpecs) {
+  QmgContext ctx(small_options());
+  auto b = ctx.create_vector();
+  b.gaussian(7);
+  std::vector<ColorSpinorField<double>> xs;  // size mismatch vs bs
+  std::vector<ColorSpinorField<double>> bs;
+  bs.push_back(ctx.create_vector());
+  EXPECT_THROW(ctx.solve(xs, bs, SolveSpec{}), std::invalid_argument);
+
+  // Distributed execution is an MG-only feature.
+  SolveSpec bad;
+  bad.method = SolveMethod::BiCgStab;
+  bad.nranks = 2;
+  xs.push_back(ctx.create_vector());
+  EXPECT_THROW(ctx.solve(xs, bs, bad), std::invalid_argument);
+}
+
 TEST(Context, MgSolveRequiresSetup) {
   QmgContext ctx(small_options());
   auto b = ctx.create_vector();
