@@ -86,7 +86,9 @@ int main(int argc, const char** argv) {
       bs.back().gaussian(static_cast<std::uint64_t>(k + 1));
       xs.push_back(ctx.create_vector());
     }
-    ctx.solve(xs, bs, spec);
+    // Warm-up solve: the report is irrelevant here, only the tuning side
+    // effect matters.
+    (void)ctx.solve(xs, bs, spec);
   }
 
   // Low -> high offered load: inter-arrival above the latency budget (every

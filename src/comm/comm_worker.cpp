@@ -22,7 +22,7 @@ CommWorker::CommWorker() {
 
 CommWorker::~CommWorker() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   cv_submit_.notify_all();
@@ -33,14 +33,14 @@ void CommWorker::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_submit_.wait(lock, [&] { return shutdown_ || busy_; });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && !busy_) cv_submit_.wait(lock);
       if (shutdown_) return;
       job = std::move(job_);
     }
     job();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       busy_ = false;
     }
     cv_done_.notify_all();
@@ -49,7 +49,7 @@ void CommWorker::worker_loop() {
 
 void CommWorker::submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (busy_)
       throw std::logic_error("CommWorker: submit while a job is in flight");
     job_ = std::move(job);
@@ -59,8 +59,8 @@ void CommWorker::submit(std::function<void()> job) {
 }
 
 void CommWorker::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [&] { return !busy_; });
+  MutexLock lock(mutex_);
+  while (busy_) cv_done_.wait(lock);
 }
 
 }  // namespace qmg

@@ -8,16 +8,17 @@
 // overlapped apply: submit() hands it the exchange closure, wait() is the
 // synchronization point before the boundary launch reads any ghost
 // (mutex + condition variable give the necessary happens-before edge; the
-// CI TSan job guards it).
+// CI TSan job guards the interleavings, and the thread-safety annotations
+// below make the lock discipline a compile-time check).
 //
 // One job may be in flight at a time — the overlapped applies are called
 // from one thread and always wait() before returning, so submit() can
 // assert idleness rather than queue.
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "util/thread_annotations.h"
 
 namespace qmg {
 
@@ -37,23 +38,23 @@ class CommWorker {
 
   /// Hand `job` to the worker thread.  The worker must be idle (every
   /// submit() paired with a wait() before the next).
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) QMG_EXCLUDES(mutex_);
 
   /// Block until the submitted job has completed.  No-op when idle.
-  void wait();
+  void wait() QMG_EXCLUDES(mutex_);
 
  private:
   CommWorker();
   ~CommWorker();
-  void worker_loop();
+  void worker_loop() QMG_EXCLUDES(mutex_);
 
   std::thread worker_;
-  std::function<void()> job_;
-  std::mutex mutex_;
-  std::condition_variable cv_submit_;
-  std::condition_variable cv_done_;
-  bool busy_ = false;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  CondVar cv_submit_;
+  CondVar cv_done_;
+  std::function<void()> job_ QMG_GUARDED_BY(mutex_);
+  bool busy_ QMG_GUARDED_BY(mutex_) = false;
+  bool shutdown_ QMG_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace qmg

@@ -5,6 +5,7 @@
 #include "parallel/autotune.h"
 #include "solvers/block_gcr.h"
 #include "solvers/gcr.h"
+#include "util/logger.h"
 
 namespace qmg {
 
@@ -81,14 +82,24 @@ QmgContext::QmgContext(const ContextOptions& options)
   schur_d_ = std::make_unique<SchurWilsonOp<double>>(*op_d_);
   schur_f_ = std::make_unique<SchurWilsonOp<float>>(*op_f_);
   // Launch-policy persistence: restore previously tuned kernel configs and
-  // launch policies so this run skips the first-call tuning sweep.
-  if (!options_.tune_cache_file.empty())
-    load_tune_cache(options_.tune_cache_file);
+  // launch policies so this run skips the first-call tuning sweep.  A
+  // missing or unreadable file is non-fatal (a fresh cache re-tunes), but
+  // say so — a production run silently re-tuning every kernel is exactly
+  // the failure the persistence exists to prevent.
+  if (!options_.tune_cache_file.empty()) {
+    if (!load_tune_cache(options_.tune_cache_file))
+      log_verbose("QmgContext: tune cache '%s' not loaded (missing or "
+                  "invalid); kernels will re-tune\n",
+                  options_.tune_cache_file.c_str());
+  }
 }
 
 QmgContext::~QmgContext() {
-  if (!options_.tune_cache_file.empty())
-    save_tune_cache(options_.tune_cache_file);
+  if (!options_.tune_cache_file.empty()) {
+    if (!save_tune_cache(options_.tune_cache_file))
+      log_summary("QmgContext: failed to save tune cache '%s'\n",
+                  options_.tune_cache_file.c_str());
+  }
 }
 
 bool QmgContext::save_tune_cache(const std::string& path) const {

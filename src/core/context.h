@@ -89,9 +89,9 @@ class QmgContext {
   /// mixed-precision baseline.  With spec.nranks > 0 the solve routes
   /// through the distributed path (see the block overload).  The report
   /// owns all statistics, communication included.
-  SolveReport solve(ColorSpinorField<double>& x,
-                    const ColorSpinorField<double>& b,
-                    const SolveSpec& spec = SolveSpec{});
+  [[nodiscard]] SolveReport solve(ColorSpinorField<double>& x,
+                                  const ColorSpinorField<double>& b,
+                                  const SolveSpec& spec = SolveSpec{});
 
   /// THE solve entry point (multi-rhs): solve M x[k] = b[k] for all k at
   /// once.  SolveMethod::Mg feeds the whole batch to the masked block GCR
@@ -106,9 +106,10 @@ class QmgContext {
   /// 6.5 + 9); the report's `comm` then holds all traffic with the
   /// coarse-level share broken out in `coarse_comm`.  SolveMethod::BiCgStab
   /// streams the rhs one at a time (no batched BiCGStab kernel exists).
-  SolveReport solve(std::vector<ColorSpinorField<double>>& x,
-                    const std::vector<ColorSpinorField<double>>& b,
-                    const SolveSpec& spec = SolveSpec{});
+  [[nodiscard]] SolveReport solve(
+      std::vector<ColorSpinorField<double>>& x,
+      const std::vector<ColorSpinorField<double>>& b,
+      const SolveSpec& spec = SolveSpec{});
 
   // --- legacy entry points (thin wrappers over solve(..., SolveSpec)) ----
 
@@ -145,9 +146,11 @@ class QmgContext {
       HaloMode mode = HaloMode::Overlapped, CommStats* coarse_comm = nullptr);
 
   /// Persist / restore the process-wide TuneCache (kernel configs, launch
-  /// backends and rhs-blockings).  Returns false on I/O or format errors.
-  bool save_tune_cache(const std::string& path) const;
-  bool load_tune_cache(const std::string& path);
+  /// backends and rhs-blockings).  Returns false on I/O or format errors —
+  /// silently dropping that is how a production run ends up re-tuning
+  /// every kernel, hence [[nodiscard]].
+  [[nodiscard]] bool save_tune_cache(const std::string& path) const;
+  [[nodiscard]] bool load_tune_cache(const std::string& path);
 
   /// Relative solver error |x - x*| / |x*| against a much tighter "exact"
   /// solve — the double-solve error estimate of section 7.1 (ref. [17]).

@@ -151,7 +151,10 @@ double norm2_w(const LaunchPolicy& policy, int w, const Complex<T>* x,
     chunk_group_for(n, ngroups, policy, [&](long g) {
       const long c0 = g * W;
       const int lanes = static_cast<int>(std::min<long>(W, nchunks - c0));
-      long idx[W], end[W];
+      // Zero-init: lanes >= 1 always holds, but the tail elements are
+      // otherwise uninitialized and -Wmaybe-uninitialized cannot prove the
+      // lanes bound.
+      long idx[W] = {}, end[W] = {};
       for (int j = 0; j < lanes; ++j) {
         idx[j] = n * (c0 + j) / nchunks;
         end[j] = n * (c0 + j + 1) / nchunks;
@@ -187,7 +190,10 @@ complexd cdot_w(const LaunchPolicy& policy, int w, const Complex<T>* x,
     chunk_group_for(n, ngroups, policy, [&](long g) {
       const long c0 = g * W;
       const int lanes = static_cast<int>(std::min<long>(W, nchunks - c0));
-      long idx[W], end[W];
+      // Zero-init: lanes >= 1 always holds, but the tail elements are
+      // otherwise uninitialized and -Wmaybe-uninitialized cannot prove the
+      // lanes bound.
+      long idx[W] = {}, end[W] = {};
       for (int j = 0; j < lanes; ++j) {
         idx[j] = n * (c0 + j) / nchunks;
         end[j] = n * (c0 + j + 1) / nchunks;

@@ -84,7 +84,10 @@ class HalfSpinorField {
       int k = 0;
       for (int s = 0; s < nspin_; ++s)
         for (int c = 0; c < ncolor_; ++c) {
-          const auto v = in(i, s, c);
+          // Typed, not auto: quantize_q15 takes float, and an implicit
+          // double->float narrowing here would silently halve the
+          // quantizer's input precision (lint rule quantizer-narrowing).
+          const Complex<float> v = in(i, s, c);
           site[k++] = quantize_q15(v.re, scale);
           site[k++] = quantize_q15(v.im, scale);
         }

@@ -13,6 +13,7 @@ TuneCache& TuneCache::instance() {
 
 bool TuneCache::lookup(const std::string& key,
                        CoarseKernelConfig* config) const {
+  MutexLock lock(mutex_);
   const auto it = cache_.find(key);
   if (it == cache_.end()) return false;
   *config = it->second;
@@ -21,11 +22,13 @@ bool TuneCache::lookup(const std::string& key,
 
 void TuneCache::store(const std::string& key,
                       const CoarseKernelConfig& config) {
+  MutexLock lock(mutex_);
   cache_[key] = config;
 }
 
 bool TuneCache::lookup_launch(const std::string& key,
                               LaunchPolicy* policy) const {
+  MutexLock lock(mutex_);
   const auto it = launch_cache_.find(key);
   if (it == launch_cache_.end()) return false;
   *policy = it->second;
@@ -34,10 +37,12 @@ bool TuneCache::lookup_launch(const std::string& key,
 
 void TuneCache::store_launch(const std::string& key,
                              const LaunchPolicy& policy) {
+  MutexLock lock(mutex_);
   launch_cache_[key] = policy;
 }
 
 bool TuneCache::lookup_param(const std::string& key, int* value) const {
+  MutexLock lock(mutex_);
   const auto it = param_cache_.find(key);
   if (it == param_cache_.end()) return false;
   *value = it->second;
@@ -45,10 +50,12 @@ bool TuneCache::lookup_param(const std::string& key, int* value) const {
 }
 
 void TuneCache::store_param(const std::string& key, int value) {
+  MutexLock lock(mutex_);
   param_cache_[key] = value;
 }
 
 void TuneCache::clear() {
+  MutexLock lock(mutex_);
   cache_.clear();
   launch_cache_.clear();
   param_cache_.clear();
@@ -241,6 +248,7 @@ bool valid_simd_width(int w) {
 bool TuneCache::save(const std::string& path) const {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
+  MutexLock lock(mutex_);
   out << kTuneCacheHeader << "\n";
   for (const auto& [key, cfg] : cache_)
     out << "K\t" << key << "\t" << static_cast<int>(cfg.strategy) << "\t"
@@ -332,6 +340,7 @@ bool TuneCache::load(const std::string& path) {
       return false;
     }
   }
+  MutexLock lock(mutex_);
   for (auto& [key, cfg] : staged) cache_[key] = cfg;
   for (auto& [key, p] : staged_launch) launch_cache_[key] = p;
   for (auto& [key, v] : staged_param) param_cache_[key] = v;

@@ -14,32 +14,54 @@
 
 #include "parallel/dispatch.h"
 #include "parallel/strategy.h"
+#include "util/thread_annotations.h"
 
 namespace qmg {
 
+/// Process-wide cache of tuned kernel policies.  instance() is shared by
+/// every context and tenant in the process (the SolveQueue's warm-state
+/// story depends on exactly that), so the three maps are mutex-guarded —
+/// a lookup on one tenant's solve path must never race a store from
+/// another's first-encounter tuning sweep.  The guard is enforced at
+/// compile time by the thread-safety annotations; it was previously
+/// absent entirely (a latent data race surfaced by annotating the class).
 class TuneCache {
  public:
   static TuneCache& instance();
 
-  bool lookup(const std::string& key, CoarseKernelConfig* config) const;
-  void store(const std::string& key, const CoarseKernelConfig& config);
+  bool lookup(const std::string& key, CoarseKernelConfig* config) const
+      QMG_EXCLUDES(mutex_);
+  void store(const std::string& key, const CoarseKernelConfig& config)
+      QMG_EXCLUDES(mutex_);
 
   /// Execution-backend policies are cached alongside kernel decompositions:
   /// the tuner picks (backend, grain) and (strategy, splits) together.
-  bool lookup_launch(const std::string& key, LaunchPolicy* policy) const;
-  void store_launch(const std::string& key, const LaunchPolicy& policy);
+  bool lookup_launch(const std::string& key, LaunchPolicy* policy) const
+      QMG_EXCLUDES(mutex_);
+  void store_launch(const std::string& key, const LaunchPolicy& policy)
+      QMG_EXCLUDES(mutex_);
 
   /// Scalar algorithm parameters tuned by timing (e.g. the s-step depth of
   /// the CA coarsest solver) live beside the kernel policies so one cache
   /// file persists both.  Values are small positive integers (range-checked
   /// 1..64 on load — they feed basis depths and loop trip counts).
-  bool lookup_param(const std::string& key, int* value) const;
-  void store_param(const std::string& key, int value);
+  bool lookup_param(const std::string& key, int* value) const
+      QMG_EXCLUDES(mutex_);
+  void store_param(const std::string& key, int value) QMG_EXCLUDES(mutex_);
 
-  void clear();
-  size_t size() const { return cache_.size(); }
-  size_t launch_size() const { return launch_cache_.size(); }
-  size_t param_size() const { return param_cache_.size(); }
+  void clear() QMG_EXCLUDES(mutex_);
+  size_t size() const QMG_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return cache_.size();
+  }
+  size_t launch_size() const QMG_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return launch_cache_.size();
+  }
+  size_t param_size() const QMG_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return param_cache_.size();
+  }
 
   /// Candidate launch policies explored for the coarse operator: the four
   /// cumulative strategies with representative split factors.
@@ -110,13 +132,14 @@ class TuneCache {
   /// cache re-tunes instead of silently replaying a config tuned for a
   /// different element precision or pack width.  Entries whose rhs_block
   /// would split a lane pack across dispatch items are rejected outright.
-  bool save(const std::string& path) const;
-  bool load(const std::string& path);
+  [[nodiscard]] bool save(const std::string& path) const QMG_EXCLUDES(mutex_);
+  [[nodiscard]] bool load(const std::string& path) QMG_EXCLUDES(mutex_);
 
  private:
-  std::map<std::string, CoarseKernelConfig> cache_;
-  std::map<std::string, LaunchPolicy> launch_cache_;
-  std::map<std::string, int> param_cache_;
+  mutable Mutex mutex_;
+  std::map<std::string, CoarseKernelConfig> cache_ QMG_GUARDED_BY(mutex_);
+  std::map<std::string, LaunchPolicy> launch_cache_ QMG_GUARDED_BY(mutex_);
+  std::map<std::string, int> param_cache_ QMG_GUARDED_BY(mutex_);
 };
 
 /// Tune key helpers.  `precision` is the operator's element-precision tag

@@ -24,10 +24,14 @@ ThreadPool::~ThreadPool() { stop_workers(); }
 bool ThreadPool::in_parallel_region() { return t_in_parallel_region; }
 
 void ThreadPool::start_workers() {
-  shutdown_ = false;
   // Capture the generation at spawn time: a worker that read it only after
   // starting up could miss a job launched between spawn and startup.
-  const long spawn_generation = generation_;
+  long spawn_generation;
+  {
+    MutexLock lock(mutex_);
+    shutdown_ = false;
+    spawn_generation = generation_;
+  }
   workers_.reserve(static_cast<size_t>(n_threads_ - 1));
   for (int id = 1; id < n_threads_; ++id)
     workers_.emplace_back(
@@ -36,7 +40,7 @@ void ThreadPool::start_workers() {
 
 void ThreadPool::stop_workers() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   cv_start_.notify_all();
@@ -57,9 +61,8 @@ void ThreadPool::worker_loop(int id, long seen) {
   for (;;) {
     std::function<void(int)> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_start_.wait(lock,
-                     [&] { return shutdown_ || generation_ != seen; });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && generation_ == seen) cv_start_.wait(lock);
       if (shutdown_) return;
       seen = generation_;
       job = job_;
@@ -68,7 +71,7 @@ void ThreadPool::worker_loop(int id, long seen) {
     job(id);
     t_in_parallel_region = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --pending_;
     }
     cv_done_.notify_one();
@@ -85,7 +88,7 @@ void ThreadPool::run(const std::function<void(int)>& job) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = job;
     pending_ = static_cast<int>(workers_.size());
     ++generation_;
@@ -95,8 +98,8 @@ void ThreadPool::run(const std::function<void(int)>& job) {
   job(0);
   t_in_parallel_region = false;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    MutexLock lock(mutex_);
+    while (pending_ != 0) cv_done_.wait(lock);
     job_ = nullptr;
   }
 }

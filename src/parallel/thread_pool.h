@@ -14,12 +14,17 @@
 // Nested parallel regions execute serially on the calling worker (the
 // dispatch layer checks in_parallel_region() and falls back), which keeps
 // inner BLAS calls inside an already-parallel solver region correct.
+//
+// Lock discipline is statically checked (util/thread_annotations.h): the
+// park/launch protocol state — job, generation, pending count, shutdown
+// flag — is guarded by one mutex, and the CI thread-safety build fails on
+// any unguarded access.
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace qmg {
 
@@ -44,25 +49,32 @@ class ThreadPool {
 
   /// Execute job(worker_id) for worker_id in [0, num_threads()), blocking
   /// until every worker finishes.  The caller runs worker 0.
-  void run(const std::function<void(int)>& job);
+  void run(const std::function<void(int)>& job) QMG_EXCLUDES(mutex_);
 
  private:
   ThreadPool();
   ~ThreadPool();
 
-  void worker_loop(int id, long spawn_generation);
-  void stop_workers();
-  void start_workers();
+  void worker_loop(int id, long spawn_generation) QMG_EXCLUDES(mutex_);
+  void stop_workers() QMG_EXCLUDES(mutex_);
+  void start_workers() QMG_EXCLUDES(mutex_);
 
+  /// OS threads (n_threads_ - 1 of them).  Mutated only by
+  /// start_workers()/stop_workers(), which run when no worker exists —
+  /// construction, destruction, resize() — so no lock guards them.
   std::vector<std::thread> workers_;
-  std::function<void(int)> job_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  long generation_ = 0;
+  /// Pool width.  Written only by resize() while the pool is stopped; read
+  /// concurrently by run()/num_threads() (callers must not race resize(),
+  /// per its contract above).
   int n_threads_ = 1;
-  int pending_ = 0;
-  bool shutdown_ = false;
+
+  mutable Mutex mutex_;
+  CondVar cv_start_;
+  CondVar cv_done_;
+  std::function<void(int)> job_ QMG_GUARDED_BY(mutex_);
+  long generation_ QMG_GUARDED_BY(mutex_) = 0;
+  int pending_ QMG_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ QMG_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace qmg

@@ -45,7 +45,7 @@ SolveQueue::SolveQueue(QueueOptions options) : options_(options) {
 SolveQueue::~SolveQueue() { stop(); }
 
 void SolveQueue::add_tenant(const std::string& id, QmgContext& ctx) {
-  std::lock_guard<std::mutex> lk(m_);
+  MutexLock lk(m_);
   tenants_[id] = &ctx;
 }
 
@@ -62,7 +62,7 @@ SolveTicket SolveQueue::submit(SolveRequest request) {
   p.flush_by = p.submitted + std::chrono::duration_cast<Clock::duration>(
                                  std::chrono::duration<double>(wait));
   {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     if (stopping_)
       throw std::logic_error("SolveQueue: submit() after stop()");
     const auto it = tenants_.find(request.tenant);
@@ -81,7 +81,7 @@ SolveTicket SolveQueue::submit(SolveRequest request) {
 void SolveQueue::flush() {
   const auto now = Clock::now();
   {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     for (auto& entry : pending_)
       for (auto& p : entry.second) p.flush_by = now;
   }
@@ -91,7 +91,7 @@ void SolveQueue::flush() {
 void SolveQueue::stop() {
   std::thread to_join;
   {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     stopping_ = true;
     const auto now = Clock::now();
     for (auto& entry : pending_)
@@ -105,7 +105,7 @@ void SolveQueue::stop() {
 }
 
 void SolveQueue::worker() {
-  std::unique_lock<std::mutex> lk(m_);
+  MutexLock lk(m_);
   while (true) {
     // Pick the next batch to dispatch: any key at max_nrhs flushes
     // immediately; otherwise the key whose oldest request's latency budget
@@ -177,7 +177,7 @@ void SolveQueue::run_batch(std::vector<Pending>& batch) {
   // Record the batch in the meters BEFORE fulfilling any ticket: a caller
   // unblocked by its ticket must see this batch reflected in stats().
   {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     ++batches_;
     sum_batch_nrhs_ += nrhs;
     if (ok) {
@@ -194,7 +194,7 @@ void SolveQueue::run_batch(std::vector<Pending>& batch) {
 
   for (int k = 0; k < nrhs; ++k) {
     auto& p = batch[static_cast<size_t>(k)];
-    std::lock_guard<std::mutex> tlk(p.ticket->m);
+    MutexLock tlk(p.ticket->m);
     if (ok) {
       SolveReport& r = p.ticket->report;
       r.method = rep.method;
@@ -220,7 +220,7 @@ void SolveQueue::run_batch(std::vector<Pending>& batch) {
 }
 
 QueueStats SolveQueue::stats() const {
-  std::lock_guard<std::mutex> lk(m_);
+  MutexLock lk(m_);
   QueueStats s;
   s.submitted = submitted_;
   s.retired = retired_;

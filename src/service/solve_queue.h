@@ -32,17 +32,16 @@
 // thread may run direct solves on a registered context while the queue is
 // live.
 
-#include <condition_variable>
 #include <chrono>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/context.h"
+#include "util/thread_annotations.h"
 
 namespace qmg {
 
@@ -88,15 +87,18 @@ struct QueueStats {
 
 namespace detail {
 
-/// Shared completion state behind a SolveTicket (mutex + cv future).
+/// Shared completion state behind a SolveTicket (mutex + cv future).  The
+/// dispatcher writes the result fields under `m` before flipping `done`;
+/// ticket readers hold `m` across every access — a compile-time contract
+/// under the thread-safety analysis.
 struct TicketState {
-  std::mutex m;
-  std::condition_variable cv;
-  bool done = false;
-  bool failed = false;
-  std::string error;
-  ColorSpinorField<double> x;
-  SolveReport report;
+  Mutex m;
+  CondVar cv;
+  bool done QMG_GUARDED_BY(m) = false;
+  bool failed QMG_GUARDED_BY(m) = false;
+  std::string error QMG_GUARDED_BY(m);
+  ColorSpinorField<double> x QMG_GUARDED_BY(m);
+  SolveReport report QMG_GUARDED_BY(m);
 };
 
 }  // namespace detail
@@ -111,35 +113,48 @@ class SolveTicket {
 
   bool ready() const {
     check_valid();
-    std::lock_guard<std::mutex> lk(state_->m);
+    MutexLock lk(state_->m);
     return state_->done;
   }
   void wait() const {
     check_valid();
-    std::unique_lock<std::mutex> lk(state_->m);
-    state_->cv.wait(lk, [&] { return state_->done; });
+    MutexLock lk(state_->m);
+    while (!state_->done) state_->cv.wait(lk);
   }
-  /// False on timeout.
-  bool wait_for(double seconds) const {
+  /// False on timeout.  The result signals whether the report is ready —
+  /// dropping it and then reading the ticket is a latent use-before-done,
+  /// hence [[nodiscard]].
+  [[nodiscard]] bool wait_for(double seconds) const {
     check_valid();
-    std::unique_lock<std::mutex> lk(state_->m);
-    return state_->cv.wait_for(lk, std::chrono::duration<double>(seconds),
-                               [&] { return state_->done; });
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(seconds));
+    MutexLock lk(state_->m);
+    while (!state_->done) {
+      if (state_->cv.wait_until(lk, deadline) == std::cv_status::timeout)
+        return state_->done;
+    }
+    return true;
   }
 
   /// The per-rhs report of this request: its SolverResult, the batch it
   /// rode in (batch_nrhs, queue_wait_seconds) and that batch's
-  /// communication stats (shared by every rhs of the batch).
+  /// communication stats (shared by every rhs of the batch).  The returned
+  /// reference is stable once done: only the dispatcher writes the state,
+  /// exactly once, before flipping `done`.
   const SolveReport& report() const {
     wait_checked();
+    MutexLock lk(state_->m);
     return state_->report;
   }
   const ColorSpinorField<double>& solution() const {
     wait_checked();
+    MutexLock lk(state_->m);
     return state_->x;
   }
   ColorSpinorField<double> take_solution() {
     wait_checked();
+    MutexLock lk(state_->m);
     return std::move(state_->x);
   }
 
@@ -151,7 +166,9 @@ class SolveTicket {
     if (!state_) throw std::logic_error("SolveTicket: empty ticket");
   }
   void wait_checked() const {
-    wait();
+    check_valid();
+    MutexLock lk(state_->m);
+    while (!state_->done) state_->cv.wait(lk);
     if (state_->failed)
       throw std::runtime_error("SolveTicket: solve failed: " + state_->error);
   }
@@ -175,18 +192,19 @@ class SolveQueue {
 
   /// Enqueue one request (thread-safe).  Throws std::invalid_argument for
   /// an unknown tenant.  The returned ticket completes when the batch the
-  /// request was aggregated into retires.
-  SolveTicket submit(SolveRequest request);
+  /// request was aggregated into retires — dropping it orphans the only
+  /// handle to the solution, hence [[nodiscard]].
+  [[nodiscard]] SolveTicket submit(SolveRequest request) QMG_EXCLUDES(m_);
 
   /// Force every pending request to dispatch at the next opportunity
   /// (asynchronous; wait on the tickets for completion).
-  void flush();
+  void flush() QMG_EXCLUDES(m_);
 
   /// Drain all pending requests, retire them, and join the dispatcher.
   /// Idempotent; called by the destructor.  submit() after stop() throws.
-  void stop();
+  void stop() QMG_EXCLUDES(m_);
 
-  QueueStats stats() const;
+  QueueStats stats() const QMG_EXCLUDES(m_);
   const QueueOptions& options() const { return options_; }
 
  private:
@@ -201,33 +219,36 @@ class SolveQueue {
     Clock::time_point flush_by;  // submitted + min(max_wait, deadline)
   };
 
-  void worker();
-  void run_batch(std::vector<Pending>& batch);
+  void worker() QMG_EXCLUDES(m_);
+  void run_batch(std::vector<Pending>& batch) QMG_EXCLUDES(m_);
   static std::string batch_key(const std::string& tenant,
                                const SolveSpec& spec);
 
   QueueOptions options_;
-  mutable std::mutex m_;
-  std::condition_variable cv_;
-  std::map<std::string, QmgContext*> tenants_;
+  mutable Mutex m_;
+  CondVar cv_;
+  std::map<std::string, QmgContext*> tenants_ QMG_GUARDED_BY(m_);
   /// Pending requests, FIFO per batch key (tenant + spec signature, see
   /// batch_compatible): one key's queue only ever holds mutually
   /// batch-compatible requests.
-  std::map<std::string, std::deque<Pending>> pending_;
-  bool stopping_ = false;
+  std::map<std::string, std::deque<Pending>> pending_ QMG_GUARDED_BY(m_);
+  bool stopping_ QMG_GUARDED_BY(m_) = false;
 
-  // Meters (guarded by m_).
-  long submitted_ = 0;
-  long retired_ = 0;
-  long failed_ = 0;
-  long batches_ = 0;
-  long depth_ = 0;
-  long sum_batch_nrhs_ = 0;
-  long messages_ = 0;
-  long coarse_messages_ = 0;
-  std::vector<double> latencies_;  // submit -> retire, one entry per rhs
+  // Meters.
+  long submitted_ QMG_GUARDED_BY(m_) = 0;
+  long retired_ QMG_GUARDED_BY(m_) = 0;
+  long failed_ QMG_GUARDED_BY(m_) = 0;
+  long batches_ QMG_GUARDED_BY(m_) = 0;
+  long depth_ QMG_GUARDED_BY(m_) = 0;
+  long sum_batch_nrhs_ QMG_GUARDED_BY(m_) = 0;
+  long messages_ QMG_GUARDED_BY(m_) = 0;
+  long coarse_messages_ QMG_GUARDED_BY(m_) = 0;
+  /// Submit -> retire, one entry per rhs.
+  std::vector<double> latencies_ QMG_GUARDED_BY(m_);
 
-  std::thread dispatcher_;  // last member: starts in the ctor body
+  /// Last member: starts in the ctor body.  Guarded so concurrent stop()
+  /// calls cannot both observe it joinable and both join.
+  std::thread dispatcher_ QMG_GUARDED_BY(m_);
 };
 
 }  // namespace qmg

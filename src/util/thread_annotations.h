@@ -1,0 +1,151 @@
+#pragma once
+// Clang thread-safety annotations plus the annotated synchronization
+// primitives every mutex-bearing component of the library uses.  Under
+// Clang the macros expand to the static thread-safety-analysis attributes,
+// so lock discipline — which fields a mutex guards, which methods require
+// or acquire it — is checked at COMPILE TIME by the CI static-analysis job
+// (-Wthread-safety -Werror).  Under any other compiler they expand to
+// nothing and qmg::Mutex is a zero-cost std::mutex wrapper.
+//
+// The runtime contracts these annotations enforce statically are the ones
+// the TSan CI job can only check on executed interleavings: the ThreadPool
+// park/launch protocol, the CommWorker submit/wait pairing, the SolveQueue
+// dispatcher + ticket shared state, the TuneCache process-wide maps, and
+// the Profiler accumulators.
+//
+// Usage:
+//   Mutex mu_;
+//   int value_ QMG_GUARDED_BY(mu_);
+//   void touch() { MutexLock lock(mu_); ++value_; }
+//
+// Condition variables use CondVar (std::condition_variable_any), which
+// parks on the annotated MutexLock directly.  Write wait loops in the
+// enclosing function body — `while (!ready_) cv_.wait(lock);` — rather
+// than with a predicate lambda: the analysis treats a lambda as a separate
+// function and cannot see that the capability is held inside it.
+
+#include <condition_variable>
+#include <mutex>
+
+// Expand to Clang's thread-safety attributes when the analysis is
+// available; to nothing otherwise (GCC parses but does not implement
+// them, so emitting the attributes there only produces -Wattributes
+// noise).
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define QMG_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef QMG_THREAD_ANNOTATION
+#define QMG_THREAD_ANNOTATION(x)  // no-op off-Clang
+#endif
+
+/// Class attribute: this type is a synchronization capability (a mutex).
+#define QMG_CAPABILITY(x) QMG_THREAD_ANNOTATION(capability(x))
+
+/// Class attribute: RAII object that acquires a capability for its scope.
+#define QMG_SCOPED_CAPABILITY QMG_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field attribute: reads and writes require holding the given mutex.
+#define QMG_GUARDED_BY(x) QMG_THREAD_ANNOTATION(guarded_by(x))
+
+/// Field attribute: the pointed-to data is guarded by the given mutex.
+#define QMG_PT_GUARDED_BY(x) QMG_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations between capabilities.
+#define QMG_ACQUIRED_BEFORE(...) \
+  QMG_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define QMG_ACQUIRED_AFTER(...) \
+  QMG_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function attribute: the caller must hold the given capability.
+#define QMG_REQUIRES(...) \
+  QMG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define QMG_REQUIRES_SHARED(...) \
+  QMG_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability (held on return).
+#define QMG_ACQUIRE(...) \
+  QMG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define QMG_ACQUIRE_SHARED(...) \
+  QMG_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function attribute: releases the capability (must be held on entry).
+#define QMG_RELEASE(...) \
+  QMG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define QMG_RELEASE_SHARED(...) \
+  QMG_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability iff the return value equals
+/// the first argument.
+#define QMG_TRY_ACQUIRE(...) \
+  QMG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function attribute: the caller must NOT hold the given capability
+/// (deadlock prevention for functions that acquire it themselves).
+#define QMG_EXCLUDES(...) QMG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: returns a reference to the given capability.
+#define QMG_RETURN_CAPABILITY(x) QMG_THREAD_ANNOTATION(lock_returned(x))
+
+/// Function attribute: opt this one function out of the analysis.  A
+/// targeted escape hatch for code whose locking is correct but outside
+/// what the analysis can express — every use needs a comment saying why.
+#define QMG_NO_THREAD_SAFETY_ANALYSIS \
+  QMG_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace qmg {
+
+/// Annotated std::mutex: the capability type the analysis tracks.
+/// (std::mutex itself carries no annotations under libstdc++, so locks
+/// taken on it are invisible to the analysis; this wrapper is what makes
+/// GUARDED_BY enforceable.)  Zero-cost: the wrapper adds no state.
+class QMG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QMG_ACQUIRE() { m_.lock(); }
+  void unlock() QMG_RELEASE() { m_.unlock(); }
+  bool try_lock() QMG_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock on a Mutex, annotated as a scoped capability.  Also exposes
+/// re-lockable lock()/unlock() — both for CondVar (whose wait() parks by
+/// unlocking and re-locking the MutexLock it is handed) and for the
+/// drop-the-lock-around-a-long-call pattern (SolveQueue's dispatcher).
+class QMG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) QMG_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() QMG_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() QMG_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() QMG_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable that parks on a MutexLock.  condition_variable_any
+/// accepts any BasicLockable, so waits keep the annotated lock object —
+/// and therefore the capability, which the analysis considers held across
+/// the wait, exactly as with std::condition_variable + unique_lock.
+using CondVar = std::condition_variable_any;
+
+}  // namespace qmg

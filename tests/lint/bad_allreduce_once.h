@@ -1,0 +1,33 @@
+#pragma once
+// Negative fixture for qmg_lint rule allreduce-once: an unmetered reduction
+// and an unguarded meter.  Linted, never compiled into the build.
+// expect-lint: allreduce-once
+// expect-lint: allreduce-once
+
+struct CommStats {
+  void count_allreduce(long payload, double seconds) {
+    (void)payload;
+    (void)seconds;
+  }
+};
+
+namespace dist_fixture {
+
+// Never meters its sync: the CA solver accounting would undercount.
+template <typename T>
+double block_norm2(const T& a, CommStats* stats) {
+  (void)a;
+  (void)stats;
+  return 0.0;
+}
+
+// Meters, but without the `if (stats)` null guard.
+template <typename T>
+double block_cdot(const T& a, const T& b, CommStats* stats) {
+  (void)a;
+  (void)b;
+  stats->count_allreduce(2, 0.0);
+  return 0.0;
+}
+
+}  // namespace dist_fixture

@@ -1,0 +1,40 @@
+// Negative fixture for qmg_lint rule kernel-determinism: each parallel_for
+// below commits one banned pattern.  This file is linted, never compiled.
+// expect-lint: kernel-determinism
+// expect-lint: kernel-determinism
+// expect-lint: kernel-determinism
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace qmg {
+template <typename F>
+void parallel_for(long n, F&& f);
+}
+
+inline double bad_sums(const std::vector<double>& xs) {
+  const long n = static_cast<long>(xs.size());
+  double sum = 0.0;
+  double total = 0.0;
+
+  // Accumulation into an enclosing-scope scalar: result depends on the
+  // partition order.
+  qmg::parallel_for(n, [&](long i) {
+    sum += xs[static_cast<size_t>(i)];
+  });
+
+  // Raw std::atomic inside the kernel body.
+  qmg::parallel_for(n, [&](long i) {
+    auto* hits = static_cast<std::atomic<long>*>(nullptr);
+    (void)hits;
+    (void)i;
+  });
+
+  // std::reduce: unspecified reassociation.
+  qmg::parallel_for(n, [&](long i) {
+    (void)i;
+    total = std::reduce(xs.begin(), xs.end());
+  });
+
+  return sum + total;
+}

@@ -1,0 +1,5 @@
+// Negative fixture for qmg_lint rule no-iostream.
+// expect-lint: no-iostream
+#include <iostream>
+
+inline void shout() { std::cout << "hot path\n"; }

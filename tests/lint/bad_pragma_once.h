@@ -1,0 +1,9 @@
+// Negative fixture for qmg_lint rule pragma-once: a header whose first
+// directive is an include guard instead of #pragma once.
+// expect-lint: pragma-once
+#ifndef QMG_TESTS_LINT_BAD_PRAGMA_ONCE_H_
+#define QMG_TESTS_LINT_BAD_PRAGMA_ONCE_H_
+
+inline int fixture_value() { return 42; }
+
+#endif

@@ -1,0 +1,11 @@
+// Negative fixture for qmg_lint rule quantizer-narrowing: a double fed to
+// the q15 quantizer without an explicit narrowing cast.
+// expect-lint: quantizer-narrowing
+#include <cstdint>
+
+std::int16_t quantize_q15(float v, float scale);
+
+inline void encode(const double* src, std::int16_t* dst, long n,
+                   float scale) {
+  for (long i = 0; i < n; ++i) dst[i] = quantize_q15(src[i], scale);
+}

@@ -1,0 +1,8 @@
+// Positive fixture: file-level suppression.  Both includes would fire
+// no-iostream; the allow-file marker silences the rule for the whole file.
+
+// qmg-lint: allow-file(no-iostream) -- fixture exercising file-level allow
+#include <iostream>
+#include <iostream>
+
+inline void narrate_twice() { std::cout << "also suppressed\n"; }

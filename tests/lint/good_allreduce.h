@@ -1,0 +1,34 @@
+#pragma once
+// Positive fixture: the canonical metered reduction, plus the delegating
+// convenience overload (which meters in the delegate, not locally).
+
+struct CommStats {
+  void count_allreduce(long payload, double seconds) {
+    (void)payload;
+    (void)seconds;
+  }
+};
+
+struct FixtureTimer {
+  double seconds() const { return 0.0; }
+};
+
+namespace dist_fixture {
+
+template <typename T>
+double block_norm2(const T& a, CommStats* stats, int policy) {
+  (void)a;
+  (void)policy;
+  FixtureTimer t;
+  double out = 0.0;
+  if (stats) stats->count_allreduce(1, t.seconds());
+  return out;
+}
+
+// Convenience overload: pure delegation, metered by the callee.
+template <typename T>
+double block_norm2(const T& a, CommStats* stats) {
+  return block_norm2(a, stats, 0);
+}
+
+}  // namespace dist_fixture

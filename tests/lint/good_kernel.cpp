@@ -1,0 +1,24 @@
+// Positive fixture: the approved kernel shapes — chunk-local partials and
+// per-index writes — must lint clean.
+#include <vector>
+
+namespace qmg {
+template <typename F>
+void parallel_for(long n, F&& f);
+}
+
+inline void good_sums(const std::vector<double>& xs, double* partials,
+                      double* out) {
+  const long n = static_cast<long>(xs.size());
+  qmg::parallel_for(n, [&](long i) {
+    // Chunk-local accumulator: declared inside the body, combined later by
+    // the dispatch layer's fixed pairwise tree.
+    double acc = 0.0;
+    acc += xs[static_cast<size_t>(i)];
+    partials[i % 64] = acc;
+  });
+  qmg::parallel_for(n, [&](long i) {
+    // Per-index write: no cross-iteration state at all.
+    out[i] = 2.0 * xs[static_cast<size_t>(i)];
+  });
+}

@@ -1,0 +1,14 @@
+// Positive fixture: provably-float quantizer call sites lint clean — a
+// declared float source and an explicit static_cast<float>.
+#include <cstdint>
+
+std::int16_t quantize_q15(float v, float scale);
+
+inline void encode_floats(const float* src, std::int16_t* dst, long n,
+                          float scale) {
+  for (long i = 0; i < n; ++i) dst[i] = quantize_q15(src[i], scale);
+}
+
+inline std::int16_t encode_one(double x, float scale) {
+  return quantize_q15(static_cast<float>(x), scale);
+}

@@ -1,0 +1,8 @@
+// Positive fixture: line-level suppression.  The include below would fire
+// no-iostream; the allow comment on the preceding line silences it, so the
+// file must lint clean.
+
+// qmg-lint: allow(no-iostream) -- fixture exercising line-level suppression
+#include <iostream>
+
+inline void narrate() { std::cout << "suppressed on purpose\n"; }

@@ -220,8 +220,9 @@ TEST_F(CaTest, CaGmresConvergesWithZeroRhsMaskedNanFree) {
   EXPECT_TRUE(block_finite(x));
   for (int k = 0; k < kNRhs; ++k) {
     EXPECT_TRUE(res.rhs[static_cast<size_t>(k)].converged) << "rhs=" << k;
-    if (k != 1)
+    if (k != 1) {
       EXPECT_LE(res.rhs[static_cast<size_t>(k)].final_rel_residual, 1e-6);
+    }
   }
   // The zero rhs froze with exactly x = 0 (the masking contract).
   for (long i = 0; i < x.rhs_size(); ++i) {

@@ -84,7 +84,9 @@ TEST(RankGrid, NeighborsArePeriodicInverses) {
   for (int r = 0; r < grid.nranks(); ++r)
     for (int mu = 0; mu < kNDim; ++mu) {
       EXPECT_EQ(grid.neighbor(grid.neighbor(r, mu, 0), mu, 1), r);
-      if (grid.dims()[mu] == 1) EXPECT_EQ(grid.neighbor(r, mu, 0), r);
+      if (grid.dims()[mu] == 1) {
+        EXPECT_EQ(grid.neighbor(r, mu, 0), r);
+      }
     }
 }
 

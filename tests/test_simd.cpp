@@ -626,10 +626,11 @@ TEST(SimdTuneCache, CandidatesNeverSplitAPack) {
   for (const int nrhs : {1, 3, 4, 12}) {
     for (const auto& p : TuneCache::launch_candidates_2d(nrhs)) {
       const int w = effective_simd_width(p);
-      if (w > 1 && p.rhs_block > 0)
+      if (w > 1 && p.rhs_block > 0) {
         EXPECT_EQ(p.rhs_block % w, 0)
             << "nrhs=" << nrhs << " backend=" << to_string(p.backend)
             << " rhs_block=" << p.rhs_block << " width=" << w;
+      }
     }
   }
   // The native-width Simd candidate is explored whenever the build has

@@ -1,0 +1,491 @@
+#!/usr/bin/env python3
+"""qmg_lint: machine-checked house contracts for the qmg tree.
+
+The repo's correctness story rests on conventions that neither the compiler
+nor the sanitizer jobs enforce on every path: deterministic chunked
+reductions inside kernel bodies, the one-sync-per-batched-reduction
+CommStats metering convention, quantizer call-site precision, and
+self-contained headers.  This linter turns them into build failures.
+
+Rules
+-----
+  kernel-determinism    No raw std::atomic / std::reduce / unchunked
+                        accumulation into enclosing-scope scalars inside a
+                        lambda passed to parallel_for* / parallel_reduce.
+                        Cross-thread accumulation must go through the
+                        deterministic chunked reductions of
+                        parallel/dispatch.h, or results stop being
+                        bit-identical across backends and thread counts.
+  allreduce-once        In src/comm/, every reduction function (norm2 /
+                        cdot / block_*) taking a CommStats* parameter must
+                        call count_allreduce exactly once, guarded by
+                        `if (stats)`.  One batched reduction call == one
+                        metered sync; the CA/pipelined solver accounting
+                        (and test_ca's reconciliation) depends on it.
+  no-iostream           No `#include <iostream>` in src/: iostream pulls
+                        static init order + locale machinery into hot TUs;
+                        logging goes through util/logger.h (cstdio).
+  quantizer-narrowing   Arguments to quantize_q15() must be provably float
+                        (declared float/Complex<float>, or an explicit
+                        static_cast<float>): an implicit double->float
+                        narrowing silently halves the quantizer's input
+                        precision.
+  pragma-once           Every header in src/ starts with #pragma once.
+
+Suppressions
+------------
+A finding is suppressed by a comment on the same line or the line above:
+
+    // qmg-lint: allow(rule-id)  -- why this is safe
+
+or for a whole file (anywhere in the file):
+
+    // qmg-lint: allow-file(rule-id)
+
+Every suppression should carry a justification after the marker.
+
+Usage
+-----
+    tools/qmg_lint.py [paths...]          lint src/ (or the given paths)
+    tools/qmg_lint.py --selftest          run the tests/lint fixture suite
+    tools/qmg_lint.py --check-headers     compile every src/ header as a
+                                          standalone TU (self-containment)
+
+Exit status 0 = clean, 1 = findings (or selftest failure), 2 = usage.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+ALLOW_RE = re.compile(r"qmg-lint:\s*allow\(([a-z0-9-]+)\)")
+ALLOW_FILE_RE = re.compile(r"qmg-lint:\s*allow-file\(([a-z0-9-]+)\)")
+
+PARALLEL_CALL_RE = re.compile(
+    r"\bparallel_(?:for(?:_2d)?(?:_tiled)?(?:_indices(?:_tiled)?)?|reduce)\s*"
+    r"(?:<[^<>;(]*>)?\s*\("
+)
+
+KERNEL_BANNED = [
+    (re.compile(r"\bstd\s*::\s*atomic\b"),
+     "raw std::atomic inside a kernel body (nondeterministic accumulation "
+     "order; use parallel_reduce's chunked reduction)"),
+    (re.compile(r"\bstd\s*::\s*(?:transform_)?reduce\b"),
+     "std::reduce inside a kernel body (unspecified reassociation; use "
+     "parallel_reduce's deterministic chunk tree)"),
+    (re.compile(r"#\s*pragma\s+omp"),
+     "OpenMP pragma inside a kernel body (threading must go through the "
+     "dispatch layer)"),
+]
+
+ACCUM_RE = re.compile(r"(?:^|[^\w.>\]])([A-Za-z_]\w*)\s*(?:\+=|-=)")
+
+DECL_TYPES = (
+    r"(?:const\s+)?(?:(?:auto|double|float|long|int|size_t|complexd|V|T)\b"
+    r"|Complex<[^>]*>)[\s&*]*"
+)
+# Comma declarator lists: `Complex<T> acc0{}, acc1{};` declares acc1 too.
+DECL_TAIL = r"(?:\w+\s*(?:\{\s*\}|=[^,;]*)?\s*,\s*)*"
+
+QUANT_CALL_RE = re.compile(r"\bquantize_q15\s*\(")
+
+REDUCTION_FN_RE = re.compile(
+    r"\b(?:norm2|cdot|block_\w+)\s*\(", re.MULTILINE
+)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        rel = os.path.relpath(self.path, REPO_ROOT)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving offsets."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = i
+            while j < n and text[j] != "\n":
+                out[j] = " "
+                j += 1
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = i
+            while j < n - 1 and not (text[j] == "*" and text[j + 1] == "/"):
+                if text[j] != "\n":
+                    out[j] = " "
+                j += 1
+            if j < n - 1:
+                out[j] = out[j + 1] = " "
+                j += 2
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            for k in range(i + 1, min(j, n)):
+                if text[k] != "\n":
+                    out[k] = " "
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def match_brace(text, open_pos, open_ch="{", close_ch="}"):
+    """Index one past the brace matching text[open_pos] (or len(text))."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def find_lambda_bodies(call_args):
+    """Yield (body_start, body_end) offsets of lambdas within call args."""
+    i = 0
+    n = len(call_args)
+    while i < n:
+        if call_args[i] == "[":
+            close = match_brace(call_args, i, "[", "]")
+            j = close
+            # Skip capture list -> optional (params) -> optional specifiers
+            # -> body brace.
+            while j < n and call_args[j] in " \t\n":
+                j += 1
+            if j < n and call_args[j] == "(":
+                j = match_brace(call_args, j, "(", ")")
+                while j < n and call_args[j] in " \t\n":
+                    j += 1
+            # Tolerate mutable / noexcept / -> ret between params and body.
+            k = j
+            while k < n and call_args[k] != "{" and call_args[k] not in ",)":
+                k += 1
+            if k < n and call_args[k] == "{":
+                end = match_brace(call_args, k)
+                yield k, end
+                i = end
+                continue
+        i += 1
+
+
+def check_kernel_determinism(path, raw, text, findings):
+    for m in PARALLEL_CALL_RE.finditer(text):
+        open_paren = m.end() - 1
+        call_end = match_brace(text, open_paren, "(", ")")
+        args = text[open_paren:call_end]
+        for body_start, body_end in find_lambda_bodies(args):
+            body = args[body_start:body_end]
+            base = open_paren + body_start
+            for pat, msg in KERNEL_BANNED:
+                for bm in pat.finditer(body):
+                    findings.append(Finding(
+                        path, line_of(text, base + bm.start()),
+                        "kernel-determinism", msg))
+            for am in ACCUM_RE.finditer(body):
+                ident = am.group(1)
+                # Accumulating into something declared inside the lambda is
+                # a chunk-local partial, which is the approved pattern.
+                decl = re.search(
+                    DECL_TYPES + DECL_TAIL + re.escape(ident) + r"\b",
+                    body[:am.start(1)])
+                if decl:
+                    continue
+                findings.append(Finding(
+                    path, line_of(text, base + am.start(1)),
+                    "kernel-determinism",
+                    f"accumulation into enclosing-scope '{ident}' inside a "
+                    "kernel body (nondeterministic across partitions; use "
+                    "parallel_reduce or index the write by the loop "
+                    "variable)"))
+
+
+def check_allreduce_once(path, raw, text, findings):
+    rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+    if not (rel.startswith("src/comm/") or rel.startswith("tests/lint/")):
+        return
+    # Function definitions with a CommStats* parameter whose name matches
+    # the reduction families.  Signature regex: name(...CommStats*...) {
+    for m in re.finditer(r"\b(norm2|cdot|block_\w+)\s*\(", text):
+        sig_end = match_brace(text, m.end() - 1, "(", ")")
+        params = text[m.end() - 1:sig_end]
+        if "CommStats" not in params or "*" not in params:
+            continue
+        # Must be a definition: next non-space token opens a brace (allow
+        # const / noexcept between).
+        j = sig_end
+        while j < len(text) and (text[j] in " \t\n" or
+                                 text[j:j + 5] == "const" or
+                                 text[j:j + 8] == "noexcept"):
+            if text[j:j + 5] == "const":
+                j += 5
+            elif text[j:j + 8] == "noexcept":
+                j += 8
+            else:
+                j += 1
+        if j >= len(text) or text[j] != "{":
+            continue  # declaration only
+        body_end = match_brace(text, j)
+        body = text[j:body_end]
+        # Pure delegation (a convenience overload forwarding `stats` to the
+        # full-signature form) meters in the delegate, not here.
+        if re.fullmatch(r"\{\s*return\s+[\w:]+\s*\([^;{}]*\bstats\b[^;{}]*\)"
+                        r"\s*;\s*\}", body):
+            continue
+        count = len(re.findall(r"\bcount_allreduce\s*\(", body))
+        name = m.group(1)
+        if count != 1:
+            findings.append(Finding(
+                path, line_of(text, m.start()), "allreduce-once",
+                f"reduction '{name}' with a CommStats* parameter calls "
+                f"count_allreduce {count} times (must be exactly once: one "
+                "batched reduction call == one metered sync)"))
+        elif not re.search(r"if\s*\(\s*stats\s*\)\s*stats\s*->\s*"
+                           r"count_allreduce", body):
+            findings.append(Finding(
+                path, line_of(text, m.start()), "allreduce-once",
+                f"reduction '{name}' must meter via "
+                "`if (stats) stats->count_allreduce(...)` (null CommStats "
+                "means unmetered, never uncounted-and-crashing)"))
+
+
+def check_no_iostream(path, raw, text, findings):
+    for m in re.finditer(r"#\s*include\s*<iostream>", text):
+        findings.append(Finding(
+            path, line_of(text, m.start()), "no-iostream",
+            "iostream in src/ (static-init + locale weight in hot TUs; "
+            "use util/logger.h)"))
+
+
+def first_arg(call_args):
+    """Text of the first argument inside '(...)' (comma at depth 1)."""
+    depth = 0
+    for i, c in enumerate(call_args):
+        if c in "([<{":
+            depth += 1
+        elif c in ")]>}":
+            depth -= 1
+            if depth == 0:
+                return call_args[1:i]
+        elif c == "," and depth == 1:
+            return call_args[1:i]
+    return call_args[1:]
+
+
+def check_quantizer_narrowing(path, raw, text, findings):
+    for m in QUANT_CALL_RE.finditer(text):
+        # Skip the definition itself.
+        before = text[max(0, m.start() - 64):m.start()]
+        if re.search(r"(?:int16_t|::int16_t)\s+$", before):
+            continue
+        call_end = match_brace(text, m.end() - 1, "(", ")")
+        arg = first_arg(text[m.end() - 1:call_end]).strip()
+        if "static_cast<float>" in arg:
+            continue
+        base = re.match(r"[A-Za-z_]\w*", arg)
+        ok = False
+        if base:
+            ident = base.group(0)
+            # Provably float if declared float / Complex<float> in the
+            # preceding window (declaration, reference binding, or
+            # parameter).
+            window = text[max(0, m.start() - 2400):m.start()]
+            if re.search(r"(?:float|Complex<float>)[\s&*]+(?:const\s+)?"
+                         r"\b" + re.escape(ident) + r"\b", window):
+                ok = True
+        if not ok:
+            findings.append(Finding(
+                path, line_of(text, m.start()), "quantizer-narrowing",
+                f"quantize_q15 argument '{arg}' is not provably float: an "
+                "implicit double->float narrowing here silently halves the "
+                "quantizer's input precision — declare the value float or "
+                "static_cast<float> explicitly"))
+
+
+def check_pragma_once(path, raw, text, findings):
+    if not path.endswith(".h"):
+        return
+    for lineno, line in enumerate(raw.splitlines(), 1):
+        s = line.strip()
+        if not s or s.startswith("//") or s.startswith("/*") or s.startswith("*"):
+            continue
+        if s != "#pragma once":
+            findings.append(Finding(
+                path, lineno, "pragma-once",
+                "header's first directive must be #pragma once"))
+        return
+
+
+CHECKS = [
+    check_kernel_determinism,
+    check_allreduce_once,
+    check_no_iostream,
+    check_quantizer_narrowing,
+    check_pragma_once,
+]
+
+RULES = ["kernel-determinism", "allreduce-once", "no-iostream",
+         "quantizer-narrowing", "pragma-once", "header-self-contained"]
+
+
+def apply_suppressions(raw, findings):
+    lines = raw.splitlines()
+    file_allows = set(ALLOW_FILE_RE.findall(raw))
+    kept = []
+    for f in findings:
+        if f.rule in file_allows:
+            continue
+        here = lines[f.line - 1] if f.line - 1 < len(lines) else ""
+        above = lines[f.line - 2] if f.line >= 2 else ""
+        allows = set(ALLOW_RE.findall(here)) | set(ALLOW_RE.findall(above))
+        if f.rule in allows:
+            continue
+        kept.append(f)
+    return kept
+
+
+def lint_file(path):
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        raw = fh.read()
+    text = strip_comments_and_strings(raw)
+    findings = []
+    for check in CHECKS:
+        check(path, raw, text, findings)
+    return apply_suppressions(raw, findings)
+
+
+def collect_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(os.path.abspath(p))
+        else:
+            for dirpath, _, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith((".h", ".cpp", ".cc", ".cxx")):
+                        files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def check_headers(cxx):
+    """Compile every src/ header as its own TU: self-containment."""
+    src = os.path.join(REPO_ROOT, "src")
+    headers = [f for f in collect_files([src]) if f.endswith(".h")]
+    failures = []
+
+    def compile_one(header):
+        rel = os.path.relpath(header, src)
+        with tempfile.NamedTemporaryFile(
+                mode="w", suffix=".cpp", delete=False) as tu:
+            tu.write(f'#include "{rel}"\n')
+            tu_path = tu.name
+        try:
+            proc = subprocess.run(
+                [cxx, "-std=c++17", "-fsyntax-only", "-I", src, tu_path],
+                capture_output=True, text=True)
+            if proc.returncode != 0:
+                return rel, proc.stderr.strip()
+            return None
+        finally:
+            os.unlink(tu_path)
+
+    with concurrent.futures.ThreadPoolExecutor(
+            max_workers=os.cpu_count() or 2) as pool:
+        for result in pool.map(compile_one, headers):
+            if result is not None:
+                rel, err = result
+                failures.append(
+                    f"src/{rel}:1: [header-self-contained] header does not "
+                    f"compile standalone:\n{err}")
+    for msg in failures:
+        print(msg)
+    print(f"qmg_lint: header self-containment: {len(headers)} headers, "
+          f"{len(failures)} failures")
+    return 0 if not failures else 1
+
+
+def selftest():
+    """Fixture suite: each tests/lint fixture declares its expected
+    findings with `// expect-lint: rule-id` lines; good fixtures declare
+    none and must lint clean."""
+    fixture_dir = os.path.join(REPO_ROOT, "tests", "lint")
+    fixtures = collect_files([fixture_dir])
+    if not fixtures:
+        print(f"qmg_lint: no fixtures under {fixture_dir}", file=sys.stderr)
+        return 1
+    failed = 0
+    for path in fixtures:
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = fh.read()
+        expected = re.findall(r"expect-lint:\s*([a-z0-9-]+)", raw)
+        got = [f.rule for f in lint_file(path)]
+        rel = os.path.relpath(path, REPO_ROOT)
+        if sorted(expected) != sorted(got):
+            print(f"FAIL {rel}: expected {sorted(expected) or 'clean'}, "
+                  f"got {sorted(got) or 'clean'}")
+            for f in lint_file(path):
+                print(f"       {f}")
+            failed += 1
+        else:
+            print(f"ok   {rel} ({sorted(got) or 'clean'})")
+    print(f"qmg_lint: selftest: {len(fixtures)} fixtures, {failed} failures")
+    return 0 if failed == 0 else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", help="files or directories "
+                    "(default: src/)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the tests/lint fixture suite")
+    ap.add_argument("--check-headers", action="store_true",
+                    help="compile every src/ header standalone")
+    ap.add_argument("--cxx", default=os.environ.get("CXX", "c++"),
+                    help="compiler for --check-headers (default: $CXX or c++)")
+    args = ap.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if args.check_headers:
+        return check_headers(args.cxx)
+
+    paths = args.paths or [os.path.join(REPO_ROOT, "src")]
+    findings = []
+    files = collect_files(paths)
+    for path in files:
+        findings.extend(lint_file(path))
+    for f in findings:
+        print(f)
+    print(f"qmg_lint: {len(files)} files, {len(findings)} findings")
+    return 0 if not findings else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
