@@ -6,6 +6,7 @@
 #include "solvers/block_gcr.h"
 #include "solvers/gcr.h"
 #include "util/logger.h"
+#include "util/timer.h"
 
 namespace qmg {
 
@@ -66,7 +67,9 @@ QmgContext::QmgContext(const ContextOptions& options)
       gauge_f_(GaugeField<float>(geom_)),
       clover_d_(build_clover_with_inverse(gauge_d_, options.csw,
                                           options.mass)),
-      clover_f_(CloverField<float>(geom_)) {
+      clover_f_(CloverField<float>(geom_)),
+      config_id_("seed-" + std::to_string(options.seed)),
+      hierarchy_cache_(options.hierarchy_cache_capacity) {
   gauge_d_.set_anisotropy(options.anisotropy);
   gauge_f_ = convert_gauge<float>(gauge_d_);
   clover_f_ = convert_clover<float>(clover_d_);
@@ -124,6 +127,57 @@ void QmgContext::setup_multigrid(const MgConfig& config) {
     cfg.coarsest_ca_s = options_.mg_ca_s;
   }
   mg_ = std::make_unique<Multigrid<float>>(*op_f_, cfg);
+  // A from-scratch hierarchy is the most expensive artifact the context
+  // owns; snapshot it so a stream that revisits this configuration gets it
+  // back for the cost of a dequantize.
+  hierarchy_cache_.store(config_id_, *mg_);
+}
+
+GaugeUpdateReport QmgContext::update_gauge(const std::string& config_id,
+                                           const GaugeField<double>& gauge) {
+  const Timer timer;
+  const auto& in_geom = *gauge.geometry();
+  for (int mu = 0; mu < kNDim; ++mu)
+    if (in_geom.dim(mu) != geom_->dim(mu))
+      throw std::invalid_argument(
+          "update_gauge: configuration dims[" + std::to_string(mu) + "] = " +
+          std::to_string(in_geom.dim(mu)) + " does not match the context's " +
+          std::to_string(geom_->dim(mu)));
+  // Element-wise copy, not assignment: every operator holds gauge_d_ /
+  // gauge_f_ by reference and the whole stack shares geom_, so the objects
+  // (and their GeometryPtr) must stay put while the links change under
+  // them.  The anisotropy is part of the operator parameters, not the
+  // configuration, and is deliberately left alone.
+  for (int mu = 0; mu < kNDim; ++mu)
+    for (long s = 0; s < geom_->volume(); ++s)
+      gauge_d_.link(mu, s) = gauge.link(mu, s);
+  clover_d_ = build_clover_with_inverse(gauge_d_, options_.csw, options_.mass);
+  gauge_f_ = convert_gauge<float>(gauge_d_);
+  gauge_f_.set_anisotropy(options_.anisotropy);
+  clover_f_ = convert_clover<float>(clover_d_);
+  op_d_->refresh_gauge();
+  op_f_->refresh_gauge();
+  config_id_ = config_id;
+
+  GaugeUpdateReport rep;
+  rep.config_id = config_id;
+  if (mg_) {
+    rep.hierarchy_updated = true;
+    if (hierarchy_cache_.restore(config_id, *mg_)) {
+      rep.restored_from_cache = true;
+      rep.baseline_contraction = mg_->baseline_contraction();
+    } else {
+      const MgUpdateReport mrep = mg_->update_gauge(gauge_f_);
+      rep.escalated = mrep.escalated;
+      rep.probe_contraction = mrep.probe_contraction;
+      rep.baseline_contraction = mrep.baseline_contraction;
+      rep.timings = mrep.timings;
+      rep.probe_seconds = mrep.probe_seconds;
+      hierarchy_cache_.store(config_id, *mg_);
+    }
+  }
+  rep.seconds = timer.seconds();
+  return rep;
 }
 
 namespace {
@@ -197,6 +251,7 @@ SolveReport QmgContext::solve(ColorSpinorField<double>& x,
     }
   } else {
     if (!mg_) throw std::runtime_error("setup_multigrid() not called");
+    rep.mg_setup = mg_->setup_timings();
     if (spec.eo) {
       auto b_hat = schur_d_->create_vector();
       schur_d_->prepare(b_hat, b);
@@ -241,6 +296,7 @@ SolveReport QmgContext::solve(std::vector<ColorSpinorField<double>>& x,
   }
 
   if (!mg_) throw std::runtime_error("setup_multigrid() not called");
+  rep.mg_setup = mg_->setup_timings();
   const SolverParams params = params_for(spec);
   const BlockSpinor<double> b_block = pack_block(b);
   BlockSpinor<double> x_block = b_block.similar();

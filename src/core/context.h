@@ -16,6 +16,7 @@
 #include "dirac/clover.h"
 #include "dirac/wilson.h"
 #include "gauge/ensemble.h"
+#include "mg/hierarchy_cache.h"
 #include "mg/multigrid.h"
 #include "parallel/dispatch.h"
 #include "solvers/mixed.h"
@@ -65,6 +66,34 @@ struct ContextOptions {
   // strategy itself.
   CoarsestSolver mg_coarsest_solver = CoarsestSolver::BlockGcr;
   int mg_ca_s = 4;
+  // Max hierarchy snapshots the context caches across update_gauge calls
+  // (mg/hierarchy_cache.h); 0 disables the cache — every revisited
+  // configuration then pays a fresh refresh.
+  std::size_t hierarchy_cache_capacity = 4;
+};
+
+/// What one QmgContext::update_gauge did: how the hierarchy followed the
+/// new configuration (cache restore / refresh / escalated full rebuild) and
+/// what it cost.
+struct GaugeUpdateReport {
+  std::string config_id;
+  /// A hierarchy existed and now matches the new configuration.  False
+  /// only before setup_multigrid — operators are always updated.
+  bool hierarchy_updated = false;
+  /// The hierarchy was reinstalled from a cached snapshot of this
+  /// config_id; no refresh ran (timings and probe fields stay zero, the
+  /// snapshot's baseline_contraction is adopted).
+  bool restored_from_cache = false;
+  /// The refresh's quality probe regressed past the threshold and a full
+  /// regeneration ran (see Multigrid::update_gauge).
+  bool escalated = false;
+  double probe_contraction = 0;
+  double baseline_contraction = 0;
+  /// Per-phase hierarchy cost of this update (zero on a cache restore).
+  SetupTimings timings;
+  /// Cost of the quality probe(s), on top of `timings`.
+  double probe_seconds = 0;
+  double seconds = 0;  // total wall time: operators + clover + hierarchy
 };
 
 class QmgContext {
@@ -76,9 +105,28 @@ class QmgContext {
   ~QmgContext();
 
   /// Build (or rebuild) the MG hierarchy; must be called before any
-  /// SolveMethod::Mg solve.
+  /// SolveMethod::Mg solve.  Also snapshots the fresh hierarchy into the
+  /// cache under the current config_id().
   void setup_multigrid(const MgConfig& config);
   bool has_multigrid() const { return mg_ != nullptr; }
+
+  /// Swap in a new gauge configuration (the streaming-ensemble step).  The
+  /// links are copied element-wise into the context's own gauge storage —
+  /// every operator reference and GeometryPtr stays valid — the clover
+  /// term and single-precision copies are rebuilt, both Wilson operators
+  /// refresh their derived gauge state, and the hierarchy (when one
+  /// exists) follows: reinstalled from the cache when `config_id` was seen
+  /// before, otherwise adapted by Multigrid::update_gauge (refresh, or
+  /// escalated full rebuild) and snapshotted into the cache.  The
+  /// context's anisotropy is an OPERATOR parameter and is kept; `gauge`
+  /// must match the context geometry (throws std::invalid_argument).
+  [[nodiscard]] GaugeUpdateReport update_gauge(const std::string& config_id,
+                                               const GaugeField<double>& gauge);
+
+  /// Id of the configuration the context currently holds ("seed-<seed>"
+  /// for the synthetic one built at construction).
+  const std::string& config_id() const { return config_id_; }
+  const HierarchyCache& hierarchy_cache() const { return hierarchy_cache_; }
 
   /// THE solve entry point (single rhs): solve M x = b as described by
   /// `spec` (core/solve_api.h) — method, tolerance, iteration cap,
@@ -185,6 +233,8 @@ class QmgContext {
   std::unique_ptr<SchurWilsonOp<double>> schur_d_;
   std::unique_ptr<SchurWilsonOp<float>> schur_f_;
   std::unique_ptr<Multigrid<float>> mg_;
+  std::string config_id_;
+  HierarchyCache hierarchy_cache_;
 };
 
 }  // namespace qmg

@@ -16,9 +16,10 @@
 #include <stdexcept>
 #include <vector>
 
-#include "comm/dist_spinor.h"  // CommStats, HaloMode, WirePrecision
-#include "solvers/mixed.h"     // InnerPrecision
-#include "solvers/solver.h"    // SolverResult, BlockSolverResult
+#include "comm/dist_spinor.h"   // CommStats, HaloMode, WirePrecision
+#include "mg/setup_timings.h"   // SetupTimings
+#include "solvers/mixed.h"      // InnerPrecision
+#include "solvers/solver.h"     // SolverResult, BlockSolverResult
 
 namespace qmg {
 
@@ -96,6 +97,11 @@ struct SolveReport {
   /// many rhs rode in that batch.
   double queue_wait_seconds = 0;
   int batch_nrhs = 0;
+  /// Per-phase setup cost (null-gen / Galerkin / adaptive) of the MG
+  /// hierarchy this solve ran on, as of its last build or refresh — the
+  /// amortization the hierarchy lifecycle tracks.  All-zero for BiCgStab
+  /// solves (no hierarchy).
+  SetupTimings mg_setup;
 
   bool all_converged() const {
     for (const auto& r : rhs)

@@ -264,6 +264,13 @@ WilsonCloverOp<T>::WilsonCloverOp(const GaugeField<T>& gauge,
 }
 
 template <typename T>
+void WilsonCloverOp<T>::refresh_gauge() {
+  if (reconstruct_ != Reconstruct::Full18)
+    compressed_ =
+        std::make_unique<CompressedGaugeField<T>>(gauge_, reconstruct_);
+}
+
+template <typename T>
 typename WilsonCloverOp<T>::Field WilsonCloverOp<T>::create_vector() const {
   return Field(gauge_.geometry(), 4, 3);
 }

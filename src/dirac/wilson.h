@@ -85,6 +85,14 @@ class WilsonCloverOp : public LinearOperator<T> {
   /// precomputed (done in the constructor when clover is present).
   void apply_diag_inverse(Field& out, const Field& in, int parity = -1) const;
 
+  /// The referenced gauge (and clover) field changed IN PLACE — the
+  /// hierarchy-lifecycle contract: owners swap configurations by assigning
+  /// into the same objects, so every reference this operator holds stays
+  /// valid and only derived state needs recomputing.  That derived state is
+  /// the compressed gauge copy (R12/R8); Full18 operators read the gauge
+  /// directly and need no refresh (calling this is then a no-op).
+  void refresh_gauge();
+
   const GaugeField<T>& gauge() const { return gauge_; }
   const CloverField<T>* clover() const { return clover_; }
   const WilsonParams<T>& params() const { return params_; }

@@ -1,5 +1,6 @@
 #include "gauge/ensemble.h"
 
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -24,21 +25,11 @@ GaugeField<T> random_gauge(GeometryPtr geom, std::uint64_t seed) {
 }
 
 template <typename T>
-GaugeField<T> disordered_gauge(GeometryPtr geom, double roughness,
-                               std::uint64_t seed, int sweeps) {
-  GaugeField<T> gauge(std::move(geom));
-  if (roughness <= 0.0) return gauge;
-  const auto& g = *gauge.geometry();
-  const T eps = static_cast<T>(roughness);
-  const SiteRng rng(seed);
-  for (int mu = 0; mu < kNDim; ++mu)
-    for (long s = 0; s < g.volume(); ++s)
-      gauge.link(mu, s) =
-          random_su3_near_identity<T>(rng, s, 1000 * (mu + 1), eps);
-
+void relax_gauge(GaugeField<T>& gauge, int sweeps) {
   // Relaxation sweeps: replace each link by the reunitarized average with
   // its "staple-free" neighbors along mu, introducing smoothness akin to APE
   // smearing so the ensemble is not pure white noise.
+  const auto& g = *gauge.geometry();
   for (int sweep = 0; sweep < sweeps; ++sweep) {
     GaugeField<T> next = gauge;
     for (int mu = 0; mu < kNDim; ++mu)
@@ -54,6 +45,21 @@ GaugeField<T> disordered_gauge(GeometryPtr geom, double roughness,
       }
     gauge = std::move(next);
   }
+}
+
+template <typename T>
+GaugeField<T> disordered_gauge(GeometryPtr geom, double roughness,
+                               std::uint64_t seed, int sweeps) {
+  GaugeField<T> gauge(std::move(geom));
+  if (roughness <= 0.0) return gauge;
+  const auto& g = *gauge.geometry();
+  const T eps = static_cast<T>(roughness);
+  const SiteRng rng(seed);
+  for (int mu = 0; mu < kNDim; ++mu)
+    for (long s = 0; s < g.volume(); ++s)
+      gauge.link(mu, s) =
+          random_su3_near_identity<T>(rng, s, 1000 * (mu + 1), eps);
+  relax_gauge(gauge, sweeps);
   return gauge;
 }
 
@@ -97,19 +103,45 @@ GaugeField<double> load_gauge(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (!f) throw std::runtime_error("cannot open " + path);
   char magic[8];
-  if (std::fread(magic, 1, 8, f) != 8 || std::string(magic, 8) != "qmgGAUGE") {
+  if (std::fread(magic, 1, 8, f) != 8) {
     std::fclose(f);
-    throw std::runtime_error("bad gauge file header in " + path);
+    throw std::runtime_error("truncated gauge file '" + path +
+                             "': shorter than the 8-byte magic");
+  }
+  if (std::string(magic, 8) != "qmgGAUGE") {
+    std::fclose(f);
+    throw std::runtime_error("corrupt gauge file '" + path +
+                             "': bad magic (not a qmg gauge file)");
   }
   std::int64_t dims[4];
   if (std::fread(dims, sizeof(std::int64_t), 4, f) != 4) {
     std::fclose(f);
-    throw std::runtime_error("truncated gauge file " + path);
+    throw std::runtime_error("truncated gauge file '" + path +
+                             "': header ends inside the dimensions");
+  }
+  // Validate the dimensions before trusting them: a corrupted header would
+  // otherwise drive a multi-gigabyte allocation (or a negative volume) and
+  // fail far from the real cause.
+  for (int mu = 0; mu < 4; ++mu) {
+    if (dims[mu] < 1 || dims[mu] > 65536) {
+      std::fclose(f);
+      throw std::runtime_error(
+          "corrupt gauge file '" + path + "': implausible dimension dims[" +
+          std::to_string(mu) + "] = " + std::to_string(dims[mu]) +
+          " (want 1..65536)");
+    }
   }
   double aniso = 1.0;
   if (std::fread(&aniso, sizeof(double), 1, f) != 1) {
     std::fclose(f);
-    throw std::runtime_error("truncated gauge file " + path);
+    throw std::runtime_error("truncated gauge file '" + path +
+                             "': header ends before the anisotropy");
+  }
+  if (!std::isfinite(aniso) || aniso <= 0.0) {
+    std::fclose(f);
+    throw std::runtime_error("corrupt gauge file '" + path +
+                             "': non-finite or non-positive anisotropy " +
+                             std::to_string(aniso));
   }
   auto geom = make_geometry(Coord{static_cast<int>(dims[0]),
                                   static_cast<int>(dims[1]),
@@ -121,11 +153,83 @@ GaugeField<double> load_gauge(const std::string& path) {
     for (long s = 0; s < geom->volume(); ++s) {
       if (std::fread(gauge.link(mu, s).e.data(), sizeof(complexd), 9, f) != 9) {
         std::fclose(f);
-        throw std::runtime_error("truncated gauge file " + path);
+        throw std::runtime_error(
+            "truncated gauge file '" + path + "': link data ends at site " +
+            std::to_string(s) + " of direction " + std::to_string(mu) +
+            " (expected " + std::to_string(geom->volume()) + " sites x " +
+            std::to_string(static_cast<int>(kNDim)) + " directions)");
       }
     }
   std::fclose(f);
   return gauge;
+}
+
+// --- GaugeStream ------------------------------------------------------------
+
+namespace {
+
+/// First path of a disk stream, validated before the member initializer
+/// list consumes it.
+const std::string& first_path(const std::vector<std::string>& paths) {
+  if (paths.empty())
+    throw std::invalid_argument("GaugeStream: empty path sequence");
+  return paths.front();
+}
+
+std::string markov_id(std::uint64_t seed, int index) {
+  return "markov-s" + std::to_string(seed) + "-" + std::to_string(index);
+}
+
+}  // namespace
+
+GaugeStream::GaugeStream(GeometryPtr geom, Params params)
+    : params_(params),
+      current_(disordered_gauge<double>(std::move(geom), params.roughness,
+                                        params.seed)),
+      id_(markov_id(params.seed, 0)) {}
+
+GaugeStream::GaugeStream(std::vector<std::string> paths)
+    : paths_(std::move(paths)),
+      current_(load_gauge(first_path(paths_))),
+      id_(paths_.front()) {}
+
+bool GaugeStream::has_next() const {
+  return paths_.empty() ||
+         static_cast<size_t>(index_) + 1 < paths_.size();
+}
+
+const GaugeField<double>& GaugeStream::advance() {
+  if (!paths_.empty()) {
+    if (!has_next())
+      throw std::out_of_range("GaugeStream: recorded sequence exhausted (" +
+                              std::to_string(paths_.size()) +
+                              " configurations)");
+    ++index_;
+    current_ = load_gauge(paths_[static_cast<size_t>(index_)]);
+    id_ = paths_[static_cast<size_t>(index_)];
+    return current_;
+  }
+  ++index_;
+  if (params_.step > 0) {
+    // Markov-like update: every link takes a small random rotation, then
+    // the relaxation sweeps restore spatial smoothness — successive
+    // configurations stay correlated with an autocorrelation set by `step`.
+    const auto& g = *current_.geometry();
+    const SiteRng rng(params_.seed +
+                      0x9E3779B97F4A7C15ull *
+                          static_cast<std::uint64_t>(index_));
+    for (int mu = 0; mu < kNDim; ++mu)
+      for (long s = 0; s < g.volume(); ++s) {
+        Su3<double> u = random_su3_near_identity<double>(
+                            rng, s, 1000 * (mu + 1), params_.step) *
+                        current_.link(mu, s);
+        reunitarize(u);
+        current_.link(mu, s) = u;
+      }
+    relax_gauge(current_, params_.sweeps);
+  }
+  id_ = markov_id(params_.seed, index_);
+  return current_;
 }
 
 // Explicit instantiations.
@@ -139,5 +243,7 @@ template GaugeField<float> disordered_gauge<float>(GeometryPtr, double,
                                                    std::uint64_t, int);
 template double average_plaquette<double>(const GaugeField<double>&);
 template double average_plaquette<float>(const GaugeField<float>&);
+template void relax_gauge<double>(GaugeField<double>&, int);
+template void relax_gauge<float>(GaugeField<float>&, int);
 
 }  // namespace qmg

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "dirac/gamma.h"
 #include "gpusim/kernels.h"
@@ -79,6 +80,73 @@ void CoarseDirac<T>::compress_storage(CoarseStorage storage) {
   diag_.clear();
   diag_.shrink_to_fit();
   storage_ = storage;
+}
+
+template <typename T>
+HalfCoarseLinks CoarseDirac<T>::snapshot_half_links() const {
+  if (storage_ == CoarseStorage::Half16) return half_;
+  const long v = geom_->volume();
+  HalfCoarseLinks out(v, n_);
+  for (long site = 0; site < v; ++site) {
+    if (storage_ == CoarseStorage::Native) {
+      for (int l = 0; l < kNLinks; ++l)
+        out.store_block(site, l, link_data(site, l));
+      out.store_block(site, HalfCoarseLinks::kDiagBlock, diag_data(site));
+    } else {
+      for (int l = 0; l < kNLinks; ++l)
+        out.store_block(site, l, link_lo_data(site, l));
+      out.store_block(site, HalfCoarseLinks::kDiagBlock, diag_lo_data(site));
+    }
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<Complex<float>> CoarseDirac<T>::snapshot_diag_inverse() const {
+  if (!has_diag_inverse())
+    throw std::logic_error(
+        "CoarseDirac::snapshot_diag_inverse: compute_diag_inverse() was "
+        "never called on this operator");
+  if (!diag_inv_lo_.empty()) return diag_inv_lo_;
+  std::vector<Complex<float>> out(diag_inv_.size());
+  for (size_t k = 0; k < diag_inv_.size(); ++k)
+    out[k] = Complex<float>(diag_inv_[k]);
+  return out;
+}
+
+template <typename T>
+void CoarseDirac<T>::install_half_storage(HalfCoarseLinks stencil,
+                                          std::vector<Complex<float>> diag_inv) {
+  if (stencil.nsites() != geom_->volume() || stencil.block_dim() != n_)
+    throw std::invalid_argument(
+        "CoarseDirac::install_half_storage: stencil shape mismatch (got " +
+        std::to_string(stencil.nsites()) + " sites x N=" +
+        std::to_string(stencil.block_dim()) + ", operator has " +
+        std::to_string(geom_->volume()) + " x N=" + std::to_string(n_) + ")");
+  const size_t want =
+      static_cast<size_t>(geom_->volume()) * static_cast<size_t>(n_) * n_;
+  if (diag_inv.size() != want)
+    throw std::invalid_argument(
+        "CoarseDirac::install_half_storage: diag-inverse size mismatch "
+        "(got " + std::to_string(diag_inv.size()) + ", want " +
+        std::to_string(want) + ")");
+  if (n_ > kMaxBlockDim)
+    throw std::invalid_argument(
+        "CoarseDirac::install_half_storage: Half16 dequantizes rows into "
+        "kMaxBlockDim scratch; N exceeds it");
+  half_ = std::move(stencil);
+  diag_inv_lo_ = std::move(diag_inv);
+  links_.clear();
+  links_.shrink_to_fit();
+  diag_.clear();
+  diag_.shrink_to_fit();
+  diag_inv_.clear();
+  diag_inv_.shrink_to_fit();
+  links_lo_.clear();
+  links_lo_.shrink_to_fit();
+  diag_lo_.clear();
+  diag_lo_.shrink_to_fit();
+  storage_ = CoarseStorage::Half16;
 }
 
 template <typename T>

@@ -96,6 +96,24 @@ class CoarseDirac : public LinearOperator<T> {
   CoarseStorage storage() const { return storage_; }
   bool has_native_storage() const { return !links_.empty(); }
 
+  /// Quantized copy of the ACTIVE stencil (8 links + diagonal per site) —
+  /// the HierarchyCache snapshot payload.  Works from any storage format:
+  /// Half16 copies the already-quantized blocks (no second quantization
+  /// pass), Native/Single quantize on the way out.
+  HalfCoarseLinks snapshot_half_links() const;
+  /// Single-precision copy of the diagonal inverse (float regardless of
+  /// source format: the inverse is conditioning-sensitive, so snapshots
+  /// never push it through Q15).  Requires compute_diag_inverse().
+  std::vector<Complex<float>> snapshot_diag_inverse() const;
+  /// Install a snapshot as the ACTIVE storage: Half16 stencil + float
+  /// diagonal inverse, releasing every other array (the HierarchyCache
+  /// restore path — unlike compress_storage this REPLACES whatever format
+  /// was active, including an already-released native one, because the
+  /// snapshot carries the full stencil).  Schur complements referencing
+  /// this operator follow automatically, exactly as for compress_storage.
+  void install_half_storage(HalfCoarseLinks stencil,
+                            std::vector<Complex<float>> diag_inv);
+
   /// Compressed-storage accessors (Single; also the diag-inverse of
   /// Half16).  Null-pointer-free only for the active format.
   const Complex<float>* link_lo_data(long site, int link) const {

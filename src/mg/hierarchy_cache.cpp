@@ -1,0 +1,170 @@
+#include "mg/hierarchy_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace qmg {
+
+size_t LevelSnapshot::bytes() const {
+  size_t b = stencil.allocated_bytes() + diag_inv.size() * sizeof(Complex<float>);
+  for (const auto& v : vectors) b += v.allocated_bytes();
+  return b;
+}
+
+size_t HierarchySnapshot::bytes() const {
+  size_t b = 0;
+  for (const auto& l : levels) b += l.bytes();
+  return b;
+}
+
+namespace {
+
+/// Quantize one prolongator column (double hierarchies convert to float
+/// first — Half16 cannot hold more precision than float anyway).
+template <typename T>
+HalfSpinorField quantize_vector(const ColorSpinorField<T>& v) {
+  HalfSpinorField h(v.geometry(), v.nspin(), v.ncolor(), v.subset());
+  if constexpr (std::is_same_v<T, float>) {
+    h.store(v);
+  } else {
+    h.store(convert<float>(v));
+  }
+  return h;
+}
+
+}  // namespace
+
+template <typename T>
+HierarchySnapshot HierarchyCache::snapshot(const Multigrid<T>& mg) {
+  HierarchySnapshot snap;
+  const int ncoarse = mg.num_levels() - 1;
+  snap.levels.resize(static_cast<size_t>(ncoarse));
+  for (int l = 0; l < ncoarse; ++l) {
+    LevelSnapshot& lvl = snap.levels[static_cast<size_t>(l)];
+    for (const auto& v : mg.transfer(l).null_vectors())
+      lvl.vectors.push_back(quantize_vector(v));
+    lvl.stencil = mg.coarse_op(l).snapshot_half_links();
+    lvl.diag_inv = mg.coarse_op(l).snapshot_diag_inverse();
+  }
+  snap.baseline_contraction = mg.baseline_contraction();
+  return snap;
+}
+
+template <typename T>
+void HierarchyCache::install(const HierarchySnapshot& snap, Multigrid<T>& mg) {
+  const int ncoarse = mg.num_levels() - 1;
+  if (static_cast<int>(snap.levels.size()) != ncoarse)
+    throw std::invalid_argument(
+        "HierarchyCache::install: snapshot has " +
+        std::to_string(snap.levels.size()) + " coarse levels, hierarchy has " +
+        std::to_string(ncoarse));
+  for (int l = 0; l < ncoarse; ++l) {
+    const LevelSnapshot& lvl = snap.levels[static_cast<size_t>(l)];
+    const Transfer<T>& tr = mg.transfer(l);
+    std::vector<ColorSpinorField<T>> vecs;
+    vecs.reserve(lvl.vectors.size());
+    for (const auto& h : lvl.vectors) {
+      ColorSpinorField<float> f(tr.map().fine(), tr.fine_nspin(),
+                                tr.fine_ncolor());
+      h.load(f);
+      if constexpr (std::is_same_v<T, float>) {
+        vecs.push_back(std::move(f));
+      } else {
+        vecs.push_back(convert<T>(f));
+      }
+    }
+    mg.install_level_storage(l, vecs, lvl.stencil, lvl.diag_inv);
+  }
+  mg.set_baseline_contraction(snap.baseline_contraction);
+}
+
+template <typename T>
+void HierarchyCache::store(const std::string& config_id,
+                           const Multigrid<T>& mg) {
+  if (capacity_ == 0) return;
+  store_snapshot(config_id, snapshot(mg));
+}
+
+template <typename T>
+bool HierarchyCache::restore(const std::string& config_id, Multigrid<T>& mg) {
+  HierarchySnapshot snap;
+  if (!lookup(config_id, snap)) return false;
+  install(snap, mg);
+  return true;
+}
+
+void HierarchyCache::store_snapshot(const std::string& config_id,
+                                    HierarchySnapshot snap) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(config_id);
+  if (it != entries_.end()) {
+    // Replacement refreshes the eviction age.
+    order_.erase(std::find(order_.begin(), order_.end(), config_id));
+    it->second = std::move(snap);
+  } else {
+    while (entries_.size() >= capacity_) {
+      entries_.erase(order_.front());
+      order_.erase(order_.begin());
+      ++stats_.evictions;
+    }
+    entries_.emplace(config_id, std::move(snap));
+  }
+  order_.push_back(config_id);
+  ++stats_.stores;
+}
+
+bool HierarchyCache::lookup(const std::string& config_id,
+                            HierarchySnapshot& out) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(config_id);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  out = it->second;
+  return true;
+}
+
+bool HierarchyCache::contains(const std::string& config_id) const {
+  MutexLock lock(mu_);
+  return entries_.count(config_id) != 0;
+}
+
+void HierarchyCache::clear() {
+  MutexLock lock(mu_);
+  entries_.clear();
+  order_.clear();
+}
+
+HierarchyCache::Stats HierarchyCache::stats() const {
+  MutexLock lock(mu_);
+  Stats s = stats_;
+  s.entries = entries_.size();
+  s.bytes = 0;
+  for (const auto& kv : entries_) s.bytes += kv.second.bytes();
+  return s;
+}
+
+// Explicit instantiations.
+template HierarchySnapshot HierarchyCache::snapshot<double>(
+    const Multigrid<double>&);
+template HierarchySnapshot HierarchyCache::snapshot<float>(
+    const Multigrid<float>&);
+template void HierarchyCache::install<double>(const HierarchySnapshot&,
+                                              Multigrid<double>&);
+template void HierarchyCache::install<float>(const HierarchySnapshot&,
+                                             Multigrid<float>&);
+template void HierarchyCache::store<double>(const std::string&,
+                                            const Multigrid<double>&);
+template void HierarchyCache::store<float>(const std::string&,
+                                           const Multigrid<float>&);
+template bool HierarchyCache::restore<double>(const std::string&,
+                                              Multigrid<double>&);
+template bool HierarchyCache::restore<float>(const std::string&,
+                                             Multigrid<float>&);
+
+}  // namespace qmg

@@ -1,0 +1,119 @@
+#pragma once
+// Snapshot cache of multigrid hierarchies, keyed by gauge-configuration id
+// (the hierarchy-lifecycle layer above Multigrid::update_gauge).
+//
+// A streamed analysis revisits configurations — propagators on config N,
+// then N+1, then back to N for a second source — and re-running even the
+// cheap update_gauge refresh on a configuration whose hierarchy was already
+// adapted wastes its whole cost.  A snapshot captures exactly the state a
+// hierarchy needs to be reinstalled: per level, the block-orthonormalized
+// prolongator columns and the coarse stencil, both in the Half16 quantized
+// formats of PR 4 (fields/halffield.h, fields/halflinks.h) so a cached
+// hierarchy costs ~4x less memory than a live native one, plus the float
+// diagonal inverse (conditioning-sensitive, never quantized) and the
+// quality-probe baseline recorded at the snapshot's last full setup.
+//
+// Restore installs the snapshot into the EXISTING transfer and coarse
+// operator objects (Multigrid::install_level_storage), so every reference
+// the solver stack holds — Schur complements, preconditioners — stays
+// valid.  The restored hierarchy runs Half16 coarse storage regardless of
+// the configured format; its quantization error lands inside the K-cycle
+// preconditioner where the outer flexible solve bounds it, and the quality
+// probe watches it like any other refresh.
+//
+// Thread safety: the cache is a shared service (SolveQueue tenants update
+// gauges from the dispatcher thread while clients snapshot stats), so every
+// member goes through the PR-9 annotated mutex.  snapshot()/install() are
+// static and touch only their arguments.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mg/multigrid.h"
+#include "util/thread_annotations.h"
+
+namespace qmg {
+
+/// One coarsening level of a snapshot: the quantized prolongator columns
+/// (already block-orthonormalized when captured), the quantized coarse
+/// stencil, and the float diagonal inverse.
+struct LevelSnapshot {
+  std::vector<HalfSpinorField> vectors;
+  HalfCoarseLinks stencil;
+  std::vector<Complex<float>> diag_inv;
+
+  size_t bytes() const;
+};
+
+/// A whole hierarchy: one LevelSnapshot per coarsening, plus the probe
+/// baseline the restored hierarchy should compare refreshes against.
+struct HierarchySnapshot {
+  std::vector<LevelSnapshot> levels;
+  double baseline_contraction = 0;
+
+  size_t bytes() const;
+};
+
+class HierarchyCache {
+ public:
+  struct Stats {
+    long stores = 0;
+    long hits = 0;
+    long misses = 0;
+    long evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;  // of all currently cached snapshots
+  };
+
+  /// `capacity` = max cached snapshots; oldest-inserted evicted first.
+  /// 0 disables the cache: store() drops, restore() always misses.
+  explicit HierarchyCache(size_t capacity = 4) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+
+  /// Capture the hierarchy's per-level state (quantizing on the way in)
+  /// plus its probe baseline.
+  template <typename T>
+  static HierarchySnapshot snapshot(const Multigrid<T>& mg);
+
+  /// Install a snapshot into an existing hierarchy of the same shape
+  /// (level count, geometries, nvec); throws std::invalid_argument on a
+  /// level-count mismatch, and the per-level installers validate the rest.
+  template <typename T>
+  static void install(const HierarchySnapshot& snap, Multigrid<T>& mg);
+
+  /// Cache mg's current hierarchy under `config_id` (no-op at capacity 0).
+  /// Re-storing an existing key replaces the snapshot and refreshes its
+  /// eviction age.
+  template <typename T>
+  void store(const std::string& config_id, const Multigrid<T>& mg)
+      QMG_EXCLUDES(mu_);
+
+  /// Install the snapshot cached under `config_id` into mg and return
+  /// true; false (mg untouched) when the id is not cached.  The install
+  /// runs outside the cache lock — only the snapshot copy is under it.
+  template <typename T>
+  bool restore(const std::string& config_id, Multigrid<T>& mg)
+      QMG_EXCLUDES(mu_);
+
+  bool contains(const std::string& config_id) const QMG_EXCLUDES(mu_);
+  void clear() QMG_EXCLUDES(mu_);
+  Stats stats() const QMG_EXCLUDES(mu_);
+
+ private:
+  void store_snapshot(const std::string& config_id, HierarchySnapshot snap)
+      QMG_EXCLUDES(mu_);
+  /// Copies the snapshot out under the lock (miss: returns false).
+  bool lookup(const std::string& config_id, HierarchySnapshot& out)
+      QMG_EXCLUDES(mu_);
+
+  size_t capacity_;
+  mutable Mutex mu_;
+  std::map<std::string, HierarchySnapshot> entries_ QMG_GUARDED_BY(mu_);
+  std::vector<std::string> order_ QMG_GUARDED_BY(mu_);  // insertion FIFO
+  Stats stats_ QMG_GUARDED_BY(mu_);
+};
+
+}  // namespace qmg

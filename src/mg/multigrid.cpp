@@ -18,37 +18,79 @@ Multigrid<T>::Multigrid(const WilsonCloverOp<T>& fine_op, MgConfig config)
     : fine_op_(fine_op), config_(std::move(config)) {
   if (config_.levels.empty())
     throw std::invalid_argument("multigrid needs at least one coarsening");
+  rebuild(/*reuse=*/false);
+  // Record the probe baseline of this full setup — the reference every
+  // later refresh is judged against.  Skipped when the refresh policy is
+  // disabled (no update_gauge will ever read it).
+  if (config_.refresh_threshold > 0) baseline_contraction_ = probe_quality();
+}
 
-  Timer setup_timer;
+template <typename T>
+void Multigrid<T>::rebuild(bool reuse) {
+  // A rebuild keeps only the aggregation maps (gauge-independent) and —
+  // when reusing — the candidate vectors; everything derived from the
+  // gauge field is reconstructed from the fine operator down.
+  transfers_.clear();
+  coarse_ops_.clear();
+  schur_coarse_.clear();
+  schur_fine_.reset();
+  dist_coarse_.clear();
+  ops_.clear();
   ops_.push_back(&fine_op_);
+  setup_timings_ = SetupTimings{};
+  candidates_.resize(config_.levels.size());
 
   GeometryPtr geom = fine_op_.geometry();
+  const bool build_maps = maps_.empty();
   for (size_t l = 0; l < config_.levels.size(); ++l) {
     const MgLevelConfig& lvl = config_.levels[l];
+    if (build_maps)
+      maps_.push_back(std::make_shared<const BlockMap>(geom, lvl.block));
+    const auto& map = maps_[l];
 
-    // 1-2) Candidate null vectors by relaxation on the homogeneous system.
-    NullSpaceParams ns_params;
-    ns_params.nvec = lvl.nvec;
-    ns_params.iters = lvl.null_iters;
-    ns_params.omega = lvl.smoother_omega;
-    ns_params.seed = config_.seed + 10000 * (l + 1);
-    ns_params.method = lvl.null_method;
-    ns_params.inverse_tol = lvl.null_inverse_tol;
-    auto null_vecs = generate_null_vectors(*ops_[l], ns_params);
+    // 1-2) Candidate null vectors.  Full build: relaxation on the
+    // homogeneous system from a random start.  Refresh: the previous
+    // configuration's candidates are already near-null up to the gauge
+    // drift, so a short relaxation re-adapts them (the amortization the
+    // hierarchy lifecycle exists for).
+    std::vector<Field> null_vecs;
+    const bool have_prev =
+        reuse && static_cast<int>(candidates_[l].size()) == lvl.nvec &&
+        !candidates_[l].empty() && candidates_[l].front().geometry() == geom;
+    {
+      Timer phase;
+      if (have_prev) {
+        null_vecs = candidates_[l];
+        relax_null_vectors(*ops_[l], null_vecs, config_.refresh_null_iters,
+                           lvl.smoother_omega);
+      } else {
+        NullSpaceParams ns_params;
+        ns_params.nvec = lvl.nvec;
+        ns_params.iters = lvl.null_iters;
+        ns_params.omega = lvl.smoother_omega;
+        ns_params.seed = config_.seed + 10000 * (l + 1);
+        ns_params.method = lvl.null_method;
+        ns_params.inverse_tol = lvl.null_inverse_tol;
+        null_vecs = generate_null_vectors(*ops_[l], ns_params);
+      }
+      const double dt = phase.seconds();
+      setup_timings_.null_gen_seconds += dt;
+      profiler_.add("setup/null_gen", dt);
+    }
 
     // 3) Aggregate and block-orthonormalize into the transfer operator.
     const int fine_ns = l == 0 ? 4 : CoarseDirac<T>::kNSpin;
     const int fine_nc = l == 0 ? 3 : coarse_ops_[l - 1]->ncolor();
-    auto map = std::make_shared<const BlockMap>(geom, lvl.block);
     auto transfer =
         std::make_unique<Transfer<T>>(map, fine_ns, fine_nc, lvl.nvec);
 
-    // 4) Galerkin coarse operator, with optional adaptive refinement: build,
-    // refine the candidate vectors against the current two-grid method,
-    // rebuild (section 3.4's "repeat until we obtain enough candidate
-    // vectors to capture the near-null space").
+    // 4) Galerkin coarse operator, with adaptive refinement: build, refine
+    // the candidate vectors against the current two-grid method, rebuild
+    // (section 3.4's "repeat until we obtain enough candidate vectors to
+    // capture the near-null space").  A refresh runs the shorter
+    // refresh_adaptive schedule.
     std::unique_ptr<CoarseDirac<T>> coarse;
-    for (int pass = 0;; ++pass) {
+    auto galerkin = [&]() {
       transfer->set_null_vectors(null_vecs);
       if (l == 0) {
         const WilsonStencilView<T> view(fine_op_);
@@ -60,10 +102,30 @@ Multigrid<T>::Multigrid(const WilsonCloverOp<T>& fine_op, MgConfig config)
             build_coarse_operator(view, *transfer));
       }
       coarse->compute_diag_inverse();
-      if (pass >= lvl.adaptive_passes) break;
-      refine_null_vectors(static_cast<int>(l), *transfer, *coarse, null_vecs,
-                          lvl);
+    };
+    {
+      Timer phase;
+      galerkin();
+      const double dt = phase.seconds();
+      setup_timings_.galerkin_seconds += dt;
+      profiler_.add("setup/galerkin", dt);
     }
+    const int passes =
+        reuse ? config_.refresh_adaptive_passes : lvl.adaptive_passes;
+    const int refine_iters =
+        reuse ? config_.refresh_adaptive_iters : lvl.adaptive_iters;
+    for (int pass = 0; pass < passes; ++pass) {
+      Timer phase;
+      refine_null_vectors(static_cast<int>(l), *transfer, *coarse, null_vecs,
+                          lvl, refine_iters);
+      galerkin();
+      const double dt = phase.seconds();
+      setup_timings_.adaptive_seconds += dt;
+      profiler_.add("setup/adaptive", dt);
+    }
+
+    // Keep the refined candidates as the next refresh's starting guess.
+    candidates_[l] = null_vecs;
 
     geom = map->coarse();
     transfers_.push_back(std::move(transfer));
@@ -71,8 +133,9 @@ Multigrid<T>::Multigrid(const WilsonCloverOp<T>& fine_op, MgConfig config)
     ops_.push_back(coarse_ops_.back().get());
 
     logf(LogLevel::Verbose,
-         "qmg: built level %zu -> %zu: coarse volume %ld, Nhat_c %d\n", l,
-         l + 1, geom->volume(), config_.levels[l].nvec);
+         "qmg: %s level %zu -> %zu: coarse volume %ld, Nhat_c %d\n",
+         have_prev ? "refreshed" : "built", l, l + 1, geom->volume(),
+         config_.levels[l].nvec);
   }
 
   // Red-black preconditioning on all levels (section 7.1): the Schur
@@ -100,15 +163,131 @@ Multigrid<T>::Multigrid(const WilsonCloverOp<T>& fine_op, MgConfig config)
   if (config_.coarse_storage != CoarseStorage::Native)
     for (auto& coarse : coarse_ops_)
       coarse->compress_storage(config_.coarse_storage);
+}
 
-  setup_seconds_ = setup_timer.seconds();
+template <typename T>
+double Multigrid<T>::probe_quality() const {
+  // Asymptotic cycle contraction on a FIXED rhs: the seed ties the probe
+  // vector to the hierarchy, not to the call site, so successive probes of
+  // one hierarchy are comparable and the escalation decision is
+  // deterministic.  The stationary iteration runs a few cycles and reports
+  // the LAST residual contraction — the first cycles strip the high modes
+  // any smoother handles, so the final rate is carried by the near-null
+  // modes the interpolator must capture, which is precisely what a warm
+  // refresh on a drifted configuration loses.  (A single-cycle probe reads
+  // ~the smoother's rate and barely moves while solve iteration counts
+  // climb.)
+  constexpr int kProbeCycles = 3;
+  Field b = fine_op_.create_vector();
+  b.gaussian(config_.seed ^ 0x9E3779B97F4A7C15ull);
+  double prev2 = blas::norm2(b);
+  if (prev2 == 0) return 0;
+  Field x = b.similar();
+  Field e = b.similar();
+  Field r = b.similar();
+  blas::copy(r, b);
+  double rate = 0;
+  for (int k = 0; k < kProbeCycles; ++k) {
+    blas::zero(e);
+    cycle(0, e, r);
+    blas::axpy(T(1), e, x);
+    fine_op_.apply(r, x);
+    blas::xpay(b, T(-1), r);
+    const double r2 = blas::norm2(r);
+    rate = std::sqrt(r2 / prev2);
+    prev2 = r2;
+    if (r2 == 0) break;
+  }
+  return rate;
+}
+
+template <typename T>
+MgUpdateReport Multigrid<T>::update_gauge(const GaugeField<T>& gauge) {
+  if (&gauge != &fine_op_.gauge())
+    throw std::invalid_argument(
+        "Multigrid::update_gauge: the hierarchy follows the gauge field its "
+        "fine operator references (swapped in place by the owner); updating "
+        "against a different GaugeField object would desynchronize operator "
+        "and hierarchy");
+  MgUpdateReport rep;
+  rep.baseline_contraction = baseline_contraction_;
+  rebuild(/*reuse=*/true);
+  rep.timings = setup_timings_;
+  if (config_.refresh_threshold > 0) {
+    Timer probe_timer;
+    rep.probe_contraction = probe_quality();
+    rep.probe_seconds = probe_timer.seconds();
+    const bool relative_regression =
+        baseline_contraction_ > 0 &&
+        rep.probe_contraction >
+            config_.refresh_threshold * baseline_contraction_;
+    // Absolute backstop: the relative test goes blind once the rebased
+    // baseline drifts close to 1 (refresh_threshold x baseline exceeds any
+    // achievable contraction), yet a near-1 probe means the refreshed cycle
+    // is not converging on anything.
+    const bool absolute_stagnation =
+        config_.refresh_probe_cap < 1.0 &&
+        rep.probe_contraction > config_.refresh_probe_cap;
+    if (relative_regression || absolute_stagnation) {
+      // The cheap refresh no longer captures the near-null space — the
+      // configuration drifted too far from the one the candidates were
+      // generated on.  Regenerate from scratch and rebase the baseline on
+      // the new full setup.  rep keeps the TRIGGERING probe (and the
+      // baseline it was judged against) so callers can see why.
+      rep.escalated = true;
+      rebuild(/*reuse=*/false);
+      rep.timings += setup_timings_;
+      setup_timings_ = rep.timings;
+      Timer rebase_timer;
+      baseline_contraction_ = probe_quality();
+      rep.probe_seconds += rebase_timer.seconds();
+      logf(LogLevel::Verbose,
+           "qmg: refresh escalated to full regeneration (%s: probe %.3g, "
+           "threshold %.3g x baseline %.3g, cap %.3g; fresh hierarchy "
+           "probes %.3g)\n",
+           relative_regression ? "relative regression" : "absolute stagnation",
+           rep.probe_contraction, config_.refresh_threshold,
+           rep.baseline_contraction, config_.refresh_probe_cap,
+           baseline_contraction_);
+    } else {
+      // Accepted refresh: rebase the baseline on what the hierarchy
+      // actually delivers NOW.  A physical stream drifts in intrinsic
+      // difficulty (the near-null space moves with the configuration), so a
+      // baseline pinned to the first build would eventually escalate on
+      // every update no matter how good the refresh is.  Measuring
+      // regression against the last ACCEPTED quality tolerates that
+      // gradual drift and still catches a collapse — a decorrelated
+      // configuration jumps the ratio in one step.
+      baseline_contraction_ = rep.probe_contraction;
+    }
+  }
+  return rep;
+}
+
+template <typename T>
+void Multigrid<T>::install_level_storage(int level,
+                                         const std::vector<Field>& ortho_vecs,
+                                         HalfCoarseLinks stencil,
+                                         std::vector<Complex<float>> diag_inv) {
+  if (level < 0 || level >= num_levels() - 1)
+    throw std::invalid_argument(
+        "Multigrid::install_level_storage: level " + std::to_string(level) +
+        " out of range [0, " + std::to_string(num_levels() - 1) + ")");
+  transfers_[static_cast<size_t>(level)]->set_null_vectors(ortho_vecs);
+  candidates_[static_cast<size_t>(level)] = ortho_vecs;
+  coarse_ops_[static_cast<size_t>(level)]->install_half_storage(
+      std::move(stencil), std::move(diag_inv));
+  // Any distributed split holds copies of the replaced stencil; drop it
+  // (re-enable after the restore completes).
+  dist_coarse_.clear();
 }
 
 template <typename T>
 void Multigrid<T>::refine_null_vectors(int level, const Transfer<T>& transfer,
                                        const CoarseDirac<T>& coarse,
                                        std::vector<Field>& vecs,
-                                       const MgLevelConfig& lvl) const {
+                                       const MgLevelConfig& lvl,
+                                       int iters) const {
   const LinearOperator<T>& op = *ops_[level];
   const SchurCoarseOp<T> coarse_schur(coarse);
 
@@ -128,7 +307,7 @@ void Multigrid<T>::refine_null_vectors(int level, const Transfer<T>& transfer,
   auto e_c = r_c.similar();
 
   for (auto& v : vecs) {
-    for (int it = 0; it < lvl.adaptive_iters; ++it) {
+    for (int it = 0; it < iters; ++it) {
       // v <- (1 - B M) v with B a post-smoothed two-grid cycle: components
       // the current coarse space captures are annihilated, leaving v rich in
       // the error modes the method cannot yet treat.

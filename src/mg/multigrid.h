@@ -17,6 +17,7 @@
 #include "mg/coarse_op.h"
 #include "mg/galerkin.h"
 #include "mg/nullspace.h"
+#include "mg/setup_timings.h"
 #include "mg/transfer.h"
 #include "solvers/gcr.h"
 #include "solvers/mr.h"
@@ -96,6 +97,43 @@ struct MgConfig {
   // (solvers/gcr.h, the reliable-update step) and the flexible outer solve
   // bound its effect on iteration counts (tested).
   CoarseStorage coarse_storage = CoarseStorage::Native;
+  // Hierarchy lifecycle (update_gauge): a refresh reuses the previous
+  // configuration's candidate vectors as the starting guess — on a
+  // correlated configuration they are near-null up to the drift, so
+  // refresh_null_iters relaxation sweeps replace the full null_iters from a
+  // random start, and refresh_adaptive_passes/iters replace the full
+  // adaptive schedule.  (20 sweeps holds solve iteration counts at the
+  // from-scratch level across a correlated stream — 10 lets small per-step
+  // losses COMPOUND over successive refreshes, see bench_ensemble.)  After
+  // the refresh a cheap quality probe (the asymptotic cycle contraction on
+  // a fixed seeded rhs) compares against the rate of the last accepted
+  // update; if it regressed past refresh_threshold x that baseline, the
+  // refresh escalates to full regeneration.  refresh_threshold <= 0
+  // disables the probe entirely (no baseline measured at setup, refreshes
+  // never escalate).  refresh_probe_cap is the ABSOLUTE backstop on that
+  // relative test: on a stream whose intrinsic difficulty drifts upward,
+  // the rebased baseline can approach 1, where no multiplicative threshold
+  // fires any more — but a refreshed hierarchy whose cycle barely contracts
+  // is useless regardless of how the baseline got there, so a probe above
+  // the cap escalates unconditionally.  Values >= 1 disable the backstop
+  // (a contraction of 1 means the cycle made no progress at all).
+  int refresh_null_iters = 20;
+  int refresh_adaptive_passes = 1;
+  int refresh_adaptive_iters = 1;
+  double refresh_threshold = 1.5;
+  double refresh_probe_cap = 0.95;
+};
+
+/// What one Multigrid::update_gauge did: which schedule ran, whether the
+/// quality probe forced escalation, the probe/baseline contraction rates,
+/// and the per-phase timings (summed over refresh + escalation when both
+/// ran).
+struct MgUpdateReport {
+  bool escalated = false;      // probe regressed; full regeneration ran
+  double probe_contraction = 0;     // |r|/|b| after one cycle, post-update
+  double baseline_contraction = 0;  // same rate at the last full setup
+  double probe_seconds = 0;
+  SetupTimings timings;
 };
 
 /// The multigrid hierarchy over a Wilson-Clover fine operator, in a single
@@ -120,7 +158,49 @@ class Multigrid {
   /// batched and single-rhs cycles share one decomposition.
   CoarseDirac<T>& coarse_op_mutable(int level) { return *coarse_ops_[level]; }
   const MgConfig& config() const { return config_; }
-  double setup_seconds() const { return setup_seconds_; }
+  double setup_seconds() const { return setup_timings_.total_seconds(); }
+  /// Per-phase breakdown of the last setup or refresh (null-gen / Galerkin
+  /// / adaptive); also accumulated into the Profiler under "setup/*".
+  const SetupTimings& setup_timings() const { return setup_timings_; }
+
+  /// The gauge field under the fine operator changed IN PLACE (hierarchy
+  /// lifecycle): re-adapt the hierarchy to it.  The previous configuration's
+  /// candidate null vectors seed a short relaxation refresh
+  /// (config().refresh_null_iters sweeps instead of a full regeneration),
+  /// Galerkin and a short adaptive pass rebuild every coarse operator, and
+  /// the quality probe escalates to full regeneration when the refreshed
+  /// hierarchy's cycle contraction regressed past refresh_threshold x the
+  /// last full setup's baseline.  `gauge` must be the very field the fine
+  /// operator references — the operator holds it by reference, so the swap
+  /// happens in the caller's storage; passing anything else would
+  /// desynchronize operator and hierarchy, and throws.  Any distributed
+  /// coarse splits are dropped (re-enable after the update).
+  MgUpdateReport update_gauge(const GaugeField<T>& gauge);
+
+  /// The cheap hierarchy-quality probe: residual contraction |r|/|b| of one
+  /// cycle(0) on a fixed rhs seeded from config().seed.  Lower is better; a
+  /// hierarchy whose coarse space no longer captures the near-null modes
+  /// contracts less per cycle, which is exactly the K-cycle iteration-count
+  /// regression the refresh policy watches for.
+  double probe_quality() const;
+  /// Probe contraction recorded at the last FULL setup (0 when the probe is
+  /// disabled via refresh_threshold <= 0).
+  double baseline_contraction() const { return baseline_contraction_; }
+  /// Adopt a baseline measured elsewhere (HierarchyCache restore: the
+  /// snapshot carries the baseline of the hierarchy it captured).
+  void set_baseline_contraction(double c) { baseline_contraction_ = c; }
+
+  /// HierarchyCache restore protocol: install a snapshot's per-level state
+  /// — orthonormalized prolongator columns, Half16 coarse stencil, float
+  /// diagonal inverse — into the EXISTING transfer and coarse operator of
+  /// `level` (Schur operators reference them and follow automatically).
+  /// The restored level runs Half16 storage regardless of
+  /// config().coarse_storage: the snapshot is quantized, and dequantizing
+  /// back to native would only launder the quantization it already paid.
+  /// Drops any distributed coarse splits.
+  void install_level_storage(int level, const std::vector<Field>& ortho_vecs,
+                             HalfCoarseLinks stencil,
+                             std::vector<Complex<float>> diag_inv);
 
   /// One multigrid cycle at `level`: x is overwritten with an approximate
   /// solution of op(level) x = b.
@@ -211,7 +291,16 @@ class Multigrid {
   std::vector<std::unique_ptr<CoarseDirac<T>>> coarse_ops_;
   std::unique_ptr<SchurWilsonOp<T>> schur_fine_;
   std::vector<std::unique_ptr<SchurCoarseOp<T>>> schur_coarse_;
-  double setup_seconds_ = 0;
+  /// Aggregation maps, built once: blockings depend only on the geometry,
+  /// never on the gauge field, so rebuilds reuse them — which keeps every
+  /// coarse GeometryPtr stable across the hierarchy's lifetime (cached
+  /// candidate vectors and snapshots stay shape-compatible by pointer).
+  std::vector<std::shared_ptr<const BlockMap>> maps_;
+  /// Per-level candidate null vectors as refined by the last build — the
+  /// reuse starting guess of the next update_gauge refresh.
+  std::vector<std::vector<Field>> candidates_;
+  SetupTimings setup_timings_;
+  double baseline_contraction_ = 0;
   mutable Profiler profiler_;
   // Allreduce meter of the coarsest-grid solves (see coarsest_comm_stats).
   mutable CommStats coarsest_comm_;
@@ -269,12 +358,22 @@ class Multigrid {
   void smooth_block(int level, BlockField& x, const BlockField& b,
                     int iters) const;
 
+  /// Build or refresh the whole hierarchy below the fine operator.  With
+  /// `reuse` the per-level candidates_ seed a short relaxation refresh
+  /// (falling back to full generation where no compatible candidates
+  /// exist); without it, full from-scratch generation.  Either way every
+  /// transfer/coarse operator/Schur complement is recreated and
+  /// setup_timings_ is rewritten with the per-phase breakdown.
+  void rebuild(bool reuse);
+
   /// One adaptive-setup pass at `level`: v <- normalize((1 - B M)^k v) for
-  /// each candidate vector, with B the two-grid cycle over (op, coarse).
+  /// each candidate vector, with B the two-grid cycle over (op, coarse)
+  /// and k = `iters` (the level's adaptive_iters for a full build, the
+  /// shorter refresh_adaptive_iters for a refresh).
   void refine_null_vectors(int level, const Transfer<T>& transfer,
                            const CoarseDirac<T>& coarse,
-                           std::vector<Field>& vecs,
-                           const MgLevelConfig& lvl) const;
+                           std::vector<Field>& vecs, const MgLevelConfig& lvl,
+                           int iters) const;
 
   // Per-level recursive preconditioner used by the K-cycle's coarse GCR.
   class LevelPreconditioner : public Preconditioner<T> {

@@ -7,6 +7,37 @@
 
 namespace qmg {
 
+namespace {
+
+/// The shared MR relaxation core on M x = 0: r = -M x; each step damps the
+/// high modes of x, leaving the near-null component (cannot reuse MrSolver
+/// since b = 0 is its trivial-solution early-out).  `r` and `mr` are caller
+/// scratch so a sweep over many vectors allocates them once.
+template <typename T>
+void mr_relax_homogeneous(const LinearOperator<T>& op, ColorSpinorField<T>& x,
+                          ColorSpinorField<T>& r, ColorSpinorField<T>& mr,
+                          int iters, T omega) {
+  for (int it = 0; it < iters; ++it) {
+    op.apply(r, x);
+    blas::scale(T(-1), r);
+    op.apply(mr, r);
+    const double mr2 = blas::norm2(mr);
+    if (mr2 == 0.0) break;
+    const complexd a = blas::cdot(mr, r);
+    const Complex<T> alpha(static_cast<T>(a.re / mr2),
+                           static_cast<T>(a.im / mr2));
+    blas::caxpy(alpha * omega, r, x);
+  }
+}
+
+template <typename T>
+void normalize(ColorSpinorField<T>& x) {
+  const double n2 = blas::norm2(x);
+  if (n2 > 0) blas::scale(static_cast<T>(1.0 / std::sqrt(n2)), x);
+}
+
+}  // namespace
+
 template <typename T>
 std::vector<ColorSpinorField<T>> generate_null_vectors(
     const LinearOperator<T>& op, const NullSpaceParams& params) {
@@ -32,32 +63,37 @@ std::vector<ColorSpinorField<T>> generate_null_vectors(
       sp.max_iter = std::max(params.iters, 10);
       BiCgStabSolver<T>(op, sp).solve(x, eta);
     } else {
-      // MR relaxation on M x = 0: r = -M x; each step damps the high modes
-      // of x, leaving the near-null component (cannot reuse MrSolver since
-      // b = 0 is its trivial-solution early-out).
-      for (int it = 0; it < params.iters; ++it) {
-        op.apply(r, x);
-        blas::scale(T(-1), r);
-        op.apply(mr, r);
-        const double mr2 = blas::norm2(mr);
-        if (mr2 == 0.0) break;
-        const complexd a = blas::cdot(mr, r);
-        const Complex<T> alpha(static_cast<T>(a.re / mr2),
-                               static_cast<T>(a.im / mr2));
-        blas::caxpy(alpha * omega, r, x);
-      }
+      mr_relax_homogeneous(op, x, r, mr, params.iters, omega);
     }
 
-    const double n2 = blas::norm2(x);
-    if (n2 > 0) blas::scale(static_cast<T>(1.0 / std::sqrt(n2)), x);
+    normalize(x);
     vecs.push_back(std::move(x));
   }
   return vecs;
+}
+
+template <typename T>
+void relax_null_vectors(const LinearOperator<T>& op,
+                        std::vector<ColorSpinorField<T>>& vecs, int iters,
+                        double omega) {
+  if (vecs.empty() || iters <= 0) return;
+  auto r = op.create_vector();
+  auto mr = op.create_vector();
+  for (auto& x : vecs) {
+    mr_relax_homogeneous(op, x, r, mr, iters, static_cast<T>(omega));
+    normalize(x);
+  }
 }
 
 template std::vector<ColorSpinorField<double>> generate_null_vectors<double>(
     const LinearOperator<double>&, const NullSpaceParams&);
 template std::vector<ColorSpinorField<float>> generate_null_vectors<float>(
     const LinearOperator<float>&, const NullSpaceParams&);
+template void relax_null_vectors<double>(const LinearOperator<double>&,
+                                         std::vector<ColorSpinorField<double>>&,
+                                         int, double);
+template void relax_null_vectors<float>(const LinearOperator<float>&,
+                                        std::vector<ColorSpinorField<float>>&,
+                                        int, double);
 
 }  // namespace qmg

@@ -34,4 +34,16 @@ template <typename T>
 std::vector<ColorSpinorField<T>> generate_null_vectors(
     const LinearOperator<T>& op, const NullSpaceParams& params);
 
+/// Refresh existing candidate vectors in place: `iters` MR relaxation
+/// sweeps on M x = 0 starting from each CURRENT vector instead of a random
+/// start.  This is the reuse half of the hierarchy lifecycle — on a gauge
+/// configuration correlated with the one the vectors were generated on,
+/// they are already near-null up to the configuration drift, so a handful
+/// of sweeps re-adapts them at a fraction of the from-scratch cost.
+/// Vectors are re-normalized.
+template <typename T>
+void relax_null_vectors(const LinearOperator<T>& op,
+                        std::vector<ColorSpinorField<T>>& vecs, int iters,
+                        double omega);
+
 }  // namespace qmg

@@ -1,0 +1,31 @@
+#pragma once
+// Per-phase wall-clock breakdown of one MG hierarchy setup (or refresh).
+// The hierarchy lifecycle needs the split — a gauge refresh re-runs only
+// some phases, and the amortization story ("setup is dominated by null-gen,
+// which reuse skips") is invisible in a single setup_seconds scalar.  Lives
+// in its own header because both the hierarchy (mg/multigrid.h) and the
+// public report (core/solve_api.h) carry it.
+
+namespace qmg {
+
+/// Phases follow the paper's setup structure (section 3.4): candidate
+/// null-vector generation, the Galerkin triple product P^dag M P (which
+/// includes block-orthonormalization — the Transfer orthonormalizes when
+/// the vectors are installed), and the adaptive refine-and-rebuild passes.
+struct SetupTimings {
+  double null_gen_seconds = 0;  // candidate generation / reuse relaxation
+  double galerkin_seconds = 0;  // orthonormalize + P^dag M P + diag inverse
+  double adaptive_seconds = 0;  // refine passes incl. their rebuilds
+
+  double total_seconds() const {
+    return null_gen_seconds + galerkin_seconds + adaptive_seconds;
+  }
+  SetupTimings& operator+=(const SetupTimings& o) {
+    null_gen_seconds += o.null_gen_seconds;
+    galerkin_seconds += o.galerkin_seconds;
+    adaptive_seconds += o.adaptive_seconds;
+    return *this;
+  }
+};
+
+}  // namespace qmg

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
+
+#include "util/logger.h"
 
 namespace qmg {
 
@@ -46,7 +49,27 @@ SolveQueue::~SolveQueue() { stop(); }
 
 void SolveQueue::add_tenant(const std::string& id, QmgContext& ctx) {
   MutexLock lk(m_);
-  tenants_[id] = &ctx;
+  tenants_[id].ctx = &ctx;
+}
+
+void SolveQueue::update_gauge(const std::string& id,
+                              const std::string& config_id,
+                              GaugeField<double> gauge) {
+  {
+    MutexLock lk(m_);
+    if (stopping_)
+      throw std::logic_error("SolveQueue: update_gauge() after stop()");
+    const auto it = tenants_.find(id);
+    if (it == tenants_.end())
+      throw std::invalid_argument("SolveQueue: unknown tenant '" + id + "'");
+    Tenant& t = it->second;
+    PendingUpdate upd;
+    upd.config_id = config_id;
+    upd.gauge = std::move(gauge);
+    upd.epoch = ++t.submitted_epoch;
+    t.updates.push_back(std::move(upd));
+  }
+  cv_.notify_all();
 }
 
 SolveTicket SolveQueue::submit(SolveRequest request) {
@@ -69,7 +92,9 @@ SolveTicket SolveQueue::submit(SolveRequest request) {
     if (it == tenants_.end())
       throw std::invalid_argument("SolveQueue: unknown tenant '" +
                                   request.tenant + "'");
-    p.ctx = it->second;
+    p.ctx = it->second.ctx;
+    p.tenant = request.tenant;
+    p.epoch = it->second.submitted_epoch;
     pending_[batch_key(request.tenant, request.spec)].push_back(std::move(p));
     ++submitted_;
     ++depth_;
@@ -107,20 +132,77 @@ void SolveQueue::stop() {
 void SolveQueue::worker() {
   MutexLock lk(m_);
   while (true) {
+    // Phase 0 — gauge swaps.  A tenant's oldest queued update (epoch N)
+    // is due once no pending request with epoch < N remains: per-key
+    // deques are FIFO, so each front() carries that key's minimum epoch.
+    // The update itself runs outside the lock on this (dispatcher) thread,
+    // like the batches it interleaves with, so submit()/stats() never
+    // block behind a hierarchy refresh; one update per pass, then restart
+    // the scan (the containers may have changed while unlocked).
+    {
+      bool applied = false;
+      for (auto& entry : tenants_) {
+        Tenant& t = entry.second;
+        if (t.updates.empty()) continue;
+        long min_epoch = std::numeric_limits<long>::max();
+        for (const auto& pe : pending_)
+          if (!pe.second.empty() && pe.second.front().tenant == entry.first)
+            min_epoch = std::min(min_epoch, pe.second.front().epoch);
+        if (t.updates.front().epoch > min_epoch) continue;
+        PendingUpdate upd = std::move(t.updates.front());
+        t.updates.pop_front();
+        QmgContext* ctx = t.ctx;
+        lk.unlock();
+        bool ok = true;
+        GaugeUpdateReport urep;
+        try {
+          urep = ctx->update_gauge(upd.config_id, upd.gauge);
+        } catch (const std::exception& e) {
+          ok = false;
+          log_summary("SolveQueue: gauge update '%s' failed: %s\n",
+                      upd.config_id.c_str(), e.what());
+        }
+        lk.lock();
+        // The map entry is stable across the unlock (tenants are never
+        // erased).  The epoch advances even on failure — wedging every
+        // later request behind a bad configuration would be worse than
+        // solving them on the last good one (documented).
+        t.applied_epoch = upd.epoch;
+        ++gauge_updates_;
+        if (!ok)
+          ++failed_updates_;
+        else if (urep.restored_from_cache)
+          ++cache_restores_;
+        else if (urep.escalated)
+          ++full_rebuilds_;
+        else if (urep.hierarchy_updated)
+          ++hierarchy_refreshes_;
+        applied = true;
+        break;
+      }
+      if (applied) continue;
+    }
+
     // Pick the next batch to dispatch: any key at max_nrhs flushes
     // immediately; otherwise the key whose oldest request's latency budget
     // has expired.  FIFO within a key keeps batch composition deterministic
-    // for a deterministic submission order.
+    // for a deterministic submission order.  A key whose front request is
+    // tagged with a not-yet-applied epoch is skipped — its gauge swap is
+    // waiting on OTHER keys' older requests, whose flush deadlines bound
+    // the wait.
     const auto now = Clock::now();
     auto ready = pending_.end();
     Clock::time_point earliest = Clock::time_point::max();
     for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      const Pending& front = it->second.front();
+      if (front.epoch != tenants_.find(front.tenant)->second.applied_epoch)
+        continue;
       if (static_cast<int>(it->second.size()) >= options_.max_nrhs ||
-          it->second.front().flush_by <= now) {
+          front.flush_by <= now) {
         ready = it;
         break;
       }
-      earliest = std::min(earliest, it->second.front().flush_by);
+      earliest = std::min(earliest, front.flush_by);
     }
     if (ready == pending_.end()) {
       if (stopping_ && pending_.empty()) break;
@@ -131,10 +213,15 @@ void SolveQueue::worker() {
       continue;
     }
 
+    // Same-epoch prefix only: a batch runs against ONE configuration, and
+    // requests tagged after a queued gauge swap stay behind until it
+    // applies.
     std::vector<Pending> batch;
     batch.reserve(static_cast<size_t>(options_.max_nrhs));
     auto& q = ready->second;
-    while (!q.empty() && static_cast<int>(batch.size()) < options_.max_nrhs) {
+    const long epoch = q.front().epoch;
+    while (!q.empty() && static_cast<int>(batch.size()) < options_.max_nrhs &&
+           q.front().epoch == epoch) {
       batch.push_back(std::move(q.front()));
       q.pop_front();
     }
@@ -206,6 +293,7 @@ void SolveQueue::run_batch(std::vector<Pending>& batch) {
       r.comm = rep.comm;                // batch-level, shared by every rhs
       r.coarse_comm = rep.coarse_comm;  // (documented on SolveTicket)
       r.distributed = rep.distributed;
+      r.mg_setup = rep.mg_setup;  // the hierarchy this batch ran on
       r.batch_nrhs = nrhs;
       r.queue_wait_seconds =
           std::chrono::duration<double>(dispatched - p.submitted).count();
@@ -236,6 +324,11 @@ QueueStats SolveQueue::stats() const {
   s.p99_latency_seconds = percentile(latencies_, 0.99);
   s.messages = messages_;
   s.coarse_messages = coarse_messages_;
+  s.gauge_updates = gauge_updates_;
+  s.cache_restores = cache_restores_;
+  s.hierarchy_refreshes = hierarchy_refreshes_;
+  s.full_rebuilds = full_rebuilds_;
+  s.failed_updates = failed_updates_;
   if (retired_ > 0)
     s.coarse_messages_per_rhs =
         static_cast<double>(coarse_messages_) / static_cast<double>(retired_);

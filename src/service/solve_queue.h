@@ -83,6 +83,15 @@ struct QueueStats {
   long messages = 0;
   long coarse_messages = 0;
   double coarse_messages_per_rhs = 0;
+  /// Gauge-update meters (update_gauge): updates applied by the
+  /// dispatcher, split by how the tenant's hierarchy followed — cache
+  /// restore, warm refresh, escalated full rebuild — plus updates whose
+  /// application threw (their epoch still advances; see update_gauge).
+  long gauge_updates = 0;
+  long cache_restores = 0;
+  long hierarchy_refreshes = 0;
+  long full_rebuilds = 0;
+  long failed_updates = 0;
 };
 
 namespace detail {
@@ -196,6 +205,27 @@ class SolveQueue {
   /// handle to the solution, hence [[nodiscard]].
   [[nodiscard]] SolveTicket submit(SolveRequest request) QMG_EXCLUDES(m_);
 
+  /// Swap tenant `id`'s gauge configuration between batches — the
+  /// streaming-ensemble path — WITHOUT dropping queued tickets.  The epoch
+  /// protocol: every request is tagged at submit() with the tenant's
+  /// current update epoch, and the update enqueued here (epoch N) is
+  /// applied by the dispatcher thread — via QmgContext::update_gauge, so
+  /// cache restore / hierarchy refresh / escalation all apply — only once
+  /// every pending epoch-<N request of the tenant has dispatched; requests
+  /// submitted after this call wait for it.  Each batch holds a single
+  /// epoch, so every rhs is solved against exactly the configuration that
+  /// was current when it was submitted.  Thread-safe and asynchronous
+  /// (solves and updates both run on the dispatcher thread); stop() drains
+  /// queued updates after the last batch.  An update whose application
+  /// throws is counted in stats().failed_updates and logged, and its epoch
+  /// still advances — later requests then run against the last
+  /// successfully-applied configuration rather than wedging the queue.
+  /// Throws std::invalid_argument for an unknown tenant.  Note: epochs are
+  /// per tenant id — two ids aliasing one context must route their gauge
+  /// updates through a single id.
+  void update_gauge(const std::string& id, const std::string& config_id,
+                    GaugeField<double> gauge) QMG_EXCLUDES(m_);
+
   /// Force every pending request to dispatch at the next opportunity
   /// (asynchronous; wait on the tickets for completion).
   void flush() QMG_EXCLUDES(m_);
@@ -215,8 +245,25 @@ class SolveQueue {
     ColorSpinorField<double> rhs;
     SolveSpec spec;
     QmgContext* ctx = nullptr;
+    std::string tenant;
+    long epoch = 0;  // tenant's submitted_epoch when this request arrived
     Clock::time_point submitted;
     Clock::time_point flush_by;  // submitted + min(max_wait, deadline)
+  };
+
+  /// A queued gauge swap: applied once every pending request with a lower
+  /// epoch has dispatched.
+  struct PendingUpdate {
+    std::string config_id;
+    GaugeField<double> gauge;
+    long epoch = 0;
+  };
+
+  struct Tenant {
+    QmgContext* ctx = nullptr;
+    long submitted_epoch = 0;  // epoch new requests are tagged with
+    long applied_epoch = 0;    // epoch the context's gauge corresponds to
+    std::deque<PendingUpdate> updates;
   };
 
   void worker() QMG_EXCLUDES(m_);
@@ -227,7 +274,7 @@ class SolveQueue {
   QueueOptions options_;
   mutable Mutex m_;
   CondVar cv_;
-  std::map<std::string, QmgContext*> tenants_ QMG_GUARDED_BY(m_);
+  std::map<std::string, Tenant> tenants_ QMG_GUARDED_BY(m_);
   /// Pending requests, FIFO per batch key (tenant + spec signature, see
   /// batch_compatible): one key's queue only ever holds mutually
   /// batch-compatible requests.
@@ -243,6 +290,11 @@ class SolveQueue {
   long sum_batch_nrhs_ QMG_GUARDED_BY(m_) = 0;
   long messages_ QMG_GUARDED_BY(m_) = 0;
   long coarse_messages_ QMG_GUARDED_BY(m_) = 0;
+  long gauge_updates_ QMG_GUARDED_BY(m_) = 0;
+  long cache_restores_ QMG_GUARDED_BY(m_) = 0;
+  long hierarchy_refreshes_ QMG_GUARDED_BY(m_) = 0;
+  long full_rebuilds_ QMG_GUARDED_BY(m_) = 0;
+  long failed_updates_ QMG_GUARDED_BY(m_) = 0;
   /// Submit -> retire, one entry per rhs.
   std::vector<double> latencies_ QMG_GUARDED_BY(m_);
 
